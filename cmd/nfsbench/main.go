@@ -1,0 +1,107 @@
+// Command nfsbench regenerates the paper's evaluation artifacts. Each
+// experiment is named after the table or figure it reproduces:
+//
+//	nfsbench fig1      local vs NFS throughput sweep, stock client
+//	nfsbench fig2      periodic latency spikes (stock client, 40 MB)
+//	nfsbench fig3      latency growth after flush removal (linear list)
+//	nfsbench fig4      flat latency with the hash table
+//	nfsbench fig5      latency histograms, BKL held (filer vs Linux)
+//	nfsbench fig6      latency histograms, BKL released
+//	nfsbench table1    memory write throughput before/after lock fix
+//	nfsbench fig7      local vs NFS throughput sweep, enhanced client
+//	nfsbench slow100   §3.5: slower server -> faster memory writes
+//	nfsbench profile   §3.4/§3.5 kernel-profile findings
+//	nfsbench jumbo     §3.5 future work: jumbo-frame ablation
+//	nfsbench all       everything above, in order
+//
+// Sweeps accept -quick to use a reduced file-size grid.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/experiments"
+)
+
+var quick = flag.Bool("quick", false, "use a reduced file-size grid for fig1/fig7 sweeps")
+
+func sizes() []int {
+	if *quick {
+		return []int{25, 100, 200, 250, 300, 450}
+	}
+	return experiments.PaperSizesMB()
+}
+
+type runner struct {
+	name string
+	desc string
+	run  func() string
+}
+
+func runners() []runner {
+	return []runner{
+		{"fig1", "local vs NFS write throughput, stock 2.4.4 client",
+			func() string { return experiments.Fig1(sizes()).Render() }},
+		{"fig2", "periodic write latency spikes, stock client",
+			func() string { return experiments.Fig2().Render() }},
+		{"fig3", "latency growth after flush removal (linear list)",
+			func() string { return experiments.Fig3().Render() }},
+		{"fig4", "flat latency with scalable data structures",
+			func() string { return experiments.Fig4().Render() }},
+		{"fig5", "latency histograms with the BKL held across sends",
+			func() string { return experiments.Fig5().Render() }},
+		{"fig6", "latency histograms with the BKL released",
+			func() string { return experiments.Fig6().Render() }},
+		{"table1", "client memory write throughput before/after lock fix",
+			func() string { return experiments.Table1().Render() }},
+		{"fig7", "local vs NFS write throughput, enhanced client",
+			func() string { return experiments.Fig7(sizes()).Render() }},
+		{"slow100", "slower server yields faster client memory writes",
+			func() string { return experiments.Slow100().Render() }},
+		{"profile", "kernel profile: hot functions and BKL wait attribution",
+			func() string { return experiments.Profile().Render() }},
+		{"jumbo", "jumbo-frame ablation",
+			func() string { return experiments.Jumbo().Render() }},
+		{"concurrent", "two writers to separate files, BKL vs no lock",
+			func() string { return experiments.Concurrency().Render() }},
+	}
+}
+
+func main() {
+	flag.Usage = usage
+	flag.Parse()
+	args := flag.Args()
+	if len(args) != 1 {
+		usage()
+		os.Exit(2)
+	}
+	want := args[0]
+	rs := runners()
+	if want == "all" {
+		for _, r := range rs {
+			fmt.Printf("== %s: %s ==\n", r.name, r.desc)
+			fmt.Println(r.run())
+		}
+		return
+	}
+	for _, r := range rs {
+		if r.name == want {
+			fmt.Println(r.run())
+			return
+		}
+	}
+	fmt.Fprintf(os.Stderr, "nfsbench: unknown experiment %q\n\n", want)
+	usage()
+	os.Exit(2)
+}
+
+func usage() {
+	fmt.Fprintf(os.Stderr, "usage: nfsbench [-quick] <experiment>\n\nexperiments:\n")
+	for _, r := range runners() {
+		fmt.Fprintf(os.Stderr, "  %-8s %s\n", r.name, r.desc)
+	}
+	fmt.Fprintf(os.Stderr, "  %-8s run every experiment\n", "all")
+	flag.PrintDefaults()
+}

@@ -1,0 +1,87 @@
+// Command nfstrace dumps the raw per-call write() latency traces behind
+// Figures 2, 3 and 4 as CSV (call index, latency in µs), suitable for
+// feeding straight into a plotting tool:
+//
+//	nfstrace fig2 > fig2.csv
+//	nfstrace fig3 > fig3.csv
+//	nfstrace fig4 > fig4.csv
+//
+// A custom run can be assembled with flags:
+//
+//	nfstrace -server linux -client stock -mb 40 custom
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	nfssim "repro"
+	"repro/internal/bonnie"
+	"repro/internal/core"
+	"repro/internal/experiments"
+)
+
+var (
+	serverFlag = flag.String("server", "filer", "server: filer, linux, slow100")
+	clientFlag = flag.String("client", "stock", "client: stock, nolimits, hash, enhanced")
+	mbFlag     = flag.Int("mb", 40, "file size in MB")
+)
+
+func main() {
+	flag.Parse()
+	if flag.NArg() != 1 {
+		fmt.Fprintln(os.Stderr, "usage: nfstrace [flags] {fig2|fig3|fig4|custom}")
+		flag.PrintDefaults()
+		os.Exit(2)
+	}
+	switch flag.Arg(0) {
+	case "fig2":
+		fmt.Print(experiments.Fig2().Result.Trace.CSV())
+	case "fig3":
+		fmt.Print(experiments.Fig3().Result.Trace.CSV())
+	case "fig4":
+		fmt.Print(experiments.Fig4().Result.Trace.CSV())
+	case "custom":
+		fmt.Print(custom().Trace.CSV())
+	default:
+		fmt.Fprintf(os.Stderr, "nfstrace: unknown trace %q\n", flag.Arg(0))
+		os.Exit(2)
+	}
+}
+
+func custom() *bonnie.Result {
+	var srv nfssim.ServerKind
+	switch *serverFlag {
+	case "filer":
+		srv = nfssim.ServerFiler
+	case "linux":
+		srv = nfssim.ServerLinux
+	case "slow100":
+		srv = nfssim.ServerSlow100
+	default:
+		fmt.Fprintf(os.Stderr, "nfstrace: unknown server %q\n", *serverFlag)
+		os.Exit(2)
+	}
+	var cfg core.Config
+	switch *clientFlag {
+	case "stock":
+		cfg = core.Stock244Config()
+	case "nolimits":
+		cfg = core.NoLimitsConfig()
+	case "hash":
+		cfg = core.HashConfig()
+	case "enhanced":
+		cfg = core.EnhancedConfig()
+	default:
+		fmt.Fprintf(os.Stderr, "nfstrace: unknown client %q\n", *clientFlag)
+		os.Exit(2)
+	}
+	tb := nfssim.NewTestbed(nfssim.Options{Server: srv, Client: cfg})
+	return bonnie.Run(tb.Sim, "custom", tb.Open, bonnie.Config{
+		FileSize:       int64(*mbFlag) << 20,
+		TimeLimit:      time.Hour,
+		SkipFlushClose: true,
+	})
+}

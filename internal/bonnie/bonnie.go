@@ -1,0 +1,206 @@
+// Package bonnie implements the paper's benchmark (§2.3): the block
+// sequential write portion of Bonnie, refined to report what the paper
+// needs. It writes fixed-size chunks into a fresh file and reports:
+//
+//   - three cumulative throughputs — after the last write(), after
+//     flush(), and after close() — each computed as total bytes divided
+//     by the time from the start of the benchmark to just after that
+//     operation ("to make fair comparisons between NFS (which always
+//     flushes completely before last close) and local file systems");
+//   - actual per-call write() latency, "and not average latency", because
+//     jitter is invisible in means (Figures 2–4 are these traces).
+package bonnie
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/sim"
+	"repro/internal/stats"
+	"repro/internal/vfs"
+)
+
+// DefaultChunk is the benchmark's write size: "how quickly an application
+// can write 8 KB chunks into a fresh file" (§2.3).
+const DefaultChunk = 8192
+
+// Config parameterizes one benchmark run.
+type Config struct {
+	// FileSize is the total bytes to write.
+	FileSize int64
+	// ChunkSize is the per-write() size (default 8 KB).
+	ChunkSize int
+	// TimeLimit aborts a runaway simulation (default 30 virtual minutes).
+	TimeLimit sim.Time
+	// SkipFlushClose stops after the write phase (local-vs-NFS comparison
+	// in Figure 1 uses write-only throughput).
+	SkipFlushClose bool
+}
+
+// Result is one benchmark run's measurements.
+type Result struct {
+	Target    string
+	FileSize  int64
+	ChunkSize int
+	Calls     int
+
+	// Elapsed virtual time from benchmark start to just after each phase.
+	WriteElapsed sim.Time
+	FlushElapsed sim.Time
+	CloseElapsed sim.Time
+
+	// Trace holds actual per-call write() latencies.
+	Trace *stats.Trace
+}
+
+// WriteMBps is throughput counting only write() calls.
+func (r *Result) WriteMBps() float64 { return stats.MBps(r.FileSize, r.WriteElapsed) }
+
+// FlushMBps is throughput through the flush operation.
+func (r *Result) FlushMBps() float64 { return stats.MBps(r.FileSize, r.FlushElapsed) }
+
+// CloseMBps is throughput through the final close.
+func (r *Result) CloseMBps() float64 { return stats.MBps(r.FileSize, r.CloseElapsed) }
+
+// WriteKBps is the Figures 1/7 y-axis unit.
+func (r *Result) WriteKBps() float64 { return stats.KBps(r.FileSize, r.WriteElapsed) }
+
+func (r *Result) String() string {
+	s := r.Trace.Summary()
+	out := fmt.Sprintf("%s: %d MB in %d x %d B writes\n", r.Target, r.FileSize>>20, r.Calls, r.ChunkSize)
+	out += fmt.Sprintf("  write:  %7.1f MB/s  (elapsed %v)\n", r.WriteMBps(), r.WriteElapsed)
+	if r.FlushElapsed > 0 {
+		out += fmt.Sprintf("  flush:  %7.1f MB/s  (elapsed %v)\n", r.FlushMBps(), r.FlushElapsed)
+		out += fmt.Sprintf("  close:  %7.1f MB/s  (elapsed %v)\n", r.CloseMBps(), r.CloseElapsed)
+	}
+	out += fmt.Sprintf("  write() latency: mean %v  median %v  max %v\n", s.Mean, s.Median, s.Max)
+	return out
+}
+
+// ConcurrentResult aggregates a multi-writer run.
+type ConcurrentResult struct {
+	PerWriter []*Result
+	// Elapsed is when the last writer finished (from simulation start of
+	// the run).
+	Elapsed sim.Time
+	// TotalBytes across all writers.
+	TotalBytes int64
+}
+
+// AggregateMBps is total bytes over the span until the last writer
+// finished — the client-wide write bandwidth §3.5's concurrency argument
+// is about.
+func (r *ConcurrentResult) AggregateMBps() float64 {
+	return stats.MBps(r.TotalBytes, r.Elapsed)
+}
+
+// RunConcurrent drives n writers into n distinct files simultaneously
+// (§3.5: removing the BKL from the RPC layer should "allow concurrent
+// writes to separate files ... from separate client CPUs"). Each writer
+// runs the full write/flush/close sequence.
+func RunConcurrent(s *sim.Sim, target string, open func() vfs.File, n int, cfg Config) *ConcurrentResult {
+	if n < 1 {
+		panic("bonnie: need at least one writer")
+	}
+	if cfg.ChunkSize == 0 {
+		cfg.ChunkSize = DefaultChunk
+	}
+	if cfg.TimeLimit == 0 {
+		cfg.TimeLimit = 30 * time.Minute
+	}
+	out := &ConcurrentResult{PerWriter: make([]*Result, n)}
+	finished := 0
+	start := s.Now()
+	for i := 0; i < n; i++ {
+		i := i
+		res := &Result{
+			Target:    fmt.Sprintf("%s#%d", target, i),
+			FileSize:  cfg.FileSize,
+			ChunkSize: cfg.ChunkSize,
+			Trace:     stats.NewTrace(target),
+		}
+		out.PerWriter[i] = res
+		s.Go(res.Target, func(p *sim.Proc) {
+			f := open()
+			var written int64
+			for written < cfg.FileSize {
+				nb := cfg.ChunkSize
+				if rem := cfg.FileSize - written; rem < int64(nb) {
+					nb = int(rem)
+				}
+				t0 := s.Now()
+				f.Write(p, nb)
+				res.Trace.Add(s.Now() - t0)
+				written += int64(nb)
+				res.Calls++
+			}
+			res.WriteElapsed = s.Now() - start
+			if !cfg.SkipFlushClose {
+				f.Flush(p)
+				res.FlushElapsed = s.Now() - start
+				f.Close(p)
+				res.CloseElapsed = s.Now() - start
+			}
+			out.TotalBytes += written
+			if t := s.Now() - start; t > out.Elapsed {
+				out.Elapsed = t
+			}
+			finished++
+		})
+	}
+	s.Run(cfg.TimeLimit)
+	if finished != n {
+		panic(fmt.Sprintf("bonnie: %d of %d concurrent writers finished within %v", finished, n, cfg.TimeLimit))
+	}
+	return out
+}
+
+// Run executes the benchmark on the given simulator against a file opened
+// by open, driving the virtual clock until the run completes.
+func Run(s *sim.Sim, target string, open func() vfs.File, cfg Config) *Result {
+	if cfg.FileSize <= 0 {
+		panic("bonnie: FileSize must be positive")
+	}
+	if cfg.ChunkSize == 0 {
+		cfg.ChunkSize = DefaultChunk
+	}
+	if cfg.TimeLimit == 0 {
+		cfg.TimeLimit = 30 * time.Minute
+	}
+	res := &Result{
+		Target:    target,
+		FileSize:  cfg.FileSize,
+		ChunkSize: cfg.ChunkSize,
+		Trace:     stats.NewTrace(target),
+	}
+	finished := false
+	s.Go("bonnie", func(p *sim.Proc) {
+		f := open()
+		start := s.Now()
+		var written int64
+		for written < cfg.FileSize {
+			n := cfg.ChunkSize
+			if rem := cfg.FileSize - written; rem < int64(n) {
+				n = int(rem)
+			}
+			t0 := s.Now()
+			f.Write(p, n)
+			res.Trace.Add(s.Now() - t0)
+			written += int64(n)
+			res.Calls++
+		}
+		res.WriteElapsed = s.Now() - start
+		if !cfg.SkipFlushClose {
+			f.Flush(p)
+			res.FlushElapsed = s.Now() - start
+			f.Close(p)
+			res.CloseElapsed = s.Now() - start
+		}
+		finished = true
+	})
+	s.Run(cfg.TimeLimit)
+	if !finished {
+		panic(fmt.Sprintf("bonnie: %s run did not finish within %v (virtual)", target, cfg.TimeLimit))
+	}
+	return res
+}

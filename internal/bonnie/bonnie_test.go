@@ -1,0 +1,160 @@
+package bonnie
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/sim"
+	"repro/internal/vfs"
+)
+
+// fakeFile is a deterministic vfs.File: each write costs a fixed latency,
+// flush and close cost fixed extras.
+type fakeFile struct {
+	s          *sim.Sim
+	perWrite   sim.Time
+	flushCost  sim.Time
+	closeCost  sim.Time
+	size       int64
+	flushed    bool
+	closedOnce bool
+}
+
+func (f *fakeFile) Write(p *sim.Proc, n int) {
+	p.Sleep(f.perWrite)
+	f.size += int64(n)
+}
+func (f *fakeFile) Flush(p *sim.Proc) { p.Sleep(f.flushCost); f.flushed = true }
+func (f *fakeFile) Close(p *sim.Proc) { p.Sleep(f.closeCost); f.closedOnce = true }
+func (f *fakeFile) Size() int64       { return f.size }
+
+func TestRunMeasuresPhases(t *testing.T) {
+	s := sim.New(1)
+	ff := &fakeFile{s: s, perWrite: 100 * time.Microsecond, flushCost: 10 * time.Millisecond, closeCost: 5 * time.Millisecond}
+	res := Run(s, "fake", func() vfs.File { return ff }, Config{FileSize: 1 << 20})
+	if res.Calls != 128 {
+		t.Fatalf("calls = %d, want 128", res.Calls)
+	}
+	if res.WriteElapsed != 128*100*time.Microsecond {
+		t.Fatalf("write elapsed = %v", res.WriteElapsed)
+	}
+	if res.FlushElapsed != res.WriteElapsed+10*time.Millisecond {
+		t.Fatalf("flush elapsed = %v", res.FlushElapsed)
+	}
+	if res.CloseElapsed != res.FlushElapsed+5*time.Millisecond {
+		t.Fatalf("close elapsed = %v", res.CloseElapsed)
+	}
+	if !ff.flushed || !ff.closedOnce {
+		t.Fatal("flush/close not invoked")
+	}
+	// Throughputs are cumulative-from-start, so write > flush > close.
+	if !(res.WriteMBps() > res.FlushMBps() && res.FlushMBps() > res.CloseMBps()) {
+		t.Fatalf("throughput ordering wrong: %v %v %v", res.WriteMBps(), res.FlushMBps(), res.CloseMBps())
+	}
+	if res.Trace.Len() != 128 {
+		t.Fatalf("trace samples = %d", res.Trace.Len())
+	}
+	if res.Trace.At(0) != 100*time.Microsecond {
+		t.Fatalf("latency sample = %v", res.Trace.At(0))
+	}
+}
+
+func TestRunSkipFlushClose(t *testing.T) {
+	s := sim.New(1)
+	ff := &fakeFile{s: s, perWrite: time.Microsecond}
+	res := Run(s, "fake", func() vfs.File { return ff }, Config{FileSize: 16384, SkipFlushClose: true})
+	if ff.flushed || ff.closedOnce {
+		t.Fatal("flush/close should be skipped")
+	}
+	if res.FlushElapsed != 0 || res.CloseElapsed != 0 {
+		t.Fatal("phase times recorded despite skip")
+	}
+}
+
+func TestRunPartialFinalChunk(t *testing.T) {
+	s := sim.New(1)
+	ff := &fakeFile{s: s, perWrite: time.Microsecond}
+	res := Run(s, "fake", func() vfs.File { return ff }, Config{FileSize: 8192 + 100})
+	if res.Calls != 2 {
+		t.Fatalf("calls = %d", res.Calls)
+	}
+	if ff.size != 8292 {
+		t.Fatalf("wrote %d bytes", ff.size)
+	}
+}
+
+func TestRunCustomChunk(t *testing.T) {
+	s := sim.New(1)
+	ff := &fakeFile{s: s, perWrite: time.Microsecond}
+	res := Run(s, "fake", func() vfs.File { return ff }, Config{FileSize: 64 << 10, ChunkSize: 16384})
+	if res.Calls != 4 {
+		t.Fatalf("calls = %d, want 4 with 16 KB chunks", res.Calls)
+	}
+}
+
+func TestRunTimeLimitPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic on timeout")
+		}
+	}()
+	s := sim.New(1)
+	ff := &fakeFile{s: s, perWrite: time.Hour}
+	Run(s, "fake", func() vfs.File { return ff }, Config{FileSize: 1 << 20, TimeLimit: time.Second})
+}
+
+func TestBadConfigPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	Run(sim.New(1), "fake", nil, Config{FileSize: 0})
+}
+
+func TestResultString(t *testing.T) {
+	s := sim.New(1)
+	ff := &fakeFile{s: s, perWrite: time.Microsecond}
+	res := Run(s, "fake-target", func() vfs.File { return ff }, Config{FileSize: 16384})
+	out := res.String()
+	for _, want := range []string{"fake-target", "write:", "flush:", "close:", "latency"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("result string missing %q: %s", want, out)
+		}
+	}
+}
+
+func TestRunConcurrent(t *testing.T) {
+	s := sim.New(1)
+	open := func() vfs.File {
+		return &fakeFile{s: s, perWrite: 10 * time.Microsecond, flushCost: time.Millisecond}
+	}
+	res := RunConcurrent(s, "multi", open, 3, Config{FileSize: 1 << 20})
+	if len(res.PerWriter) != 3 {
+		t.Fatalf("writers = %d", len(res.PerWriter))
+	}
+	if res.TotalBytes != 3<<20 {
+		t.Fatalf("total = %d", res.TotalBytes)
+	}
+	for _, w := range res.PerWriter {
+		if w.Calls != 128 {
+			t.Fatalf("writer calls = %d", w.Calls)
+		}
+	}
+	if res.AggregateMBps() <= 0 {
+		t.Fatal("no aggregate throughput")
+	}
+	if res.Elapsed <= 0 {
+		t.Fatal("no elapsed time")
+	}
+}
+
+func TestRunConcurrentBadArgs(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	RunConcurrent(sim.New(1), "x", nil, 0, Config{FileSize: 1})
+}

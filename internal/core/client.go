@@ -1,0 +1,426 @@
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/mm"
+	"repro/internal/nfsproto"
+	"repro/internal/rpcsim"
+	"repro/internal/sim"
+	"repro/internal/vfs"
+	"repro/internal/xdr"
+)
+
+// Client is one NFS mount's client state: the per-inode request queues,
+// the mount-wide request count the hard limit applies to, and the
+// write-behind daemon.
+type Client struct {
+	s     *sim.Sim
+	cpu   *sim.CPUPool
+	bkl   *sim.Mutex
+	cache *mm.PageCache
+	tr    *rpcsim.Transport
+	cfg   Config
+
+	inodes []*Inode
+	nextFH uint64
+
+	// mountRequests counts outstanding (queued + in-flight) page requests
+	// across the mount — the quantity MAX_REQUEST_HARD bounds.
+	mountRequests int
+	hardWait      *sim.WaitQueue
+
+	flushWork *sim.WaitQueue
+
+	// Statistics.
+	SoftFlushes int64 // writer-forced whole-inode flushes (soft limit)
+	HardBlocks  int64 // writer sleeps on the per-mount hard limit
+	RPCsSent    int64
+	PagesSent   int64
+}
+
+// Inode is one file's client-side write state (struct inode + nfs_inode).
+type Inode struct {
+	c    *Client
+	FH   nfsproto.FileHandle
+	size int64
+
+	// reqs is the sorted pending-request list; hash is the fix-2 index.
+	reqs reqList
+	hash map[int64]*Request
+
+	inflightPages int
+	flushWait     *sim.WaitQueue
+
+	// unstable records that some WRITE reply was not FILE_SYNC since the
+	// last COMMIT, so durability requires a COMMIT RPC.
+	unstable bool
+	verf     nfsproto.WriteVerf
+	hasVerf  bool
+}
+
+// NewClient builds a client on the given simulator resources. cpu and bkl
+// are the client machine's processors and big kernel lock; cache is its
+// page cache; tr is the RPC transport to the server.
+func NewClient(s *sim.Sim, cpu *sim.CPUPool, bkl *sim.Mutex, cache *mm.PageCache, tr *rpcsim.Transport, cfg Config) *Client {
+	if cfg.WSize < pageSize || cfg.WSize%pageSize != 0 {
+		panic("core: wsize must be a positive multiple of the page size")
+	}
+	c := &Client{
+		s: s, cpu: cpu, bkl: bkl, cache: cache, tr: tr, cfg: cfg,
+		hardWait:  s.NewWaitQueue("nfs-hard-limit"),
+		flushWork: s.NewWaitQueue("nfs-flushd"),
+	}
+	s.Go("nfs_flushd", c.flushd)
+	return c
+}
+
+// Config returns the client's configuration.
+func (c *Client) Config() Config { return c.cfg }
+
+// Transport returns the client's RPC transport.
+func (c *Client) Transport() *rpcsim.Transport { return c.tr }
+
+// MountRequests returns the outstanding page-request count for the mount.
+func (c *Client) MountRequests() int { return c.mountRequests }
+
+// Open creates a fresh file on the mount (the benchmark always writes
+// into a fresh file so that no reads are needed, §2.3).
+func (c *Client) Open() *File {
+	c.nextFH++
+	ino := &Inode{
+		c:         c,
+		FH:        nfsproto.MakeFileHandle(1, c.nextFH),
+		flushWait: c.s.NewWaitQueue("nfs-inode-flush"),
+	}
+	if c.cfg.IndexPolicy == IndexHashTable {
+		ino.hash = make(map[int64]*Request)
+	}
+	c.inodes = append(c.inodes, ino)
+	return &File{c: c, ino: ino}
+}
+
+// Outstanding returns an inode's queued plus in-flight page requests —
+// the per-inode count MAX_REQUEST_SOFT bounds.
+func (ino *Inode) Outstanding() int { return ino.reqs.Len() + ino.inflightPages }
+
+// lookupCost charges one _nfs_find_request-equivalent lookup for the
+// given inode and returns the located request, if any.
+func (c *Client) lookup(p *sim.Proc, ino *Inode, page int64) *Request {
+	switch c.cfg.IndexPolicy {
+	case IndexHashTable:
+		c.cpu.Use(p, "nfs_find_request(hash)", c.cfg.Costs.HashLookup)
+		return ino.hash[page]
+	default:
+		r, scanned := ino.reqs.Find(page)
+		c.cpu.Use(p, "nfs_find_request", sim.Time(scanned)*c.cfg.Costs.ListScanPerEntry)
+		return r
+	}
+}
+
+// commitPage is nfs_commit_write: record one page-sized request under the
+// BKL, performing the two lookups the paper describes ("The client
+// attempts to find a matching previous write request twice during each
+// write() system call", §3.4). A cached request for the same page that
+// the new data neither overlaps nor extends is "incompatible" and must be
+// flushed before the current request, to preserve write ordering.
+func (c *Client) commitPage(p *sim.Proc, ino *Inode, page int64, offset, count int) {
+	for {
+		c.bkl.Lock(p, "nfs_commit_write")
+		c.cpu.Use(p, "nfs_commit_write", c.cfg.Costs.CommitWriteBase)
+
+		// First search: incompatible requests that would need flushing.
+		existing := c.lookup(p, ino, page)
+
+		// Second search + update/insert: nfs_update_request.
+		c.cpu.Use(p, "nfs_update_request", c.cfg.Costs.UpdateRequestBase)
+		if existing == nil {
+			r := &Request{Page: page, Offset: offset, Count: count, CreatedAt: c.s.Now()}
+			if c.cfg.IndexPolicy == IndexHashTable {
+				ino.hash[page] = r
+				ino.reqs.Insert(r)
+			} else {
+				// The real code walks the sorted list again to insert.
+				scanned := ino.reqs.Insert(r)
+				c.cpu.Use(p, "nfs_update_request(scan)", sim.Time(scanned)*c.cfg.Costs.ListScanPerEntry)
+			}
+			c.mountRequests++
+			c.bkl.Unlock(p)
+			return
+		}
+		if offset <= existing.Offset+existing.Count && existing.Offset <= offset+count {
+			// Overlapping or adjacent: extend the cached request in place
+			// (the client "usually caches only a single write request per
+			// page to maintain write ordering").
+			if offset < existing.Offset {
+				existing.Count += existing.Offset - offset
+				existing.Offset = offset
+			}
+			if end := offset + count; end > existing.Offset+existing.Count {
+				existing.Count = end - existing.Offset
+			}
+			c.bkl.Unlock(p)
+			return
+		}
+		// Incompatible request on the same page: flush it first, then
+		// retry. (Rare: disjoint sub-page writes.)
+		c.bkl.Unlock(p)
+		c.flushInodeSync(p, ino)
+	}
+}
+
+// enforceLimits applies the 2.4.4 write-path flushing rules after a page
+// is queued (FlushLimits24), or memory accounting + write-behind kicks
+// (FlushCacheAll).
+func (c *Client) enforceLimits(p *sim.Proc, ino *Inode, count int) {
+	switch c.cfg.FlushPolicy {
+	case FlushLimits24:
+		// "When the per-inode request count grows larger than
+		// MAX_REQUEST_SOFT the NFS client forces the writer thread to
+		// schedule all pending writes for that inode and wait for their
+		// completion" (§3.3).
+		if ino.Outstanding() > c.cfg.MaxRequestSoft {
+			c.SoftFlushes++
+			c.flushInodeSync(p, ino)
+		}
+		// "When the per-mount request count grows larger than
+		// MAX_REQUEST_HARD the NFS client puts any thread writing to that
+		// file system to sleep" (§3.3).
+		// Keep flushd's aging poll alive while requests are queued.
+		c.flushWork.Signal()
+		if c.mountRequests > c.cfg.MaxRequestHard {
+			c.HardBlocks++
+			for c.mountRequests > c.cfg.MaxRequestHard {
+				c.hardWait.Wait(p)
+			}
+		}
+	case FlushCacheAll:
+		// Fix 1: no arbitrary limits. Charge the page cache (blocking
+		// under real memory pressure) and let flushd write behind.
+		c.cache.ChargeDirty(p, int64(count))
+		if ino.reqs.Len() >= c.cfg.FlushdWatermarkPages {
+			c.flushWork.Signal()
+		}
+	}
+}
+
+// flushTicket lets a sender wait for one specific RPC's completion.
+type flushTicket struct {
+	done bool
+	wq   *sim.WaitQueue
+}
+
+// sendOne coalesces the front run of an inode's queued requests into one
+// WRITE RPC and hands it to the transport. Returns the number of pages
+// sent (0 if the inode had nothing queued). If ticket is non-nil it is
+// completed when this RPC's reply arrives. The caller must not hold the
+// BKL.
+func (c *Client) sendOne(p *sim.Proc, ino *Inode, ticket *flushTicket) int {
+	c.bkl.Lock(p, "nfs_coalesce")
+	run, scanned := ino.reqs.PopRun(c.cfg.WSize)
+	c.cpu.Use(p, "nfs_coalesce",
+		c.cfg.Costs.CoalesceBase+sim.Time(scanned)*c.cfg.Costs.ListScanPerEntry)
+	if len(run) == 0 {
+		c.bkl.Unlock(p)
+		return 0
+	}
+	if c.cfg.IndexPolicy == IndexHashTable {
+		for _, r := range run {
+			delete(ino.hash, r.Page)
+		}
+	}
+	ino.inflightPages += len(run)
+	c.bkl.Unlock(p)
+
+	start := run[0].Start()
+	var total int
+	for _, r := range run {
+		total += r.Count
+	}
+	if c.cfg.FlushPolicy == FlushCacheAll {
+		c.cache.StartWriteback(int64(total))
+	}
+
+	args := nfsproto.WriteArgs{
+		File:   ino.FH,
+		Offset: uint64(start),
+		Count:  uint32(total),
+		Stable: nfsproto.Unstable,
+		Data:   make([]byte, total),
+	}
+	pages := len(run)
+	c.RPCsSent++
+	c.PagesSent += int64(pages)
+	c.tr.Call(p, nfsproto.ProcWrite, args.Encode, func(d *xdr.Decoder) {
+		c.writeDone(ino, pages, total, d)
+		if ticket != nil {
+			ticket.done = true
+			ticket.wq.Broadcast()
+		}
+	})
+	return pages
+}
+
+// writeDone runs in softirq context when a WRITE reply arrives.
+func (c *Client) writeDone(ino *Inode, pages, bytes int, d *xdr.Decoder) {
+	res, err := nfsproto.DecodeWriteRes(d)
+	if err != nil {
+		panic(fmt.Sprintf("core: bad WRITE reply: %v", err))
+	}
+	if res.Status != nfsproto.NFS3OK {
+		panic(fmt.Sprintf("core: WRITE failed: %v", res.Status))
+	}
+	if int(res.Count) != bytes {
+		panic(fmt.Sprintf("core: short WRITE: %d of %d", res.Count, bytes))
+	}
+	if ino.hasVerf && res.Verf != ino.verf {
+		// A verifier change means the server rebooted and unstable data
+		// may be lost; servers never reboot in these experiments.
+		panic("core: write verifier changed mid-run")
+	}
+	ino.verf, ino.hasVerf = res.Verf, true
+	if res.Committed == nfsproto.Unstable {
+		ino.unstable = true
+	}
+
+	ino.inflightPages -= pages
+	c.mountRequests -= pages
+	if c.cfg.FlushPolicy == FlushCacheAll {
+		c.cache.EndWriteback(int64(bytes))
+	}
+	if c.mountRequests <= c.cfg.MaxRequestHard {
+		c.hardWait.Broadcast()
+	}
+	if ino.Outstanding() == 0 {
+		ino.flushWait.Broadcast()
+	}
+}
+
+// flushInodeSync schedules every queued request of the inode and waits
+// for all outstanding requests to complete — the writer-side whole-inode
+// flush behind the Figure 2 latency spikes, and the mechanism of fsync.
+func (c *Client) flushInodeSync(p *sim.Proc, ino *Inode) {
+	for ino.Outstanding() > 0 {
+		if ino.reqs.Len() > 0 {
+			c.sendOne(p, ino, nil) // blocks when the slot table is full
+			continue
+		}
+		ino.flushWait.Wait(p)
+	}
+}
+
+// writeSyncSpan is nfs_writepage_sync: an O_SYNC page write, sent as a
+// stable WRITE that blocks until the server has made it durable.
+func (c *Client) writeSyncSpan(p *sim.Proc, ino *Inode, span vfs.PageSpan) {
+	args := nfsproto.WriteArgs{
+		File:   ino.FH,
+		Offset: uint64(span.Page)*uint64(pageSize) + uint64(span.Offset),
+		Count:  uint32(span.Count),
+		Stable: nfsproto.FileSync,
+		Data:   make([]byte, span.Count),
+	}
+	c.RPCsSent++
+	c.PagesSent++
+	d := c.tr.CallSync(p, nfsproto.ProcWrite, args.Encode)
+	res, err := nfsproto.DecodeWriteRes(d)
+	if err != nil || res.Status != nfsproto.NFS3OK {
+		panic(fmt.Sprintf("core: sync WRITE failed: %v %v", res, err))
+	}
+	if res.Committed == nfsproto.Unstable {
+		panic("core: server answered a FILE_SYNC write with UNSTABLE")
+	}
+}
+
+// commitSync issues a COMMIT for the whole file and waits for the reply.
+func (c *Client) commitSync(p *sim.Proc, ino *Inode) {
+	args := nfsproto.CommitArgs{File: ino.FH, Offset: 0, Count: 0}
+	d := c.tr.CallSync(p, nfsproto.ProcCommit, args.Encode)
+	res, err := nfsproto.DecodeCommitRes(d)
+	if err != nil || res.Status != nfsproto.NFS3OK {
+		panic(fmt.Sprintf("core: COMMIT failed: %v %v", res, err))
+	}
+	if ino.hasVerf && res.Verf != ino.verf {
+		panic("core: commit verifier mismatch; unstable data lost")
+	}
+	ino.unstable = false
+}
+
+// flushd is nfs_flushd, the write-behind daemon. Under FlushCacheAll it
+// writes behind the application once the watermark is reached, normally
+// one async RPC at a time (2.4's single rpciod), opening up to
+// MemoryPressureWindow slots when the page cache nears its limit. Under
+// FlushLimits24 it only writes back requests older than FlushdAge, as
+// fs/nfs/flushd.c did — during the benchmark the write-path limits fire
+// long before any request grows that old.
+func (c *Client) flushd(p *sim.Proc) {
+	for {
+		ino := c.pickFlushable()
+		if ino == nil {
+			if c.cfg.FlushPolicy == FlushLimits24 && c.queuedAnywhere() {
+				// Requests exist but none are old enough yet; poll.
+				p.Sleep(c.cfg.FlushdAge / 4)
+				continue
+			}
+			c.flushWork.Wait(p)
+			continue
+		}
+		if c.cfg.FlushPolicy == FlushCacheAll && c.underMemoryPressure() {
+			// Urgent writeback: fill the slot table.
+			for i := 0; i < c.cfg.MemoryPressureWindow; i++ {
+				if ino.reqs.Len() == 0 {
+					break
+				}
+				c.sendOne(p, ino, nil)
+			}
+			continue
+		}
+		// Paced write-behind: one async task outstanding at a time.
+		c.sendOneAndAwait(p, ino)
+	}
+}
+
+// sendOneAndAwait sends one RPC and waits for its reply, pacing flushd at
+// one in-flight async task (2.4's single rpciod worker).
+func (c *Client) sendOneAndAwait(p *sim.Proc, ino *Inode) {
+	ticket := &flushTicket{wq: c.s.NewWaitQueue("flushd-ticket")}
+	if c.sendOne(p, ino, ticket) == 0 {
+		return
+	}
+	for !ticket.done {
+		ticket.wq.Wait(p)
+	}
+}
+
+// queuedAnywhere reports whether any inode has queued requests.
+func (c *Client) queuedAnywhere() bool {
+	for _, ino := range c.inodes {
+		if !ino.reqs.Empty() {
+			return true
+		}
+	}
+	return false
+}
+
+func (c *Client) underMemoryPressure() bool {
+	return c.cache.Usage() >= c.cache.Limit()*9/10
+}
+
+// pickFlushable returns an inode flushd should service now, or nil.
+func (c *Client) pickFlushable() *Inode {
+	for _, ino := range c.inodes {
+		if ino.reqs.Empty() {
+			continue
+		}
+		switch c.cfg.FlushPolicy {
+		case FlushCacheAll:
+			if ino.reqs.Len() >= c.cfg.FlushdWatermarkPages || c.underMemoryPressure() {
+				return ino
+			}
+		case FlushLimits24:
+			if oldest := ino.reqs.Front(); c.s.Now()-oldest.CreatedAt >= c.cfg.FlushdAge {
+				return ino
+			}
+		}
+	}
+	return nil
+}

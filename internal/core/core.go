@@ -1,0 +1,176 @@
+// Package core implements the paper's primary contribution: the Linux NFS
+// client write path, in both its stock 2.4.4 form and with the paper's
+// three fixes applied, each independently switchable.
+//
+// The write path models, faithfully to §3.3–§3.5:
+//
+//   - Page-granular write requests: "The Linux VFS layer passes write
+//     requests no larger than a page to file systems, one at a time"; an
+//     8 KB write() is two requests.
+//   - A per-inode request list sorted by page offset, scanned linearly by
+//     _nfs_find_request from both nfs_find_request and nfs_update_request
+//     (IndexLinearList), or supplemented by a hash table keyed on
+//     (inode, page offset) at a cost of "eight bytes per request and eight
+//     bytes per inode" (IndexHashTable — fix 2).
+//   - The 2.4.4 memory-bounding limits: MAX_REQUEST_SOFT = 192 per inode
+//     (writer synchronously flushes everything and waits) and
+//     MAX_REQUEST_HARD = 256 per mount (writer sleeps)
+//     (FlushLimits24 — the cause of the Figure 2 latency spikes), or
+//     cache-until-memory-pressure (FlushCacheAll — fix 1).
+//   - nfs_flushd, the write-behind daemon, whose async sends contend with
+//     the writer for the BKL (§3.5); the BKL discipline around
+//     sock_sendmsg is rpcsim.LockPolicy (fix 3).
+package core
+
+import (
+	"repro/internal/rpcsim"
+	"repro/internal/sim"
+	"repro/internal/vfs"
+)
+
+// FlushPolicy selects how the client bounds cached write requests.
+type FlushPolicy int
+
+const (
+	// FlushLimits24 is the stock 2.4.4 behaviour: fixed per-inode and
+	// per-mount request-count limits enforced in the write path.
+	FlushLimits24 FlushPolicy = iota
+	// FlushCacheAll is fix 1: "the client should cache as many requests
+	// as it can in available memory"; only memory pressure (or an
+	// explicit flush) forces writes out.
+	FlushCacheAll
+)
+
+func (f FlushPolicy) String() string {
+	if f == FlushCacheAll {
+		return "cache-all"
+	}
+	return "2.4.4-limits"
+}
+
+// IndexPolicy selects the pending-request lookup structure.
+type IndexPolicy int
+
+const (
+	// IndexLinearList is the stock structure: the sorted per-inode list is
+	// scanned linearly on every lookup.
+	IndexLinearList IndexPolicy = iota
+	// IndexHashTable is fix 2: a hash table keyed by (inode, page offset)
+	// supplements the list, making lookups O(1).
+	IndexHashTable
+)
+
+func (i IndexPolicy) String() string {
+	if i == IndexHashTable {
+		return "hash"
+	}
+	return "list"
+}
+
+// Paper constants (§3.3, §3.1).
+const (
+	// MaxRequestSoft is MAX_REQUEST_SOFT in the 2.4.4 kernel.
+	MaxRequestSoft = 192
+	// MaxRequestHard is MAX_REQUEST_HARD in the 2.4.4 kernel.
+	MaxRequestHard = 256
+	// DefaultWSize is the mount's wsize (rsize=wsize=8192, §3.1).
+	DefaultWSize = 8192
+)
+
+// Costs is the client-side CPU model for the NFS-specific write path,
+// calibrated (together with vfs.DefaultCosts and rpcsim.DefaultConfig) to
+// the paper's 933 MHz P-III client. Per-byte figures match the paper;
+// see EXPERIMENTS.md for the calibration notes.
+type Costs struct {
+	// CommitWriteBase is nfs_commit_write bookkeeping, held under the BKL.
+	CommitWriteBase sim.Time
+	// UpdateRequestBase is nfs_update_request's fixed work (allocation,
+	// list insert) beyond the lookup scans.
+	UpdateRequestBase sim.Time
+	// ListScanPerEntry is _nfs_find_request's cost per list entry
+	// traversed (IndexLinearList).
+	ListScanPerEntry sim.Time
+	// HashLookup is the per-lookup cost with IndexHashTable.
+	HashLookup sim.Time
+	// CoalesceBase is the fixed cost of gathering requests into one RPC.
+	CoalesceBase sim.Time
+}
+
+// DefaultCosts returns the calibrated cost model.
+func DefaultCosts() Costs {
+	return Costs{
+		CommitWriteBase:   3_000, // 3 µs
+		UpdateRequestBase: 8_000, // 8 µs
+		ListScanPerEntry:  15,    // 15 ns per entry
+		HashLookup:        500,   // 0.5 µs
+		CoalesceBase:      10_000,
+	}
+}
+
+// Config selects the client's policies and parameters.
+type Config struct {
+	WSize          int
+	MaxRequestSoft int
+	MaxRequestHard int
+	FlushPolicy    FlushPolicy
+	IndexPolicy    IndexPolicy
+	// LockPolicy is applied to the RPC transport (fix 3).
+	LockPolicy rpcsim.LockPolicy
+
+	// FlushdWatermarkPages is how many dirty pages accumulate before the
+	// write-behind daemon starts sending (FlushCacheAll).
+	FlushdWatermarkPages int
+	// FlushdAge is the age beyond which the 2.4.4 flushd writes requests
+	// back (FlushLimits24; fs/nfs/flushd.c used ~1 s).
+	FlushdAge sim.Time
+	// MemoryPressureWindow is how many RPC slots flushd may fill when the
+	// page cache is near its limit (urgent writeback); below pressure it
+	// uses a single slot, modeling 2.4's lone rpciod worker pacing
+	// write-behind to one async task at a time.
+	MemoryPressureWindow int
+
+	Costs Costs
+	VFS   vfs.Costs
+}
+
+// Stock244Config returns the unmodified 2.4.4 client: limit-based
+// flushing, linear list, BKL held across sock_sendmsg.
+func Stock244Config() Config {
+	return Config{
+		WSize:                DefaultWSize,
+		MaxRequestSoft:       MaxRequestSoft,
+		MaxRequestHard:       MaxRequestHard,
+		FlushPolicy:          FlushLimits24,
+		IndexPolicy:          IndexLinearList,
+		LockPolicy:           rpcsim.HoldBKLAcrossSend,
+		FlushdWatermarkPages: 8,
+		FlushdAge:            1_000_000_000, // 1 s
+		MemoryPressureWindow: 16,
+		Costs:                DefaultCosts(),
+		VFS:                  vfs.DefaultCosts(),
+	}
+}
+
+// NoLimitsConfig returns the client after fix 1 only (Figure 3):
+// cache-all flushing but still the linear list and the BKL.
+func NoLimitsConfig() Config {
+	c := Stock244Config()
+	c.FlushPolicy = FlushCacheAll
+	return c
+}
+
+// HashConfig returns the client after fixes 1+2 (Figure 4): cache-all
+// flushing and the hash table, BKL still held across sends.
+func HashConfig() Config {
+	c := NoLimitsConfig()
+	c.IndexPolicy = IndexHashTable
+	return c
+}
+
+// EnhancedConfig returns the fully patched client (Figures 6 and 7,
+// Table 1 "No lock"): all three fixes.
+func EnhancedConfig() Config {
+	c := HashConfig()
+	c.LockPolicy = rpcsim.ReleaseBKLForSend
+	return c
+}

@@ -1,0 +1,528 @@
+package core_test
+
+import (
+	"testing"
+	"time"
+
+	nfssim "repro"
+	"repro/internal/bonnie"
+	"repro/internal/core"
+	"repro/internal/rpcsim"
+	"repro/internal/sim"
+)
+
+func newBed(t *testing.T, srv nfssim.ServerKind, cfg core.Config) *nfssim.Testbed {
+	t.Helper()
+	return nfssim.NewTestbed(nfssim.Options{Server: srv, Client: cfg, Seed: 3})
+}
+
+func runMB(t *testing.T, tb *nfssim.Testbed, mb int) *bonnie.Result {
+	t.Helper()
+	return bonnie.Run(tb.Sim, "t", tb.Open, bonnie.Config{
+		FileSize:  int64(mb) << 20,
+		TimeLimit: 20 * time.Minute,
+	})
+}
+
+func TestPolicyStrings(t *testing.T) {
+	if core.FlushLimits24.String() != "2.4.4-limits" || core.FlushCacheAll.String() != "cache-all" {
+		t.Fatal("FlushPolicy strings")
+	}
+	if core.IndexLinearList.String() != "list" || core.IndexHashTable.String() != "hash" {
+		t.Fatal("IndexPolicy strings")
+	}
+}
+
+func TestConfigPresetsDiffer(t *testing.T) {
+	stock := core.Stock244Config()
+	enh := core.EnhancedConfig()
+	if stock.FlushPolicy != core.FlushLimits24 || stock.IndexPolicy != core.IndexLinearList ||
+		stock.LockPolicy != rpcsim.HoldBKLAcrossSend {
+		t.Fatalf("stock config wrong: %+v", stock)
+	}
+	if enh.FlushPolicy != core.FlushCacheAll || enh.IndexPolicy != core.IndexHashTable ||
+		enh.LockPolicy != rpcsim.ReleaseBKLForSend {
+		t.Fatalf("enhanced config wrong: %+v", enh)
+	}
+	if core.NoLimitsConfig().IndexPolicy != core.IndexLinearList {
+		t.Fatal("NoLimitsConfig should keep the linear list")
+	}
+	if core.HashConfig().LockPolicy != rpcsim.HoldBKLAcrossSend {
+		t.Fatal("HashConfig should keep the BKL")
+	}
+}
+
+func TestBadWSizePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	cfg := core.Stock244Config()
+	cfg.WSize = 1000 // not a page multiple
+	newBed(t, nfssim.ServerFiler, cfg)
+}
+
+// Every byte the benchmark writes must arrive at the server exactly once,
+// contiguous from zero — across all four client configurations.
+func TestDataIntegrityAllConfigs(t *testing.T) {
+	configs := map[string]core.Config{
+		"stock":    core.Stock244Config(),
+		"nolimits": core.NoLimitsConfig(),
+		"hash":     core.HashConfig(),
+		"enhanced": core.EnhancedConfig(),
+	}
+	const size = 4 << 20
+	for name, cfg := range configs {
+		tb := newBed(t, nfssim.ServerFiler, cfg)
+		f := tb.OpenNFS()
+		fh := f.Inode().FH
+		done := false
+		tb.Sim.Go("w", func(p *sim.Proc) {
+			for i := 0; i < size/8192; i++ {
+				f.Write(p, 8192)
+			}
+			f.Close(p)
+			done = true
+		})
+		tb.Sim.Run(time.Minute)
+		if !done {
+			t.Fatalf("%s: run did not finish", name)
+		}
+		cov := tb.Server.Coverage(fh)
+		if !cov.IsContiguousFromZero(size) {
+			t.Fatalf("%s: server coverage %v, want [0,%d)", name, cov, size)
+		}
+		if tb.Client.MountRequests() != 0 {
+			t.Fatalf("%s: %d requests outstanding after close", name, tb.Client.MountRequests())
+		}
+		if tb.Cache.Usage() != 0 && cfg.FlushPolicy == core.FlushCacheAll {
+			t.Fatalf("%s: page cache not drained: %d", name, tb.Cache.Usage())
+		}
+	}
+}
+
+// §3.3: the stock client's write path forces a whole-inode flush every
+// MAX_REQUEST_SOFT/2 writes, producing periodic latency spikes >10x the
+// median, roughly every 85-100 calls.
+func TestStockClientPeriodicSpikes(t *testing.T) {
+	tb := newBed(t, nfssim.ServerFiler, core.Stock244Config())
+	res := runMB(t, tb, 20)
+	cutoff := time.Millisecond
+	spikes := res.Trace.CountAbove(cutoff)
+	if spikes < 10 {
+		t.Fatalf("only %d spikes > 1ms", spikes)
+	}
+	period := res.Trace.SpikePeriod(cutoff)
+	if period < 80 || period > 105 {
+		t.Fatalf("spike period = %.1f calls, want ~96 (soft limit 192 / 2 pages)", period)
+	}
+	if tb.Client.SoftFlushes == 0 {
+		t.Fatal("no soft-limit flushes recorded")
+	}
+	// Spikes should be whole-queue drains: > 10 ms each at the filer's
+	// ~42 MB/s ingest.
+	sum := res.Trace.SummaryExcluding(cutoff)
+	all := res.Trace.Summary()
+	if all.Max < 10*time.Millisecond {
+		t.Fatalf("max latency %v, want > 10ms spike", all.Max)
+	}
+	// Mean inflation: paper reports 3.45x; accept 2-6x.
+	ratio := float64(all.Mean) / float64(sum.Mean)
+	if ratio < 2 || ratio > 6 {
+		t.Fatalf("spike mean-inflation ratio = %.2f, want 2-6", ratio)
+	}
+}
+
+// §3.3 fix 1: removing the limits eliminates the spikes...
+func TestNoLimitsRemovesSpikes(t *testing.T) {
+	tb := newBed(t, nfssim.ServerFiler, core.NoLimitsConfig())
+	res := runMB(t, tb, 20)
+	if n := res.Trace.CountAbove(5 * time.Millisecond); n != 0 {
+		t.Fatalf("%d multi-ms spikes remain without limits", n)
+	}
+	if tb.Client.SoftFlushes != 0 {
+		t.Fatal("soft flushes recorded with cache-all policy")
+	}
+}
+
+// ...but §3.4: latency then grows with the backlog because of the O(n)
+// list scans (Figure 3), and the hash table flattens it (Figure 4).
+func TestLinearListGrowsHashStaysFlat(t *testing.T) {
+	list := runMB(t, newBed(t, nfssim.ServerFiler, core.NoLimitsConfig()), 60)
+	hash := runMB(t, newBed(t, nfssim.ServerFiler, core.HashConfig()), 60)
+
+	if s := list.Trace.Slope(); s <= 5 {
+		t.Fatalf("linear-list latency slope = %.1f ns/call, want clearly positive", s)
+	}
+	hs := hash.Trace.Slope()
+	if hs > 5 || hs < -5 {
+		t.Fatalf("hash latency slope = %.1f ns/call, want ~flat", hs)
+	}
+	lm := list.Trace.Summary().Mean
+	hm := hash.Trace.Summary().Mean
+	if lm < 3*hm {
+		t.Fatalf("list mean %v should be >= 3x hash mean %v by 60 MB", lm, hm)
+	}
+	// Figure 4 vs Figure 1: >3x memory write throughput improvement.
+	if hash.WriteMBps() < 3*29 {
+		t.Fatalf("hash write throughput %.1f MB/s, want > ~87 (3x stock)", hash.WriteMBps())
+	}
+}
+
+// §3.4: with the hash table, quarter-over-quarter latency stays flat.
+func TestHashLatencyFlatAcrossRun(t *testing.T) {
+	res := runMB(t, newBed(t, nfssim.ServerFiler, core.HashConfig()), 60)
+	n := res.Trace.Len()
+	firstQ := res.Trace.Samples()[:n/4]
+	lastQ := res.Trace.Samples()[3*n/4:]
+	var m1, m4 time.Duration
+	for _, v := range firstQ {
+		m1 += v
+	}
+	for _, v := range lastQ {
+		m4 += v
+	}
+	m1 /= time.Duration(len(firstQ))
+	m4 /= time.Duration(len(lastQ))
+	if m4 > m1*11/10 {
+		t.Fatalf("last-quarter mean %v >10%% above first-quarter %v", m4, m1)
+	}
+}
+
+// §3.5 Table 1: removing the BKL around sock_sendmsg improves memory
+// write throughput against both servers, more so against the faster
+// filer, and mean latency drops while minimum latency barely moves.
+func TestLockRemovalTable1Shape(t *testing.T) {
+	run := func(srv nfssim.ServerKind, cfg core.Config) *bonnie.Result {
+		return runMB(t, newBed(t, srv, cfg), 5)
+	}
+	filerLock := run(nfssim.ServerFiler, core.HashConfig())
+	filerNo := run(nfssim.ServerFiler, core.EnhancedConfig())
+	linuxLock := run(nfssim.ServerLinux, core.HashConfig())
+	linuxNo := run(nfssim.ServerLinux, core.EnhancedConfig())
+
+	if filerNo.WriteMBps() <= filerLock.WriteMBps() {
+		t.Fatalf("filer: no-lock %.1f <= lock %.1f MB/s", filerNo.WriteMBps(), filerLock.WriteMBps())
+	}
+	if linuxNo.WriteMBps() <= linuxLock.WriteMBps() {
+		t.Fatalf("linux: no-lock %.1f <= lock %.1f MB/s", linuxNo.WriteMBps(), linuxLock.WriteMBps())
+	}
+	// The faster server suffers more from the lock (Table 1: filer +22%,
+	// Linux +6.5%).
+	fGain := filerNo.WriteMBps() / filerLock.WriteMBps()
+	lGain := linuxNo.WriteMBps() / linuxLock.WriteMBps()
+	if fGain <= lGain {
+		t.Fatalf("filer gain %.3f <= linux gain %.3f; faster server should gain more", fGain, lGain)
+	}
+	// With the lock held, the faster server yields *slower* memory writes.
+	if filerLock.WriteMBps() >= linuxLock.WriteMBps() {
+		t.Fatalf("with BKL, filer memory writes %.1f should be slower than linux %.1f",
+			filerLock.WriteMBps(), linuxLock.WriteMBps())
+	}
+	// Minimum latency barely changes (±20%): "the latency variation is
+	// not a code path issue".
+	minLock := filerLock.Trace.Summary().Min
+	minNo := filerNo.Trace.Summary().Min
+	lo, hi := minNo*8/10, minNo*12/10
+	if minLock < lo || minLock > hi {
+		t.Fatalf("min latency moved: lock %v vs no-lock %v", minLock, minNo)
+	}
+	// Max latency (jitter) drops.
+	if filerNo.Trace.Summary().Max >= filerLock.Trace.Summary().Max {
+		t.Fatalf("no-lock max %v >= lock max %v", filerNo.Trace.Summary().Max, filerLock.Trace.Summary().Max)
+	}
+}
+
+// §3.5: "The benchmark writes to memory even faster with this server" —
+// a 100 Mb/s server leaves the writer less impeded than the gigabit
+// filer, on the BKL client.
+func TestSlowServerFasterMemoryWrites(t *testing.T) {
+	slow := runMB(t, newBed(t, nfssim.ServerSlow100, core.HashConfig()), 5)
+	filer := runMB(t, newBed(t, nfssim.ServerFiler, core.HashConfig()), 5)
+	if slow.WriteMBps() <= filer.WriteMBps() {
+		t.Fatalf("slow-server memory writes %.1f <= filer %.1f MB/s",
+			slow.WriteMBps(), filer.WriteMBps())
+	}
+}
+
+// §3.3: MAX_REQUEST_HARD blocks writers once the per-mount count exceeds
+// 256 — reachable with two files, each below the soft limit.
+func TestHardLimitBlocksAcrossFiles(t *testing.T) {
+	tb := newBed(t, nfssim.ServerFiler, core.Stock244Config())
+	done := 0
+	for i := 0; i < 2; i++ {
+		f := tb.OpenNFS()
+		tb.Sim.Go("w", func(p *sim.Proc) {
+			// 180 pages each: under soft (192), joint 360 > hard (256).
+			for j := 0; j < 90; j++ {
+				f.Write(p, 8192)
+			}
+			f.Close(p)
+			done++
+		})
+	}
+	tb.Sim.Run(time.Minute)
+	if done != 2 {
+		t.Fatalf("writers finished: %d of 2 (deadlock?)", done)
+	}
+	if tb.Client.HardBlocks == 0 {
+		t.Fatal("hard limit never engaged")
+	}
+	if tb.Client.SoftFlushes != 0 {
+		t.Fatal("soft limit should not have fired (per-inode counts stayed low)")
+	}
+}
+
+// Memory pressure, not request counts, throttles the enhanced client: a
+// file larger than the page-cache budget must engage mm throttling.
+func TestEnhancedClientThrottlesOnMemory(t *testing.T) {
+	tb := nfssim.NewTestbed(nfssim.Options{
+		Server:     nfssim.ServerFiler,
+		Client:     core.EnhancedConfig(),
+		CacheLimit: 16 << 20, // tiny budget so the test stays fast
+	})
+	res := runMB(t, tb, 64)
+	if tb.Cache.ThrottleEvents == 0 {
+		t.Fatal("writer never throttled despite 4x overcommit")
+	}
+	if tb.Cache.PeakUsage > 16<<20 {
+		t.Fatalf("page cache exceeded its budget: %d", tb.Cache.PeakUsage)
+	}
+	// Once throttled, write throughput approaches the server rate, far
+	// below memory speed.
+	if res.WriteMBps() > 80 {
+		t.Fatalf("throttled throughput %.1f MB/s, should be near server ingest", res.WriteMBps())
+	}
+}
+
+// Close must COMMIT on the Linux server (UNSTABLE replies) and must not
+// need to on the filer (FILE_SYNC replies) — §3.5's "they don't require
+// an additional COMMIT RPC".
+func TestCommitOnlyForUnstableServers(t *testing.T) {
+	linux := newBed(t, nfssim.ServerLinux, core.EnhancedConfig())
+	runMB(t, linux, 2)
+	if linux.Server.Commits == 0 {
+		t.Fatal("no COMMIT sent to the Linux server")
+	}
+	filer := newBed(t, nfssim.ServerFiler, core.EnhancedConfig())
+	runMB(t, filer, 2)
+	if filer.Server.Commits != 0 {
+		t.Fatalf("%d COMMITs sent to the filer", filer.Server.Commits)
+	}
+}
+
+// Rewriting the same page must coalesce client-side into one request (the
+// client "usually caches only a single write request per page").
+func TestSamePageWritesCoalesce(t *testing.T) {
+	tb := newBed(t, nfssim.ServerFiler, core.HashConfig())
+	f := tb.OpenNFS()
+	tb.Sim.Go("w", func(p *sim.Proc) {
+		// Two 2 KB writes into the same page.
+		f.Write(p, 2048)
+		f.Write(p, 2048)
+	})
+	tb.Sim.Run(time.Second)
+	if got := tb.Client.MountRequests(); got != 1 {
+		t.Fatalf("mount requests = %d, want 1 (same-page coalescing)", got)
+	}
+	if f.Size() != 4096 {
+		t.Fatalf("size = %d", f.Size())
+	}
+}
+
+// Double close is a no-op; write-after-close panics.
+func TestFileLifecycle(t *testing.T) {
+	tb := newBed(t, nfssim.ServerFiler, core.EnhancedConfig())
+	f := tb.OpenNFS()
+	panicked := false
+	tb.Sim.Go("w", func(p *sim.Proc) {
+		f.Write(p, 8192)
+		f.Close(p)
+		f.Close(p) // no-op
+		func() {
+			defer func() { panicked = recover() != nil }()
+			f.Write(p, 1)
+		}()
+	})
+	tb.Sim.Run(time.Minute)
+	if !panicked {
+		t.Fatal("write after close did not panic")
+	}
+}
+
+// Flush is durable: after Flush returns, the linux server must have no
+// dirty data for the file.
+func TestFlushDurability(t *testing.T) {
+	tb := newBed(t, nfssim.ServerLinux, core.EnhancedConfig())
+	f := tb.OpenNFS()
+	var dirtyAfter int64 = -1
+	tb.Sim.Go("w", func(p *sim.Proc) {
+		for i := 0; i < 128; i++ {
+			f.Write(p, 8192)
+		}
+		f.Flush(p)
+		dirtyAfter = tb.Linux.Dirty()
+	})
+	tb.Sim.Run(time.Minute)
+	if dirtyAfter != 0 {
+		t.Fatalf("server dirty = %d after Flush", dirtyAfter)
+	}
+}
+
+// The profiler must show the §3.4 signature during a linear-list run:
+// nfs_find_request among the top CPU consumers.
+func TestProfilerShowsFindRequestHotspot(t *testing.T) {
+	tb := newBed(t, nfssim.ServerFiler, core.NoLimitsConfig())
+	runMB(t, tb, 40)
+	prof := tb.Sim.Profiler()
+	find := prof.Total("nfs_find_request") + prof.Total("nfs_update_request(scan)")
+	if find == 0 {
+		t.Fatal("no scan time profiled")
+	}
+	top := prof.Top(4)
+	inTop := false
+	for _, e := range top {
+		if e.Label == "nfs_find_request" || e.Label == "nfs_update_request(scan)" {
+			inTop = true
+		}
+	}
+	if !inTop {
+		t.Fatalf("list scans not in top-4 CPU consumers: %+v", top)
+	}
+}
+
+// §3.5: the BKL wait must be dominated by sock_sendmsg (~90% in the
+// paper) during an enhanced-but-locked run.
+func TestBKLWaitDominatedBySockSendmsg(t *testing.T) {
+	tb := newBed(t, nfssim.ServerFiler, core.HashConfig())
+	runMB(t, tb, 10)
+	wb := tb.BKL.WaitBreakdown()
+	var total, send time.Duration
+	for label, v := range wb {
+		total += v
+		if label == "sock_sendmsg" {
+			send += v
+		}
+	}
+	if total == 0 {
+		t.Fatal("no BKL contention at all")
+	}
+	if frac := float64(send) / float64(total); frac < 0.6 {
+		t.Fatalf("sock_sendmsg fraction of BKL wait = %.2f, want dominant", frac)
+	}
+}
+
+// Determinism: identical seeds must produce identical traces.
+func TestRunDeterminism(t *testing.T) {
+	run := func() time.Duration {
+		tb := newBed(t, nfssim.ServerFiler, core.Stock244Config())
+		res := runMB(t, tb, 5)
+		return res.CloseElapsed
+	}
+	if a, b := run(), run(); a != b {
+		t.Fatalf("nondeterministic: %v vs %v", a, b)
+	}
+}
+
+// Uniprocessor ablation: on 1 CPU the flusher steals cycles from the
+// writer, so the no-lock enhancement helps less than on SMP.
+func TestSMPvsUP(t *testing.T) {
+	run := func(cpus int, cfg core.Config) float64 {
+		tb := nfssim.NewTestbed(nfssim.Options{Server: nfssim.ServerFiler, Client: cfg, ClientCPUs: cpus})
+		res := bonnie.Run(tb.Sim, "t", tb.Open, bonnie.Config{FileSize: 5 << 20, TimeLimit: time.Minute})
+		return res.WriteMBps()
+	}
+	smp := run(2, core.EnhancedConfig())
+	up := run(1, core.EnhancedConfig())
+	if smp <= up {
+		t.Fatalf("SMP write throughput %.1f <= UP %.1f; second CPU should help", smp, up)
+	}
+}
+
+// O_SYNC writes: every write is a stable RPC that waits for the reply, so
+// nothing is ever left cached and the linux server's page cache is clean
+// after each call.
+func TestSyncWrites(t *testing.T) {
+	tb := newBed(t, nfssim.ServerLinux, core.EnhancedConfig())
+	f := tb.OpenNFS()
+	f.SetSync(true)
+	var perCall time.Duration
+	tb.Sim.Go("w", func(p *sim.Proc) {
+		t0 := tb.Sim.Now()
+		for i := 0; i < 8; i++ {
+			f.Write(p, 8192)
+		}
+		perCall = (tb.Sim.Now() - t0) / 8
+		if tb.Client.MountRequests() != 0 {
+			t.Error("sync writes left cached requests")
+		}
+		if tb.Linux.Dirty() != 0 {
+			t.Error("sync writes left server dirty data")
+		}
+	})
+	tb.Sim.Run(time.Minute)
+	// A sync write to the linux server includes a disk wait: orders of
+	// magnitude slower than the ~65µs async path.
+	if perCall < 500*time.Microsecond {
+		t.Fatalf("sync write per-call %v suspiciously fast", perCall)
+	}
+	if tb.Server.Commits != 0 {
+		t.Fatal("sync writes should not need COMMIT")
+	}
+}
+
+// §3.6: "applications regain control sooner after they flush or close a
+// file when writing to a faster server" — compare close-inclusive
+// throughput on sync-heavy workloads.
+func TestFasterServerWinsWhenFlushing(t *testing.T) {
+	run := func(srv nfssim.ServerKind) float64 {
+		tb := newBed(t, srv, core.EnhancedConfig())
+		res := runMB(t, tb, 20)
+		return res.CloseMBps()
+	}
+	filer := run(nfssim.ServerFiler)
+	linux := run(nfssim.ServerLinux)
+	if filer <= linux {
+		t.Fatalf("close-inclusive throughput: filer %.1f <= linux %.1f MB/s", filer, linux)
+	}
+}
+
+// Incompatible sub-page writes force a flush before the new request (the
+// paper's write-ordering example in §3.4).
+func TestIncompatibleSubPageWriteFlushes(t *testing.T) {
+	tb := newBed(t, nfssim.ServerFiler, core.HashConfig())
+	f := tb.OpenNFS()
+	fh := f.Inode().FH
+	tb.Sim.Go("w", func(p *sim.Proc) {
+		f.WriteAt(p, 0, 100)    // bytes [0,100) of page 0
+		f.WriteAt(p, 3000, 100) // disjoint range in the same page
+		f.Close(p)
+	})
+	tb.Sim.Run(time.Minute)
+	cov := tb.Server.Coverage(fh)
+	if !cov.Contains(0, 100) || !cov.Contains(3000, 3100) {
+		t.Fatalf("coverage = %v", cov)
+	}
+	// The hole must NOT be covered: the client never invented bytes.
+	if cov.Contains(100, 3000) {
+		t.Fatalf("server received bytes the app never wrote: %v", cov)
+	}
+}
+
+// Two concurrent writers on separate files: aggregate improves without
+// the BKL (§3.5's concurrency argument).
+func TestConcurrentWritersBenefitFromLockFix(t *testing.T) {
+	run := func(cfg core.Config) float64 {
+		tb := nfssim.NewTestbed(nfssim.Options{Server: nfssim.ServerFiler, Client: cfg})
+		res := bonnie.RunConcurrent(tb.Sim, "c", tb.Open, 2, bonnie.Config{
+			FileSize: 5 << 20, TimeLimit: 10 * time.Minute, SkipFlushClose: true,
+		})
+		return res.AggregateMBps()
+	}
+	lock := run(core.HashConfig())
+	nolock := run(core.EnhancedConfig())
+	if nolock <= lock {
+		t.Fatalf("aggregate: no-lock %.1f <= lock %.1f MB/s", nolock, lock)
+	}
+}

@@ -1,0 +1,79 @@
+package core
+
+import (
+	"repro/internal/sim"
+	"repro/internal/vfs"
+)
+
+// File is an open NFS file; it implements vfs.File. Writes are sequential
+// appends (the paper's benchmark writes fresh files front to back); Flush
+// is fsync; Close flushes and commits, because "NFS ... always flushes
+// completely before last close" (§2.3).
+type File struct {
+	c      *Client
+	ino    *Inode
+	sync   bool
+	closed bool
+}
+
+// SetSync switches the file to O_SYNC semantics: every write() is sent to
+// the server as a stable (FILE_SYNC) WRITE and waits for the reply, like
+// nfs_writepage_sync. The paper contrasts this class of workload in §3.6:
+// "where applications require data permanence before a write() system
+// call returns, the Network Appliance filer ... performs better".
+func (f *File) SetSync(sync bool) { f.sync = sync }
+
+// Inode returns the file's client-side inode (for inspection in tests and
+// experiments).
+func (f *File) Inode() *Inode { return f.ino }
+
+// Write implements vfs.File: the sys_write -> generic_file_write ->
+// nfs_commit_write path, followed by the flush-policy checks. The write
+// appends at the current end of file.
+func (f *File) Write(p *sim.Proc, n int) {
+	f.WriteAt(p, f.ino.size, n)
+}
+
+// WriteAt writes n bytes at an arbitrary offset (pwrite), for
+// database-style workloads that dirty pages out of order. Writing into a
+// page with a pending request coalesces client-side, like the kernel.
+func (f *File) WriteAt(p *sim.Proc, off int64, n int) {
+	if f.closed {
+		panic("core: write after close")
+	}
+	if off < 0 || n < 0 {
+		panic("core: negative write offset or length")
+	}
+	vfs.WriteSyscall(p, f.c.cpu, f.c.cfg.VFS, off, n, func(span vfs.PageSpan) {
+		if f.sync {
+			f.c.writeSyncSpan(p, f.ino, span)
+			return
+		}
+		f.c.commitPage(p, f.ino, span.Page, span.Offset, span.Count)
+		f.c.enforceLimits(p, f.ino, span.Count)
+	})
+	if end := off + int64(n); end > f.ino.size {
+		f.ino.size = end
+	}
+}
+
+// Flush implements vfs.File: fsync — push every cached request to the
+// server, then COMMIT if any reply was unstable.
+func (f *File) Flush(p *sim.Proc) {
+	f.c.flushInodeSync(p, f.ino)
+	if f.ino.unstable {
+		f.c.commitSync(p, f.ino)
+	}
+}
+
+// Close implements vfs.File: flush and commit, then release.
+func (f *File) Close(p *sim.Proc) {
+	if f.closed {
+		return
+	}
+	f.Flush(p)
+	f.closed = true
+}
+
+// Size implements vfs.File.
+func (f *File) Size() int64 { return f.ino.size }

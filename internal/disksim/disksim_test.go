@@ -1,0 +1,169 @@
+package disksim
+
+import (
+	"testing"
+	"testing/quick"
+	"time"
+
+	"repro/internal/sim"
+)
+
+func TestSequentialWriteNoSeek(t *testing.T) {
+	s := sim.New(1)
+	d := New(s, "d", 10*time.Millisecond, 10_000_000) // 10 MB/s
+	var elapsed sim.Time
+	s.Go("w", func(p *sim.Proc) {
+		d.Write(p, 0, 1_000_000) // first write seeks
+		d.Write(p, 1_000_000, 1_000_000)
+		elapsed = s.Now()
+	})
+	s.Run(0)
+	// 2 MB at 10 MB/s = 200ms + one initial seek of 10ms.
+	want := 210 * time.Millisecond
+	if elapsed != want {
+		t.Fatalf("elapsed = %v, want %v", elapsed, want)
+	}
+	if d.Seeks != 1 {
+		t.Fatalf("seeks = %d, want 1", d.Seeks)
+	}
+}
+
+func TestRandomWriteSeeks(t *testing.T) {
+	s := sim.New(1)
+	d := New(s, "d", 5*time.Millisecond, 10_000_000)
+	s.Go("w", func(p *sim.Proc) {
+		d.Write(p, 0, 4096)
+		d.Write(p, 1_000_000, 4096) // jump
+		d.Write(p, 0, 4096)         // jump back
+	})
+	s.Run(0)
+	if d.Seeks != 3 {
+		t.Fatalf("seeks = %d, want 3", d.Seeks)
+	}
+}
+
+func TestFIFOQueueing(t *testing.T) {
+	s := sim.New(1)
+	d := New(s, "d", 0, 1_000_000) // 1 MB/s, no seek
+	var t1, t2 sim.Time
+	s.Go("a", func(p *sim.Proc) {
+		d.Write(p, 0, 1_000_000)
+		t1 = s.Now()
+	})
+	s.Go("b", func(p *sim.Proc) {
+		d.Write(p, 1_000_000, 1_000_000)
+		t2 = s.Now()
+	})
+	s.Run(0)
+	if t1 != time.Second || t2 != 2*time.Second {
+		t.Fatalf("t1=%v t2=%v; want 1s and 2s", t1, t2)
+	}
+}
+
+func TestWriteAsync(t *testing.T) {
+	s := sim.New(1)
+	d := New(s, "d", 0, 1_000_000)
+	var doneAt sim.Time
+	d.WriteAsync(0, 500_000, func() { doneAt = s.Now() })
+	d.WriteAsync(500_000, 0, nil) // zero-size, nil callback: no crash
+	s.Run(0)
+	if doneAt != 500*time.Millisecond {
+		t.Fatalf("async done at %v, want 500ms", doneAt)
+	}
+}
+
+func TestQueueDelay(t *testing.T) {
+	s := sim.New(1)
+	d := New(s, "d", 0, 1_000_000)
+	d.WriteAsync(0, 1_000_000, nil)
+	if d.QueueDelay() != time.Second {
+		t.Fatalf("queue delay = %v", d.QueueDelay())
+	}
+	s.Run(0)
+	if d.QueueDelay() != 0 {
+		t.Fatalf("queue delay after drain = %v", d.QueueDelay())
+	}
+}
+
+func TestStatsAndString(t *testing.T) {
+	s := sim.New(1)
+	d := New(s, "d", 0, 1_000_000)
+	d.WriteAsync(0, 100, nil)
+	s.Run(0)
+	if d.BytesWritten != 100 || d.Requests != 1 {
+		t.Fatalf("stats: %v", d)
+	}
+	if d.String() == "" || d.Name() != "d" || d.Bandwidth() != 1_000_000 {
+		t.Fatal("accessors wrong")
+	}
+}
+
+func TestRAID4Bandwidth(t *testing.T) {
+	s := sim.New(1)
+	r := NewRAID4(s, "vol", 8, 0, 5_000_000)
+	if r.Bandwidth() != 40_000_000 {
+		t.Fatalf("raid bandwidth = %d", r.Bandwidth())
+	}
+	if r.DataDisks() != 8 {
+		t.Fatalf("data disks = %d", r.DataDisks())
+	}
+}
+
+func TestPresets(t *testing.T) {
+	s := sim.New(1)
+	if NewDeskstarEIDE(s).Bandwidth() != 16_600_000 {
+		t.Fatal("deskstar preset wrong")
+	}
+	if NewSeagateSCSI(s, "sda").Bandwidth() != 35_000_000 {
+		t.Fatal("seagate preset wrong")
+	}
+	v := NewFilerVolume(s)
+	if v.Bandwidth() != 48_000_000 {
+		t.Fatalf("filer volume bandwidth = %d", v.Bandwidth())
+	}
+}
+
+func TestBadArgsPanic(t *testing.T) {
+	s := sim.New(1)
+	for _, fn := range []func(){
+		func() { New(s, "x", 0, 0) },
+		func() { NewRAID4(s, "x", 0, 0, 1) },
+		func() { New(s, "x", 0, 1).WriteAsync(0, -1, nil) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Fatal("expected panic")
+				}
+			}()
+			fn()
+		}()
+	}
+}
+
+// Property: busy time equals bytes/bandwidth plus seeks*seekTime, and the
+// device never serves two requests at once (freeAt is monotone).
+func TestAccountingProperty(t *testing.T) {
+	f := func(sizes []uint16, gap uint8) bool {
+		s := sim.New(1)
+		seek := 3 * time.Millisecond
+		d := New(s, "d", seek, 8_000_000)
+		var total int64
+		off := int64(0)
+		for i, sz := range sizes {
+			n := int64(sz)
+			if i%int(gap%3+1) == 0 {
+				off += 1 << 20 // force a seek
+			}
+			d.WriteAsync(off, n, nil)
+			off += n
+			total += n
+		}
+		s.Run(0)
+		want := sim.Time(total*1e9/8_000_000) + time.Duration(d.Seeks)*seek
+		return d.BusyTime == want && d.BytesWritten == total
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}

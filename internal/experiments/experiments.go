@@ -1,0 +1,493 @@
+// Package experiments regenerates every table and figure in the paper's
+// evaluation (§3). Each runner assembles the right test bed + client
+// configuration, drives the Bonnie-derived benchmark, and returns the
+// series/traces/histograms the corresponding artifact plots, plus a
+// textual rendering for the CLI.
+//
+// Artifact index (see DESIGN.md §4 for the full mapping):
+//
+//	Fig1    local vs NFS write throughput, stock 2.4.4 client
+//	Fig2    per-call latency trace: periodic flush spikes (stock client)
+//	Fig3    trace after flush removal: latency grows with the list
+//	Fig4    trace with the hash table: flat latency (+ checkpoint gap)
+//	Fig5/6  latency histograms, filer vs Linux, BKL held vs released
+//	Table1  memory write throughput before/after the lock fix
+//	Fig7    local vs NFS write throughput, enhanced client
+//	Slow100 §3.5 verification: slower server, faster memory writes
+//	Profile §3.4/§3.5 kernel-profile findings
+//	Jumbo   §3.5 future work: jumbo frames ablation
+package experiments
+
+import (
+	"fmt"
+	"strings"
+	"time"
+
+	nfssim "repro"
+	"repro/internal/bonnie"
+	"repro/internal/core"
+	"repro/internal/sim"
+	"repro/internal/stats"
+)
+
+// PaperSizesMB is the Figure 1/7 x-axis: 25–450 MB in 25 MB steps.
+func PaperSizesMB() []int {
+	sizes := make([]int, 0, 18)
+	for mb := 25; mb <= 450; mb += 25 {
+		sizes = append(sizes, mb)
+	}
+	return sizes
+}
+
+// runOne executes a single benchmark run on a fresh test bed.
+func runOne(srv nfssim.ServerKind, cfg core.Config, fileMB int, full bool) (*nfssim.Testbed, *bonnie.Result) {
+	tb := nfssim.NewTestbed(nfssim.Options{Server: srv, Client: cfg})
+	res := bonnie.Run(tb.Sim, fmt.Sprintf("%s/%dMB", srv, fileMB), tb.Open, bonnie.Config{
+		FileSize:       int64(fileMB) << 20,
+		TimeLimit:      30 * time.Minute,
+		SkipFlushClose: !full,
+	})
+	return tb, res
+}
+
+// SweepResult is a Figure 1 or Figure 7 dataset: write-phase throughput
+// (KB/s, the paper's y-axis) versus file size (MB) for the three targets.
+type SweepResult struct {
+	Title string
+	Local *stats.Series
+	Filer *stats.Series
+	Linux *stats.Series
+}
+
+// Series returns the three curves in plot order.
+func (r *SweepResult) Series() []*stats.Series {
+	return []*stats.Series{r.Linux, r.Filer, r.Local}
+}
+
+// Render formats the dataset as the paper's plot data.
+func (r *SweepResult) Render() string {
+	var b strings.Builder
+	b.WriteString(r.Title + "\n")
+	b.WriteString("write throughput (KB/s) vs file size (MB)\n")
+	b.WriteString(stats.CSV(r.Series()...))
+	return b.String()
+}
+
+func sweep(title string, cfg core.Config, sizesMB []int) *SweepResult {
+	r := &SweepResult{
+		Title: title,
+		Local: &stats.Series{Name: "local ext2", XLabel: "MB", YLabel: "KB/s"},
+		Filer: &stats.Series{Name: "Netapp filer", XLabel: "MB", YLabel: "KB/s"},
+		Linux: &stats.Series{Name: "Linux NFS server", XLabel: "MB", YLabel: "KB/s"},
+	}
+	for _, mb := range sizesMB {
+		_, loc := runOne(nfssim.ServerNone, cfg, mb, false)
+		r.Local.Add(float64(mb), loc.WriteKBps())
+		_, fil := runOne(nfssim.ServerFiler, cfg, mb, false)
+		r.Filer.Add(float64(mb), fil.WriteKBps())
+		_, lin := runOne(nfssim.ServerLinux, cfg, mb, false)
+		r.Linux.Add(float64(mb), lin.WriteKBps())
+	}
+	return r
+}
+
+// Fig1 reproduces Figure 1: the stock client's NFS write throughput is
+// pinned to network/server speed at every file size, while local ext2
+// writes at memory speed until RAM runs out.
+func Fig1(sizesMB []int) *SweepResult {
+	if sizesMB == nil {
+		sizesMB = PaperSizesMB()
+	}
+	return sweep("Figure 1 - Local v. NFS write throughput (stock 2.4.4 client)",
+		core.Stock244Config(), sizesMB)
+}
+
+// Fig7 reproduces Figure 7: with all three fixes, NFS memory write
+// throughput rivals local ext2 until client memory is exhausted, and the
+// filer sustains high throughput longest.
+func Fig7(sizesMB []int) *SweepResult {
+	if sizesMB == nil {
+		sizesMB = PaperSizesMB()
+	}
+	return sweep("Figure 7 - Local v. NFS write throughput (enhanced client)",
+		core.EnhancedConfig(), sizesMB)
+}
+
+// TraceResult is a Figures 2–4 dataset: one run's per-call latency trace
+// plus the derived spike/growth statistics.
+type TraceResult struct {
+	Title  string
+	Result *bonnie.Result
+
+	SpikeCutoff time.Duration
+	Spikes      int
+	SpikePeriod float64
+	MeanAll     time.Duration
+	MeanBelow   time.Duration // mean excluding spikes (paper's comparison)
+	SlopeNsCall float64
+
+	// QuietGap marks the Figure 4 checkpoint signature: a window of
+	// strongly reduced jitter while the filer stops responding and the
+	// flush daemon stalls.
+	QuietGapStart int
+	QuietGapEnd   int
+	HasQuietGap   bool
+}
+
+func newTraceResult(title string, res *bonnie.Result) *TraceResult {
+	cutoff := time.Millisecond
+	return &TraceResult{
+		Title:       title,
+		Result:      res,
+		SpikeCutoff: cutoff,
+		Spikes:      res.Trace.CountAbove(cutoff),
+		SpikePeriod: res.Trace.SpikePeriod(cutoff),
+		MeanAll:     res.Trace.Summary().Mean,
+		MeanBelow:   res.Trace.SummaryExcluding(cutoff).Mean,
+		SlopeNsCall: res.Trace.Slope(),
+	}
+}
+
+// Render formats the trace statistics (the full trace is available via
+// Result.Trace.CSV()).
+func (r *TraceResult) Render() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s\n", r.Title)
+	fmt.Fprintf(&b, "  calls:                %d\n", r.Result.Calls)
+	fmt.Fprintf(&b, "  mean latency:         %v\n", r.MeanAll)
+	fmt.Fprintf(&b, "  mean excluding >%v: %v\n", r.SpikeCutoff, r.MeanBelow)
+	fmt.Fprintf(&b, "  spikes >%v:          %d (every ~%.0f calls)\n", r.SpikeCutoff, r.Spikes, r.SpikePeriod)
+	fmt.Fprintf(&b, "  latency slope:        %.1f ns/call\n", r.SlopeNsCall)
+	fmt.Fprintf(&b, "  max latency:          %v\n", r.Result.Trace.Summary().Max)
+	fmt.Fprintf(&b, "  write throughput:     %.1f MB/s\n", r.Result.WriteMBps())
+	if r.HasQuietGap {
+		fmt.Fprintf(&b, "  quiet gap (checkpoint): calls %d-%d\n", r.QuietGapStart, r.QuietGapEnd)
+	}
+	return b.String()
+}
+
+// Fig2 reproduces Figure 2: a 40 MB run against the filer on the stock
+// client, showing periodic multi-millisecond spikes roughly every
+// MAX_REQUEST_SOFT/2 calls.
+func Fig2() *TraceResult {
+	_, res := runOne(nfssim.ServerFiler, core.Stock244Config(), 40, true)
+	return newTraceResult("Figure 2 - Actual write latency over time (stock 2.4.4, filer)", res)
+}
+
+// Fig3 reproduces Figure 3: the same run with limit-flushing removed —
+// no spikes, but latency grows as the per-inode list lengthens.
+func Fig3() *TraceResult {
+	_, res := runOne(nfssim.ServerFiler, core.NoLimitsConfig(), 100, true)
+	return newTraceResult("Figure 3 - Actual write latency over time (no flushing, linear list)", res)
+}
+
+// Fig4 reproduces Figure 4: with the hash table, latency stays low for
+// the whole run. A consistency point from the warm-up file's data lands
+// mid-run, reproducing the paper's "gap of greatly reduced jitter".
+func Fig4() *TraceResult {
+	tb := nfssim.NewTestbed(nfssim.Options{Server: nfssim.ServerFiler, Client: core.HashConfig()})
+	// Warm-up: a previous benchmark file, fully flushed to the filer, so
+	// NVRAM is partially charged — as on a real, repeatedly-used filer.
+	warm := bonnie.Run(tb.Sim, "warmup", tb.Open, bonnie.Config{FileSize: 30 << 20, TimeLimit: 10 * time.Minute})
+	_ = warm
+	res := bonnie.Run(tb.Sim, "fig4", tb.Open, bonnie.Config{
+		FileSize: 100 << 20, TimeLimit: 30 * time.Minute, SkipFlushClose: true,
+	})
+	tr := newTraceResult("Figure 4 - Actual write latency over time (scalable data structures)", res)
+	tr.QuietGapStart, tr.QuietGapEnd, tr.HasQuietGap = res.Trace.QuietGap(200, 0.5)
+	return tr
+}
+
+// HistResult is the Figures 5/6 dataset: write() latency histograms for
+// the same run against the two servers, under one lock policy.
+type HistResult struct {
+	Title      string
+	FilerHist  *stats.Histogram
+	LinuxHist  *stats.Histogram
+	FilerMean  time.Duration
+	LinuxMean  time.Duration
+	FilerMin   time.Duration
+	LinuxMin   time.Duration
+	FilerMax   time.Duration
+	LinuxMax   time.Duration
+	FilerMBps  float64
+	LinuxMBps  float64
+	TailCutoff time.Duration
+	FilerTail  int
+	LinuxTail  int
+}
+
+func hist(title string, cfg core.Config) *HistResult {
+	_, filer := runOne(nfssim.ServerFiler, cfg, 30, true)
+	_, linux := runOne(nfssim.ServerLinux, cfg, 30, true)
+	r := &HistResult{
+		Title:      title,
+		FilerHist:  stats.NewHistogram("Network Appliance F85", 30*time.Microsecond, 9),
+		LinuxHist:  stats.NewHistogram("Linux 2.4 NFS server", 30*time.Microsecond, 9),
+		TailCutoff: 90 * time.Microsecond,
+	}
+	r.FilerHist.AddTrace(filer.Trace)
+	r.LinuxHist.AddTrace(linux.Trace)
+	fs, ls := filer.Trace.Summary(), linux.Trace.Summary()
+	r.FilerMean, r.LinuxMean = fs.Mean, ls.Mean
+	r.FilerMin, r.LinuxMin = fs.Min, ls.Min
+	r.FilerMax, r.LinuxMax = fs.Max, ls.Max
+	r.FilerMBps, r.LinuxMBps = filer.WriteMBps(), linux.WriteMBps()
+	r.FilerTail = r.FilerHist.TailCount(r.TailCutoff)
+	r.LinuxTail = r.LinuxHist.TailCount(r.TailCutoff)
+	return r
+}
+
+// Render formats both histograms side by side.
+func (r *HistResult) Render() string {
+	var b strings.Builder
+	b.WriteString(r.Title + "\n")
+	b.WriteString(r.FilerHist.String())
+	b.WriteString(r.LinuxHist.String())
+	fmt.Fprintf(&b, "filer: mean %v min %v max %v tail(>=%v) %d\n",
+		r.FilerMean, r.FilerMin, r.FilerMax, r.TailCutoff, r.FilerTail)
+	fmt.Fprintf(&b, "linux: mean %v min %v max %v tail(>=%v) %d\n",
+		r.LinuxMean, r.LinuxMin, r.LinuxMax, r.TailCutoff, r.LinuxTail)
+	return b.String()
+}
+
+// Fig5 reproduces Figure 5: with the BKL held across sock_sendmsg, the
+// faster filer produces more slow write() calls than the Linux server.
+// (Bucket width is 30 µs rather than the paper's 60 µs because our 8 KB
+// write path is ~2x faster than the paper's measured calls; see
+// EXPERIMENTS.md on the paper's internal 8 KB/16 KB inconsistency.)
+func Fig5() *HistResult {
+	return hist("Figure 5 - Latency histogram (BKL across sock_sendmsg)", core.HashConfig())
+}
+
+// Fig6 reproduces Figure 6: releasing the BKL around sock_sendmsg shrinks
+// the tail on both servers; minimum latency barely moves.
+func Fig6() *HistResult {
+	return hist("Figure 6 - Latency histogram (BKL released around sock_sendmsg)", core.EnhancedConfig())
+}
+
+// Table1Result is the paper's Table 1 plus the network-throughput
+// observations of §3.5 that frame it.
+type Table1Result struct {
+	FilerLockMBps   float64
+	FilerNoLockMBps float64
+	LinuxLockMBps   float64
+	LinuxNoLockMBps float64
+
+	// Sustained server-side ingest during the runs ("the filer sustains
+	// about 38 MBps of network throughput ... the Linux NFS server can
+	// sustain only 26 MBps").
+	FilerNetMBps float64
+	LinuxNetMBps float64
+}
+
+// Table renders the paper's Table 1.
+func (r *Table1Result) Table() *stats.Table {
+	t := stats.NewTable("Table 1 - Client memory write throughput, before and after lock modification",
+		"", "Normal", "No lock")
+	t.AddRow("NetApp filer",
+		fmt.Sprintf("%.0f MBps", r.FilerLockMBps), fmt.Sprintf("%.0f MBps", r.FilerNoLockMBps))
+	t.AddRow("Linux NFS server",
+		fmt.Sprintf("%.0f MBps", r.LinuxLockMBps), fmt.Sprintf("%.0f MBps", r.LinuxNoLockMBps))
+	return t
+}
+
+// Render formats the table and the framing observations.
+func (r *Table1Result) Render() string {
+	var b strings.Builder
+	b.WriteString(r.Table().String())
+	fmt.Fprintf(&b, "sustained network write throughput: filer %.1f MBps, linux %.1f MBps\n",
+		r.FilerNetMBps, r.LinuxNetMBps)
+	return b.String()
+}
+
+// Table1 reproduces Table 1: 5 MB runs on the hash-table client with the
+// BKL held versus released, against both servers.
+func Table1() *Table1Result {
+	r := &Table1Result{}
+	tbFL, fl := runOne(nfssim.ServerFiler, core.HashConfig(), 5, true)
+	r.FilerLockMBps = fl.WriteMBps()
+	r.FilerNetMBps = tbFL.Server.NetworkThroughputMBps()
+	_, fn := runOne(nfssim.ServerFiler, core.EnhancedConfig(), 5, true)
+	r.FilerNoLockMBps = fn.WriteMBps()
+	tbLL, ll := runOne(nfssim.ServerLinux, core.HashConfig(), 5, true)
+	r.LinuxLockMBps = ll.WriteMBps()
+	r.LinuxNetMBps = tbLL.Server.NetworkThroughputMBps()
+	_, ln := runOne(nfssim.ServerLinux, core.EnhancedConfig(), 5, true)
+	r.LinuxNoLockMBps = ln.WriteMBps()
+	return r
+}
+
+// Slow100Result is §3.5's verification experiment.
+type Slow100Result struct {
+	SlowMBps     float64 // client memory write throughput, 100 Mb/s server
+	FilerMBps    float64 // same against the gigabit filer
+	SlowNetMBps  float64 // slow server's sustained ingest
+	FilerNetMBps float64
+}
+
+// Render formats the comparison.
+func (r *Slow100Result) Render() string {
+	return fmt.Sprintf(`Slow-server verification (§3.5)
+  memory write throughput: 100Mb server %.1f MBps vs filer %.1f MBps
+  network ingest:          100Mb server %.1f MBps vs filer %.1f MBps
+  (the slower server leaves the writer less impeded: %v)
+`, r.SlowMBps, r.FilerMBps, r.SlowNetMBps, r.FilerNetMBps, r.SlowMBps > r.FilerMBps)
+}
+
+// Slow100 reproduces the §3.5 check: a server on 100 Mb/s Ethernet
+// sustains <10 MB/s on the wire yet yields *faster* client memory writes.
+func Slow100() *Slow100Result {
+	tbS, slow := runOne(nfssim.ServerSlow100, core.HashConfig(), 5, true)
+	tbF, filer := runOne(nfssim.ServerFiler, core.HashConfig(), 5, true)
+	return &Slow100Result{
+		SlowMBps:     slow.WriteMBps(),
+		FilerMBps:    filer.WriteMBps(),
+		SlowNetMBps:  tbS.Server.NetworkThroughputMBps(),
+		FilerNetMBps: tbF.Server.NetworkThroughputMBps(),
+	}
+}
+
+// ProfileResult carries the §3.4/§3.5 kernel-profile findings.
+type ProfileResult struct {
+	// TopPreFix is the top CPU consumers during a linear-list run; the
+	// paper's profiler finds nfs_find_request/nfs_update_request here.
+	TopPreFix []sim.ProfileEntry
+	// TopPostFix is the same with the hash table.
+	TopPostFix []sim.ProfileEntry
+	// BKLWaitBySection attributes BKL wait time to the critical section
+	// holding it; ~90% should be sock_sendmsg.
+	BKLWaitBySection map[string]time.Duration
+	// SendFraction is sock_sendmsg's share of total BKL wait.
+	SendFraction float64
+}
+
+// Render formats the findings.
+func (r *ProfileResult) Render() string {
+	var b strings.Builder
+	b.WriteString("Kernel profile, linear-list run (top CPU consumers):\n")
+	for _, e := range r.TopPreFix {
+		fmt.Fprintf(&b, "  %-32s %12v (%d calls)\n", e.Label, e.Total, e.Calls)
+	}
+	b.WriteString("Kernel profile, hash-table run:\n")
+	for _, e := range r.TopPostFix {
+		fmt.Fprintf(&b, "  %-32s %12v (%d calls)\n", e.Label, e.Total, e.Calls)
+	}
+	fmt.Fprintf(&b, "BKL wait attribution (hash-table run, lock held across send):\n")
+	for sec, d := range r.BKLWaitBySection {
+		fmt.Fprintf(&b, "  %-32s %12v\n", sec, d)
+	}
+	fmt.Fprintf(&b, "sock_sendmsg share of BKL wait: %.0f%%\n", 100*r.SendFraction)
+	return b.String()
+}
+
+// Profile reproduces the profiler findings of §3.4 and §3.5.
+func Profile() *ProfileResult {
+	tbList, _ := runOne(nfssim.ServerFiler, core.NoLimitsConfig(), 40, true)
+	tbHash, _ := runOne(nfssim.ServerFiler, core.HashConfig(), 40, true)
+	r := &ProfileResult{
+		TopPreFix:        tbList.Sim.Profiler().Top(6),
+		TopPostFix:       tbHash.Sim.Profiler().Top(6),
+		BKLWaitBySection: tbHash.BKL.WaitBreakdown(),
+	}
+	var total, send time.Duration
+	for sec, d := range r.BKLWaitBySection {
+		total += d
+		if sec == "sock_sendmsg" {
+			send += d
+		}
+	}
+	if total > 0 {
+		r.SendFraction = float64(send) / float64(total)
+	}
+	return r
+}
+
+// ConcurrencyResult is §3.5's forward-looking claim: without the BKL in
+// the send path, concurrent writers to separate files on separate CPUs
+// make better aggregate progress.
+type ConcurrencyResult struct {
+	Writers     int
+	LockMBps    float64 // aggregate, BKL across sends
+	NoLockMBps  float64 // aggregate, lock released
+	LockMeanLat time.Duration
+	NoLockMean  time.Duration
+}
+
+// Render formats the comparison.
+func (r *ConcurrencyResult) Render() string {
+	return fmt.Sprintf(`Concurrent writers (§3.5), %d writers x 5 MB files, filer
+  aggregate write throughput: BKL %.1f MBps -> no lock %.1f MBps
+  mean write() latency:       BKL %v -> no lock %v
+`, r.Writers, r.LockMBps, r.NoLockMBps, r.LockMeanLat, r.NoLockMean)
+}
+
+// Concurrency runs the multi-writer comparison.
+func Concurrency() *ConcurrencyResult {
+	const writers = 2
+	run := func(cfg core.Config) *bonnie.ConcurrentResult {
+		tb := nfssim.NewTestbed(nfssim.Options{Server: nfssim.ServerFiler, Client: cfg})
+		return bonnie.RunConcurrent(tb.Sim, "conc", tb.Open, writers, bonnie.Config{
+			FileSize: 5 << 20, TimeLimit: 10 * time.Minute, SkipFlushClose: true,
+		})
+	}
+	lock := run(core.HashConfig())
+	nolock := run(core.EnhancedConfig())
+	mean := func(r *bonnie.ConcurrentResult) time.Duration {
+		var sum time.Duration
+		var n int
+		for _, w := range r.PerWriter {
+			s := w.Trace.Summary()
+			sum += s.Mean * time.Duration(s.Count)
+			n += s.Count
+		}
+		return sum / time.Duration(n)
+	}
+	return &ConcurrencyResult{
+		Writers:     writers,
+		LockMBps:    lock.AggregateMBps(),
+		NoLockMBps:  nolock.AggregateMBps(),
+		LockMeanLat: mean(lock),
+		NoLockMean:  mean(nolock),
+	}
+}
+
+// JumboResult is the §3.5 future-work ablation: jumbo frames cut IP
+// fragmentation, reducing per-RPC sock_sendmsg CPU.
+type JumboResult struct {
+	StandardMBps    float64
+	JumboMBps       float64
+	StandardSendCPU time.Duration // total sock_sendmsg CPU, standard MTU
+	JumboSendCPU    time.Duration
+}
+
+// Render formats the ablation.
+func (r *JumboResult) Render() string {
+	return fmt.Sprintf(`Jumbo-frame ablation (§3.5 future work), filer, enhanced client, 20 MB
+  write throughput: MTU 1500 %.1f MBps -> MTU 9000 %.1f MBps
+  sock_sendmsg CPU: MTU 1500 %v -> MTU 9000 %v
+`, r.StandardMBps, r.JumboMBps, r.StandardSendCPU, r.JumboSendCPU)
+}
+
+// Jumbo runs the jumbo-frame ablation.
+func Jumbo() *JumboResult {
+	run := func(jumbo bool) (*nfssim.Testbed, *bonnie.Result) {
+		tb := nfssim.NewTestbed(nfssim.Options{
+			Server: nfssim.ServerFiler,
+			Client: core.EnhancedConfig(),
+			Jumbo:  jumbo,
+		})
+		res := bonnie.Run(tb.Sim, "jumbo-ablation", tb.Open, bonnie.Config{
+			FileSize: 20 << 20, TimeLimit: 10 * time.Minute,
+		})
+		return tb, res
+	}
+	tbStd, std := run(false)
+	tbJmb, jmb := run(true)
+	return &JumboResult{
+		StandardMBps:    std.FlushMBps(),
+		JumboMBps:       jmb.FlushMBps(),
+		StandardSendCPU: tbStd.Sim.Profiler().Total("sock_sendmsg"),
+		JumboSendCPU:    tbJmb.Sim.Profiler().Total("sock_sendmsg"),
+	}
+}

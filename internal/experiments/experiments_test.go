@@ -1,0 +1,299 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/stats"
+)
+
+// These are the integration tests that pin the paper's shapes. Sweeps use
+// a reduced size grid to stay fast; trace/table experiments run at the
+// paper's own parameters.
+
+func TestFig1Shape(t *testing.T) {
+	r := Fig1([]int{25, 100, 250, 450})
+	// Local peaks at memory speed (>150 MB/s), NFS stays at network
+	// speed (<40 MB/s) at every size.
+	if r.Local.MaxY() < 150_000 {
+		t.Fatalf("local peak = %.0f KB/s, want > 150 MB/s", r.Local.MaxY())
+	}
+	for _, p := range r.Filer.Points {
+		if p.Y > 40_000 || p.Y < 15_000 {
+			t.Fatalf("filer NFS throughput %.0f KB/s at %g MB outside 15-40 MB/s", p.Y, p.X)
+		}
+	}
+	for _, p := range r.Linux.Points {
+		if p.Y > 35_000 || p.Y < 10_000 {
+			t.Fatalf("linux NFS throughput %.0f KB/s at %g MB outside 10-35 MB/s", p.Y, p.X)
+		}
+	}
+	// "the large peak in memory write performance for local files does
+	// not appear for NFS files": NFS curves are flat (max/min < 1.5x)
+	// while local varies by > 3x.
+	if flat := r.Filer.MaxY() / minY(r.Filer); flat > 1.5 {
+		t.Fatalf("filer curve not flat: max/min = %.2f", flat)
+	}
+	if dyn := r.Local.MaxY() / minY(r.Local); dyn < 3 {
+		t.Fatalf("local curve should peak then collapse: max/min = %.2f", dyn)
+	}
+	// Local writes beat NFS while memory lasts.
+	if r.Local.YAt(25) < 3*r.Filer.YAt(25) {
+		t.Fatal("local memory writes should dwarf stock NFS writes")
+	}
+	if !strings.Contains(r.Render(), "Figure 1") {
+		t.Fatal("render missing title")
+	}
+}
+
+func minY(s *stats.Series) float64 {
+	if len(s.Points) == 0 {
+		return 0
+	}
+	m := s.Points[0].Y
+	for _, p := range s.Points {
+		if p.Y < m {
+			m = p.Y
+		}
+	}
+	return m
+}
+
+func TestFig2Shape(t *testing.T) {
+	r := Fig2()
+	if r.Result.Calls != 5120 {
+		t.Fatalf("calls = %d, want 5120 (40 MB / 8 KB)", r.Result.Calls)
+	}
+	if r.Spikes < 30 {
+		t.Fatalf("spikes = %d, want dozens", r.Spikes)
+	}
+	if r.SpikePeriod < 80 || r.SpikePeriod > 105 {
+		t.Fatalf("spike period = %.1f, want ~96 (soft limit / 2 pages per call)", r.SpikePeriod)
+	}
+	// Spikes exceed 10 ms (paper: >19 ms at its drain rate).
+	if r.Result.Trace.Summary().Max < 10*time.Millisecond {
+		t.Fatalf("max spike = %v", r.Result.Trace.Summary().Max)
+	}
+	// Mean inflation factor (paper: 3.45x).
+	ratio := float64(r.MeanAll) / float64(r.MeanBelow)
+	if ratio < 2 || ratio > 6 {
+		t.Fatalf("mean inflation = %.2f, want 2-6", ratio)
+	}
+	if !strings.Contains(r.Render(), "Figure 2") {
+		t.Fatal("render missing title")
+	}
+}
+
+func TestFig3Fig4Shapes(t *testing.T) {
+	f3 := Fig3()
+	f4 := Fig4()
+
+	// Figure 3: no spikes, but strong positive slope and mean well above
+	// the fast path.
+	if f3.Spikes != 0 {
+		t.Fatalf("fig3 has %d >1ms spikes; flush removal should kill them", f3.Spikes)
+	}
+	if f3.SlopeNsCall <= 5 {
+		t.Fatalf("fig3 slope = %.1f ns/call, want clearly positive", f3.SlopeNsCall)
+	}
+	// Figure 4: flat and fast.
+	if f4.SlopeNsCall > 5 {
+		t.Fatalf("fig4 slope = %.1f ns/call, want ~0", f4.SlopeNsCall)
+	}
+	if f3.MeanAll < 3*f4.MeanAll {
+		t.Fatalf("fig3 mean %v should be >3x fig4 mean %v", f3.MeanAll, f4.MeanAll)
+	}
+	// Paper: fig4 sustains ~115 MB/s vs 28 MB/s before the fixes.
+	if f4.Result.WriteMBps() < 90 {
+		t.Fatalf("fig4 write throughput = %.1f MB/s, want >90", f4.Result.WriteMBps())
+	}
+	// The paper's §3.3 result: removing the flushes alone does NOT
+	// improve mean latency (484.7 vs 482.1 µs there).
+	f2 := Fig2()
+	lo, hi := f2.MeanAll/2, f2.MeanAll*2
+	if f3.MeanAll < lo || f3.MeanAll > hi {
+		t.Fatalf("fig3 mean %v should be comparable to fig2 mean %v", f3.MeanAll, f2.MeanAll)
+	}
+}
+
+func TestFig5Fig6Shapes(t *testing.T) {
+	f5 := Fig5()
+	f6 := Fig6()
+
+	// Figure 5: the faster filer has MORE slow calls than the Linux
+	// server when the BKL is held across sends.
+	if f5.FilerTail <= f5.LinuxTail {
+		t.Fatalf("fig5: filer tail %d <= linux tail %d; faster server should contend more",
+			f5.FilerTail, f5.LinuxTail)
+	}
+	// Figure 6: the lock fix shrinks the tail on both servers...
+	if f6.FilerTail >= f5.FilerTail {
+		t.Fatalf("fig6 filer tail %d >= fig5 %d", f6.FilerTail, f5.FilerTail)
+	}
+	if f6.LinuxTail > f5.LinuxTail {
+		t.Fatalf("fig6 linux tail %d > fig5 %d", f6.LinuxTail, f5.LinuxTail)
+	}
+	// ...means drop...
+	if f6.FilerMean >= f5.FilerMean || f6.LinuxMean >= f5.LinuxMean {
+		t.Fatalf("means did not drop: filer %v->%v linux %v->%v",
+			f5.FilerMean, f6.FilerMean, f5.LinuxMean, f6.LinuxMean)
+	}
+	// ...and maximum latency drops for the filer (381 -> 292 µs in §3.5).
+	if f6.FilerMax >= f5.FilerMax {
+		t.Fatalf("filer max did not drop: %v -> %v", f5.FilerMax, f6.FilerMax)
+	}
+	// "minimum latency hardly changes" (±20%).
+	if f6.FilerMin < f5.FilerMin*8/10 || f6.FilerMin > f5.FilerMin*12/10 {
+		t.Fatalf("filer min moved: %v -> %v", f5.FilerMin, f6.FilerMin)
+	}
+	// Figure 5: filer writes take longer than Linux-server writes on
+	// average. Figure 6: "the difference is small" — the gap shrinks and
+	// stays within a few percent.
+	if f5.FilerMean <= f5.LinuxMean {
+		t.Fatalf("fig5: filer mean %v <= linux mean %v", f5.FilerMean, f5.LinuxMean)
+	}
+	gap5 := f5.FilerMean - f5.LinuxMean
+	gap6 := f6.FilerMean - f6.LinuxMean
+	if gap6 >= gap5 {
+		t.Fatalf("filer-linux mean gap did not shrink: %v -> %v", gap5, gap6)
+	}
+	if gap6 > f6.LinuxMean*3/100 || gap6 < -f6.LinuxMean*3/100 {
+		t.Fatalf("fig6 gap %v not small relative to %v", gap6, f6.LinuxMean)
+	}
+	if !strings.Contains(f5.Render(), "histogram") {
+		t.Fatal("render broken")
+	}
+}
+
+func TestTable1Shape(t *testing.T) {
+	r := Table1()
+	// Both servers improve without the lock.
+	if r.FilerNoLockMBps <= r.FilerLockMBps {
+		t.Fatalf("filer: %0.1f -> %0.1f; lock removal should help",
+			r.FilerLockMBps, r.FilerNoLockMBps)
+	}
+	if r.LinuxNoLockMBps <= r.LinuxLockMBps {
+		t.Fatalf("linux: %0.1f -> %0.1f; lock removal should help",
+			r.LinuxLockMBps, r.LinuxNoLockMBps)
+	}
+	// The filer (faster server) gains more (+22% vs +6.5% in Table 1).
+	fGain := r.FilerNoLockMBps / r.FilerLockMBps
+	lGain := r.LinuxNoLockMBps / r.LinuxLockMBps
+	if fGain <= lGain {
+		t.Fatalf("filer gain %.3f <= linux gain %.3f", fGain, lGain)
+	}
+	// With the lock, memory writes to the faster filer are SLOWER.
+	if r.FilerLockMBps >= r.LinuxLockMBps {
+		t.Fatalf("with BKL: filer %.1f >= linux %.1f MBps", r.FilerLockMBps, r.LinuxLockMBps)
+	}
+	// §3.5 framing: filer sustains more network throughput than linux.
+	if r.FilerNetMBps <= r.LinuxNetMBps {
+		t.Fatalf("filer net %.1f <= linux net %.1f", r.FilerNetMBps, r.LinuxNetMBps)
+	}
+	// Linux server's ingest is in the paper's ballpark (26 MBps).
+	if r.LinuxNetMBps < 18 || r.LinuxNetMBps > 33 {
+		t.Fatalf("linux ingest %.1f MBps, want ~26", r.LinuxNetMBps)
+	}
+	tbl := r.Table()
+	if tbl.Rows() != 2 {
+		t.Fatal("table should have 2 rows")
+	}
+	if !strings.Contains(r.Render(), "Table 1") {
+		t.Fatal("render missing title")
+	}
+}
+
+func TestSlow100Shape(t *testing.T) {
+	r := Slow100()
+	if r.SlowMBps <= r.FilerMBps {
+		t.Fatalf("slow-server memory writes %.1f <= filer %.1f", r.SlowMBps, r.FilerMBps)
+	}
+	if r.SlowNetMBps >= 10.5 {
+		t.Fatalf("slow server ingest %.1f, want <10 MBps", r.SlowNetMBps)
+	}
+	if !strings.Contains(r.Render(), "Slow-server") {
+		t.Fatal("render broken")
+	}
+}
+
+func TestProfileShape(t *testing.T) {
+	r := Profile()
+	// Pre-fix: list scans among top consumers.
+	found := false
+	for _, e := range r.TopPreFix {
+		if strings.HasPrefix(e.Label, "nfs_find_request") || e.Label == "nfs_update_request(scan)" {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("list scans not in pre-fix top consumers: %+v", r.TopPreFix)
+	}
+	// Post-fix: the scan entries vanish from the top.
+	for _, e := range r.TopPostFix[:3] {
+		if e.Label == "nfs_find_request" || e.Label == "nfs_update_request(scan)" {
+			t.Fatalf("scan still a top-3 consumer after the hash fix: %+v", r.TopPostFix)
+		}
+	}
+	// §3.5: ~90% of BKL waiting is sock_sendmsg; accept >=60%.
+	if r.SendFraction < 0.6 {
+		t.Fatalf("sock_sendmsg BKL-wait share = %.2f", r.SendFraction)
+	}
+	if !strings.Contains(r.Render(), "sock_sendmsg") {
+		t.Fatal("render broken")
+	}
+}
+
+func TestJumboShape(t *testing.T) {
+	r := Jumbo()
+	// Jumbo frames must reduce sock_sendmsg CPU per §3.5's conjecture.
+	if r.JumboSendCPU >= r.StandardSendCPU {
+		t.Fatalf("jumbo send CPU %v >= standard %v", r.JumboSendCPU, r.StandardSendCPU)
+	}
+	// End-to-end throughput should not get worse.
+	if r.JumboMBps < r.StandardMBps*95/100 {
+		t.Fatalf("jumbo throughput %.1f well below standard %.1f", r.JumboMBps, r.StandardMBps)
+	}
+	if !strings.Contains(r.Render(), "Jumbo") {
+		t.Fatal("render broken")
+	}
+}
+
+func TestFig7Shape(t *testing.T) {
+	r := Fig7([]int{25, 200, 450})
+	// Enhanced NFS memory writes approach local speed for small files
+	// (same order of magnitude; paper: 115-150 vs ~170-200 MB/s)...
+	if r.Filer.YAt(25) < 90_000 {
+		t.Fatalf("enhanced filer writes %.0f KB/s at 25 MB, want >90 MB/s", r.Filer.YAt(25))
+	}
+	// ...NFS no longer tracks network throughput...
+	if r.Filer.YAt(25) < 2.5*35_000 {
+		t.Fatal("enhanced client still pinned to network speed")
+	}
+	// ...and the filer sustains high throughput longer than the Linux
+	// server as memory runs out (NVRAM + faster ingest).
+	if r.Filer.YAt(450) <= r.Linux.YAt(450) {
+		t.Fatalf("at 450 MB filer %.0f <= linux %.0f KB/s", r.Filer.YAt(450), r.Linux.YAt(450))
+	}
+	// Local ext2 trails off hardest (EIDE disk).
+	if r.Local.YAt(450) >= r.Linux.YAt(450) {
+		t.Fatalf("local %.0f should trail linux %.0f at 450 MB", r.Local.YAt(450), r.Linux.YAt(450))
+	}
+	// Throughput at 25 MB far exceeds throughput at 450 MB (memory cliff).
+	if r.Filer.YAt(25) < 15*r.Filer.YAt(450)/10 {
+		t.Fatal("no memory cliff visible for the filer curve")
+	}
+}
+
+func TestConcurrencyShape(t *testing.T) {
+	r := Concurrency()
+	if r.NoLockMBps <= r.LockMBps {
+		t.Fatalf("aggregate no-lock %.1f <= lock %.1f MBps", r.NoLockMBps, r.LockMBps)
+	}
+	if r.NoLockMean >= r.LockMeanLat {
+		t.Fatalf("no-lock mean %v >= lock mean %v", r.NoLockMean, r.LockMeanLat)
+	}
+	if !strings.Contains(r.Render(), "Concurrent") {
+		t.Fatal("render broken")
+	}
+}

@@ -1,0 +1,113 @@
+// Package ext2 models the paper's local-filesystem comparison target: an
+// ext2 filesystem on the client's EIDE disk. Writes land in the page
+// cache at memory speed; a kflushd-style daemon writes dirty pages back
+// to the disk; and — the detail the paper's methodology hinges on — ext2
+// does NOT flush on close, so "dirty data remains in the system's data
+// cache after the final close()" (§2.3). Flush (fsync) does force
+// writeback.
+package ext2
+
+import (
+	"repro/internal/disksim"
+	"repro/internal/mm"
+	"repro/internal/sim"
+	"repro/internal/vfs"
+)
+
+// File is a local ext2 file.
+type File struct {
+	s     *sim.Sim
+	cpu   *sim.CPUPool
+	cache *mm.PageCache
+	disk  *disksim.Disk
+	costs vfs.Costs
+
+	size    int64
+	dirty   int64 // bytes dirtied by this file, not yet under writeback
+	inFlush int64 // bytes under writeback
+	diskOff int64
+	work    *sim.WaitQueue
+	clean   *sim.WaitQueue
+	closed  bool
+}
+
+// ext2CommitCPU is ext2_commit_write + block allocation per page.
+const ext2CommitCPU = 1_000 // 1 µs
+
+// flushChunk is the writeback granularity.
+const flushChunk = 512 << 10
+
+// NewFile creates an ext2 file backed by the given disk, charging memory
+// to cache and CPU to cpu, and starts its writeback daemon.
+func NewFile(s *sim.Sim, cpu *sim.CPUPool, cache *mm.PageCache, disk *disksim.Disk) *File {
+	f := &File{
+		s: s, cpu: cpu, cache: cache, disk: disk,
+		costs: vfs.DefaultCosts(),
+		work:  s.NewWaitQueue("ext2-work"),
+		clean: s.NewWaitQueue("ext2-clean"),
+	}
+	s.Go("kflushd/ext2", f.writeback)
+	return f
+}
+
+// Write implements vfs.File: page-cache writes at memory speed, blocking
+// only under memory pressure.
+func (f *File) Write(p *sim.Proc, n int) {
+	if f.closed {
+		panic("ext2: write after close")
+	}
+	vfs.WriteSyscall(p, f.cpu, f.costs, f.size, n, func(span vfs.PageSpan) {
+		f.cpu.Use(p, "ext2_commit_write", ext2CommitCPU)
+		f.cache.ChargeDirty(p, int64(span.Count))
+		f.dirty += int64(span.Count)
+	})
+	f.size += int64(n)
+	// Kick background writeback once a reasonable batch exists, like
+	// bdflush waking on dirty ratio.
+	if f.dirty >= flushChunk {
+		f.work.Signal()
+	}
+}
+
+// Flush implements vfs.File: fsync — force out all dirty data and wait.
+func (f *File) Flush(p *sim.Proc) {
+	for f.dirty > 0 || f.inFlush > 0 {
+		f.work.Signal()
+		f.clean.Wait(p)
+	}
+}
+
+// Close implements vfs.File. Faithful to ext2: close does NOT flush; the
+// data stays dirty in the page cache (§2.3's fairness discussion).
+func (f *File) Close(p *sim.Proc) {
+	f.closed = true
+}
+
+// Size implements vfs.File.
+func (f *File) Size() int64 { return f.size }
+
+// Dirty returns bytes not yet under writeback (for tests).
+func (f *File) Dirty() int64 { return f.dirty }
+
+// writeback is the kflushd-style daemon: drain dirty pages to disk.
+func (f *File) writeback(p *sim.Proc) {
+	for {
+		for f.dirty == 0 {
+			f.work.Wait(p)
+		}
+		chunk := int64(flushChunk)
+		if f.dirty < chunk {
+			chunk = f.dirty
+		}
+		f.dirty -= chunk
+		f.inFlush += chunk
+		f.cache.StartWriteback(chunk)
+		f.disk.Write(p, f.diskOff, chunk)
+		f.diskOff += chunk
+		f.inFlush -= chunk
+		f.cache.EndWriteback(chunk)
+		if f.dirty == 0 && f.inFlush == 0 {
+			f.clean.Broadcast()
+		}
+	}
+}

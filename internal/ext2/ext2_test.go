@@ -1,0 +1,108 @@
+package ext2
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/disksim"
+	"repro/internal/mm"
+	"repro/internal/sim"
+)
+
+func newRig(seed int64, cacheLimit int64) (*sim.Sim, *File, *mm.PageCache) {
+	s := sim.New(seed)
+	cpu := s.NewCPUPool("cpu", 2)
+	cache := mm.New(s, cacheLimit)
+	disk := disksim.NewDeskstarEIDE(s)
+	return s, NewFile(s, cpu, cache, disk), cache
+}
+
+func TestMemorySpeedWrites(t *testing.T) {
+	s, f, _ := newRig(1, 64<<20)
+	var elapsed sim.Time
+	s.Go("w", func(p *sim.Proc) {
+		for i := 0; i < 1024; i++ { // 8 MB, well within cache
+			f.Write(p, 8192)
+		}
+		elapsed = s.Now()
+	})
+	s.Run(time.Minute)
+	mbps := float64(8<<20) / 1e6 / elapsed.Seconds()
+	// Figure 1's local plateau is ~170-200 MB/s.
+	if mbps < 150 || mbps > 260 {
+		t.Fatalf("local memory write = %.1f MB/s, want ~150-260", mbps)
+	}
+	if f.Size() != 8<<20 {
+		t.Fatalf("size = %d", f.Size())
+	}
+}
+
+func TestCloseDoesNotFlush(t *testing.T) {
+	s, f, cache := newRig(1, 64<<20)
+	s.Go("w", func(p *sim.Proc) {
+		for i := 0; i < 16; i++ {
+			f.Write(p, 8192)
+		}
+		f.Close(p)
+	})
+	s.Run(time.Second)
+	// "dirty data remains in the system's data cache after the final
+	// close() operation" (§2.3). 128 KB < flushChunk, so writeback never
+	// even started.
+	if cache.Dirty() == 0 && f.Dirty() == 0 {
+		t.Fatal("close flushed the page cache; ext2 must not")
+	}
+}
+
+func TestFlushDrainsEverything(t *testing.T) {
+	s, f, cache := newRig(1, 64<<20)
+	var after int64 = -1
+	s.Go("w", func(p *sim.Proc) {
+		for i := 0; i < 512; i++ { // 4 MB
+			f.Write(p, 8192)
+		}
+		f.Flush(p)
+		after = cache.Usage()
+	})
+	s.Run(time.Minute)
+	if after != 0 {
+		t.Fatalf("cache usage after fsync = %d", after)
+	}
+	if f.Dirty() != 0 {
+		t.Fatalf("file dirty after fsync = %d", f.Dirty())
+	}
+}
+
+func TestThrottledAtCacheLimit(t *testing.T) {
+	s, f, cache := newRig(1, 4<<20)
+	var elapsed sim.Time
+	s.Go("w", func(p *sim.Proc) {
+		for i := 0; i < 2048; i++ { // 16 MB into a 4 MB budget
+			f.Write(p, 8192)
+		}
+		elapsed = s.Now()
+	})
+	s.Run(10 * time.Minute)
+	if cache.ThrottleEvents == 0 {
+		t.Fatal("writer never throttled")
+	}
+	// Disk-bound at ~16.6 MB/s: 16 MB takes ~1 s; memory speed would be
+	// ~80 ms.
+	if elapsed < 500*time.Millisecond {
+		t.Fatalf("elapsed %v too fast for a disk-bound run", elapsed)
+	}
+}
+
+func TestWriteAfterClosePanics(t *testing.T) {
+	s, f, _ := newRig(1, 4<<20)
+	panicked := false
+	s.Go("w", func(p *sim.Proc) {
+		f.Close(p)
+		defer func() { panicked = recover() != nil }()
+		f.Write(p, 10)
+	})
+	s.Run(time.Second)
+	if !panicked {
+		t.Fatal("no panic on write after close")
+	}
+}

@@ -1,0 +1,100 @@
+// Package mm models the client's memory management as the paper's fixes
+// require it: once the arbitrary MAX_REQUEST_SOFT/HARD limits are removed,
+// "the client should cache as many requests as it can in available memory
+// [Macklem]; there is no need to flush ... unless the client cannot
+// allocate more memory for new requests, in which case the VFS layer
+// blocks the writer" (§3.3). PageCache provides exactly that: dirty +
+// writeback accounting against a memory budget, with writer throttling.
+package mm
+
+import (
+	"fmt"
+
+	"repro/internal/sim"
+)
+
+// PageCache tracks dirty and in-writeback bytes against a budget.
+type PageCache struct {
+	s *sim.Sim
+	// limit is the maximum of dirty+writeback bytes before writers block
+	// (the machine's RAM minus kernel and benchmark working set).
+	limit int64
+
+	dirty     int64
+	writeback int64
+	wait      *sim.WaitQueue
+
+	// ThrottleEvents counts writer blocks due to memory pressure.
+	ThrottleEvents int64
+	// ThrottledTime accumulates total writer wall time lost to throttling.
+	ThrottledTime sim.Time
+	// PeakUsage is the high-water mark of dirty+writeback.
+	PeakUsage int64
+}
+
+// ClientRAM is the paper's client memory size (256 MB of PC133 SDRAM).
+const ClientRAM = 256 << 20
+
+// DefaultDirtyLimit is the default page-cache budget: RAM minus ~48 MB of
+// kernel text/structures and benchmark working set.
+const DefaultDirtyLimit = ClientRAM - (48 << 20)
+
+// New returns a page cache with the given dirty+writeback budget.
+func New(s *sim.Sim, limit int64) *PageCache {
+	if limit <= 0 {
+		panic("mm: limit must be positive")
+	}
+	return &PageCache{s: s, limit: limit, wait: s.NewWaitQueue("pagecache")}
+}
+
+// Limit returns the configured budget.
+func (c *PageCache) Limit() int64 { return c.limit }
+
+// Dirty returns the bytes dirtied but not yet under writeback.
+func (c *PageCache) Dirty() int64 { return c.dirty }
+
+// Writeback returns the bytes currently being written out.
+func (c *PageCache) Writeback() int64 { return c.writeback }
+
+// Usage returns dirty+writeback.
+func (c *PageCache) Usage() int64 { return c.dirty + c.writeback }
+
+// ChargeDirty blocks p until n bytes fit in the budget, then accounts
+// them as dirty. This is the VFS blocking the writer under memory
+// pressure — the correct replacement for the 2.4.4 request-count limits.
+func (c *PageCache) ChargeDirty(p *sim.Proc, n int64) {
+	if n < 0 {
+		panic("mm: negative charge")
+	}
+	if c.Usage()+n > c.limit {
+		c.ThrottleEvents++
+		t0 := c.s.Now()
+		for c.Usage()+n > c.limit {
+			c.wait.Wait(p)
+		}
+		c.ThrottledTime += c.s.Now() - t0
+	}
+	c.dirty += n
+	if u := c.Usage(); u > c.PeakUsage {
+		c.PeakUsage = u
+	}
+}
+
+// StartWriteback moves n bytes from dirty to writeback.
+func (c *PageCache) StartWriteback(n int64) {
+	if n > c.dirty {
+		panic(fmt.Sprintf("mm: writeback %d exceeds dirty %d", n, c.dirty))
+	}
+	c.dirty -= n
+	c.writeback += n
+}
+
+// EndWriteback releases n bytes of completed writeback and wakes
+// throttled writers.
+func (c *PageCache) EndWriteback(n int64) {
+	if n > c.writeback {
+		panic(fmt.Sprintf("mm: end writeback %d exceeds %d", n, c.writeback))
+	}
+	c.writeback -= n
+	c.wait.Broadcast()
+}

@@ -1,0 +1,135 @@
+package mm
+
+import (
+	"testing"
+	"testing/quick"
+	"time"
+
+	"repro/internal/sim"
+)
+
+func TestChargeWithinBudget(t *testing.T) {
+	s := sim.New(1)
+	c := New(s, 1<<20)
+	s.Go("w", func(p *sim.Proc) {
+		c.ChargeDirty(p, 512<<10)
+		if s.Now() != 0 {
+			t.Error("charge within budget should not block")
+		}
+	})
+	s.Run(time.Second)
+	if c.Dirty() != 512<<10 || c.Usage() != 512<<10 {
+		t.Fatalf("dirty=%d usage=%d", c.Dirty(), c.Usage())
+	}
+	if c.ThrottleEvents != 0 {
+		t.Fatal("throttled within budget")
+	}
+}
+
+func TestThrottleAndRelease(t *testing.T) {
+	s := sim.New(1)
+	c := New(s, 1000)
+	var wokenAt sim.Time
+	s.Go("writer", func(p *sim.Proc) {
+		c.ChargeDirty(p, 800)
+		c.ChargeDirty(p, 800) // over budget: blocks
+		wokenAt = s.Now()
+	})
+	s.Go("flusher", func(p *sim.Proc) {
+		p.Sleep(5 * time.Millisecond)
+		c.StartWriteback(800)
+		p.Sleep(5 * time.Millisecond)
+		c.EndWriteback(800)
+	})
+	s.Run(time.Second)
+	if wokenAt != 10*time.Millisecond {
+		t.Fatalf("writer woke at %v, want 10ms", wokenAt)
+	}
+	if c.ThrottleEvents != 1 || c.ThrottledTime != 10*time.Millisecond {
+		t.Fatalf("throttle stats: %d events, %v", c.ThrottleEvents, c.ThrottledTime)
+	}
+	if c.Dirty() != 800 || c.Writeback() != 0 {
+		t.Fatalf("dirty=%d wb=%d", c.Dirty(), c.Writeback())
+	}
+}
+
+func TestWritebackAccounting(t *testing.T) {
+	s := sim.New(1)
+	c := New(s, 1<<20)
+	s.Go("w", func(p *sim.Proc) {
+		c.ChargeDirty(p, 1000)
+		c.StartWriteback(400)
+		if c.Dirty() != 600 || c.Writeback() != 400 || c.Usage() != 1000 {
+			t.Errorf("after start: dirty=%d wb=%d", c.Dirty(), c.Writeback())
+		}
+		c.EndWriteback(400)
+		if c.Usage() != 600 {
+			t.Errorf("after end: usage=%d", c.Usage())
+		}
+	})
+	s.Run(time.Second)
+	if c.PeakUsage != 1000 {
+		t.Fatalf("peak = %d", c.PeakUsage)
+	}
+}
+
+func TestPanics(t *testing.T) {
+	s := sim.New(1)
+	for i, fn := range []func(){
+		func() { New(s, 0) },
+		func() { New(s, 10).StartWriteback(5) },
+		func() { New(s, 10).EndWriteback(5) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Fatalf("case %d: expected panic", i)
+				}
+			}()
+			fn()
+		}()
+	}
+	// Negative charge panics inside a proc.
+	c := New(s, 10)
+	s.Go("w", func(p *sim.Proc) {
+		defer func() {
+			if recover() == nil {
+				t.Error("negative charge did not panic")
+			}
+			// Swallow so the sim does not propagate it.
+		}()
+		c.ChargeDirty(p, -1)
+	})
+	s.Run(time.Second)
+}
+
+// Property: usage never exceeds the limit no matter how writers and
+// flushers interleave, as long as individual charges fit the budget.
+func TestBudgetInvariantProperty(t *testing.T) {
+	f := func(seed int64, nRaw uint8) bool {
+		n := int(nRaw%20) + 2
+		s := sim.New(seed)
+		limit := int64(8 << 10)
+		c := New(s, limit)
+		ok := true
+		for i := 0; i < n; i++ {
+			s.Go("w", func(p *sim.Proc) {
+				for j := 0; j < 4; j++ {
+					c.ChargeDirty(p, 1<<10)
+					if c.Usage() > limit {
+						ok = false
+					}
+					p.Sleep(sim.Time(s.Rand().Intn(1000)) * time.Microsecond)
+					c.StartWriteback(1 << 10)
+					p.Sleep(100 * time.Microsecond)
+					c.EndWriteback(1 << 10)
+				}
+			})
+		}
+		s.Run(time.Minute)
+		return ok && c.Usage() == 0 && s.Live() == 0
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,230 @@
+// Package netsim models the paper's test network: hosts attached to a
+// single Extreme Summit7i-style full-duplex switch over links with
+// configurable bandwidth and propagation delay, carrying UDP datagrams
+// that fragment at the IP layer when they exceed the MTU.
+//
+// NFS over UDP with wsize=8192 puts ~8.3 KB datagrams on a 1500-byte-MTU
+// wire, so every WRITE RPC becomes six IP fragments; the paper suspects
+// this fragmentation/reassembly work is where the 50 µs per sock_sendmsg
+// goes and suggests jumbo packets as future work (§3.5). Fragment counts
+// are first-class results here so the RPC layer can charge per-fragment
+// CPU and the jumbo-frame ablation can show the saving.
+package netsim
+
+import (
+	"fmt"
+
+	"repro/internal/sim"
+)
+
+// Wire and protocol overhead constants (bytes).
+const (
+	// EthernetOverhead counts preamble+SFD (8), MAC header (14), FCS (4)
+	// and minimum inter-frame gap (12) — what each frame costs on the wire
+	// beyond its IP payload.
+	EthernetOverhead = 38
+	// IPHeader is the IPv4 header carried by every fragment.
+	IPHeader = 20
+	// UDPHeader is carried only by the first fragment of a datagram.
+	UDPHeader = 8
+
+	// MTUEthernet is the standard MTU; the paper's switch and hosts run
+	// without jumbo frames (§3.1).
+	MTUEthernet = 1500
+	// MTUJumbo is the gigabit jumbo-frame MTU for the §3.5 ablation.
+	MTUJumbo = 9000
+)
+
+// Gigabit and fast-ethernet link bandwidths in bytes per second.
+const (
+	BandwidthGigabit = 125_000_000 // 1000base-T, 1 Gb/s
+	Bandwidth100Mbit = 12_500_000  // 100base-T (§3.5 slow-server check)
+)
+
+// Datagram is one UDP datagram traversing the network.
+type Datagram struct {
+	From    string
+	To      string
+	Payload []byte
+}
+
+// Handler receives datagrams delivered to a host. It runs in event
+// context on the virtual clock; implementations typically hand the
+// datagram to a simulated process.
+type Handler func(dg Datagram)
+
+// LinkConfig describes one host's attachment to the switch.
+type LinkConfig struct {
+	// Bandwidth in bytes per second, per direction (full duplex).
+	Bandwidth int64
+	// Propagation is the one-way latency to the switch (cable + switch
+	// forwarding).
+	Propagation sim.Time
+	// MTU is the link MTU; datagrams larger than MTU-28 fragment.
+	MTU int
+}
+
+// DefaultGigabit returns the paper's client/server attachment: gigabit,
+// standard MTU, ~20 µs one-way through the switch.
+func DefaultGigabit() LinkConfig {
+	return LinkConfig{Bandwidth: BandwidthGigabit, Propagation: 20_000, MTU: MTUEthernet}
+}
+
+type host struct {
+	name    string
+	cfg     LinkConfig
+	handler Handler
+	// txFreeAt / rxFreeAt serialize this host's uplink and downlink.
+	txFreeAt sim.Time
+	rxFreeAt sim.Time
+
+	// Statistics.
+	BytesSent     int64
+	BytesReceived int64
+	FramesSent    int64
+	FramesRecv    int64
+}
+
+// Network is a star topology around one switch.
+type Network struct {
+	s     *sim.Sim
+	hosts map[string]*host
+}
+
+// New returns an empty network on the given simulator.
+func New(s *sim.Sim) *Network {
+	return &Network{s: s, hosts: make(map[string]*host)}
+}
+
+// AddHost attaches a host to the switch. The handler receives datagrams
+// addressed to it.
+func (n *Network) AddHost(name string, cfg LinkConfig, h Handler) {
+	if _, dup := n.hosts[name]; dup {
+		panic("netsim: duplicate host " + name)
+	}
+	if cfg.Bandwidth <= 0 || cfg.MTU <= IPHeader+UDPHeader {
+		panic("netsim: bad link config for " + name)
+	}
+	n.hosts[name] = &host{name: name, cfg: cfg, handler: h}
+}
+
+// SetHandler replaces a host's delivery handler.
+func (n *Network) SetHandler(name string, h Handler) {
+	n.mustHost(name).handler = h
+}
+
+func (n *Network) mustHost(name string) *host {
+	h, ok := n.hosts[name]
+	if !ok {
+		panic("netsim: unknown host " + name)
+	}
+	return h
+}
+
+// FragmentCount returns how many IP fragments a UDP payload of n bytes
+// needs at the given MTU. The first fragment carries the UDP header; each
+// fragment's payload is a multiple of 8 bytes except the last.
+func FragmentCount(n, mtu int) int {
+	if n <= 0 {
+		return 1
+	}
+	capacity := mtu - IPHeader // bytes of (UDP hdr + payload) per fragment
+	total := n + UDPHeader
+	if total <= capacity {
+		return 1
+	}
+	per := capacity / 8 * 8 // fragment offsets are in 8-byte units
+	frags := 0
+	for total > 0 {
+		take := per
+		if total <= capacity {
+			take = total
+		}
+		total -= take
+		frags++
+	}
+	return frags
+}
+
+// WireBytes returns the total on-the-wire size (ethernet framing included)
+// of a UDP payload of n bytes at the given MTU.
+func WireBytes(n, mtu int) int64 {
+	frags := FragmentCount(n, mtu)
+	return int64(n + UDPHeader + frags*(IPHeader+EthernetOverhead))
+}
+
+// SendResult reports what a Send did, so callers can charge CPU.
+type SendResult struct {
+	Fragments int
+	WireBytes int64
+	// TxTime is how long the sender's uplink was occupied.
+	TxTime sim.Time
+	// DeliverAt is when the datagram lands at the receiver.
+	DeliverAt sim.Time
+}
+
+// Send transmits a UDP datagram from one host to another. The sender's
+// uplink and the receiver's downlink are FIFO-serialized; delivery happens
+// when the last fragment clears the receiver's link, at which point the
+// receiving host's handler runs. Send does not block the caller; the
+// caller models its own CPU cost (the sock_sendmsg time) separately.
+func (n *Network) Send(dg Datagram) SendResult {
+	src := n.mustHost(dg.From)
+	dst := n.mustHost(dg.To)
+	mtu := src.cfg.MTU
+	if dst.cfg.MTU < mtu {
+		mtu = dst.cfg.MTU // path MTU
+	}
+	frags := FragmentCount(len(dg.Payload), mtu)
+	wire := WireBytes(len(dg.Payload), mtu)
+
+	now := n.s.Now()
+	txStart := now
+	if src.txFreeAt > txStart {
+		txStart = src.txFreeAt
+	}
+	txTime := sim.Time(wire * 1e9 / src.cfg.Bandwidth)
+	txDone := txStart + txTime
+	src.txFreeAt = txDone
+
+	atSwitch := txDone + src.cfg.Propagation
+
+	rxStart := atSwitch
+	if dst.rxFreeAt > rxStart {
+		rxStart = dst.rxFreeAt
+	}
+	rxTime := sim.Time(wire * 1e9 / dst.cfg.Bandwidth)
+	deliverAt := rxStart + rxTime + dst.cfg.Propagation
+	dst.rxFreeAt = rxStart + rxTime
+
+	src.BytesSent += wire
+	src.FramesSent += int64(frags)
+	dst.BytesReceived += wire
+	dst.FramesRecv += int64(frags)
+
+	n.s.At(deliverAt, func() {
+		if dst.handler != nil {
+			dst.handler(dg)
+		}
+	})
+	return SendResult{Fragments: frags, WireBytes: wire, TxTime: txDone - txStart, DeliverAt: deliverAt}
+}
+
+// Stats describes a host's traffic counters.
+type Stats struct {
+	BytesSent     int64
+	BytesReceived int64
+	FramesSent    int64
+	FramesRecv    int64
+}
+
+// HostStats returns the traffic counters for a host.
+func (n *Network) HostStats(name string) Stats {
+	h := n.mustHost(name)
+	return Stats{h.BytesSent, h.BytesReceived, h.FramesSent, h.FramesRecv}
+}
+
+func (s Stats) String() string {
+	return fmt.Sprintf("tx %d B/%d frames, rx %d B/%d frames",
+		s.BytesSent, s.FramesSent, s.BytesReceived, s.FramesRecv)
+}

@@ -1,0 +1,419 @@
+// Package nfsproto defines the NFS version 3 protocol messages (RFC 1813)
+// and the SunRPC envelope (RFC 1831) used by the client write path: WRITE
+// and COMMIT, with real XDR wire encodings. The paper's systems mount with
+// NFSv3, rsize=wsize=8192 (§3.1); message sizes computed here drive wire
+// transmission times and IP fragment counts in the network model.
+package nfsproto
+
+import (
+	"errors"
+	"fmt"
+
+	"repro/internal/xdr"
+)
+
+// RPC constants (RFC 1831 / RFC 1813).
+const (
+	RPCVersion  = 2
+	ProgramNFS  = 100003
+	NFSVersion3 = 3
+
+	MsgCall  = 0
+	MsgReply = 1
+
+	AuthNull = 0
+	AuthUnix = 1
+)
+
+// NFSv3 procedure numbers used by the write path.
+const (
+	ProcNull   = 0
+	ProcWrite  = 7
+	ProcCommit = 21
+)
+
+// StableHow is the WRITE3 stability level (RFC 1813 §3.3.7). The filer
+// commits every write to NVRAM and can reply FileSync immediately, which
+// is why "filer writes ... don't require an additional COMMIT RPC" (§3.5).
+type StableHow uint32
+
+// Stability levels.
+const (
+	Unstable StableHow = 0
+	DataSync StableHow = 1
+	FileSync StableHow = 2
+)
+
+func (s StableHow) String() string {
+	switch s {
+	case Unstable:
+		return "UNSTABLE"
+	case DataSync:
+		return "DATA_SYNC"
+	case FileSync:
+		return "FILE_SYNC"
+	default:
+		return fmt.Sprintf("StableHow(%d)", uint32(s))
+	}
+}
+
+// Status is an nfsstat3 result code.
+type Status uint32
+
+// Result codes used by the simulation.
+const (
+	NFS3OK          Status = 0
+	NFS3ErrIO       Status = 5
+	NFS3ErrStale    Status = 70
+	NFS3ErrJukebox  Status = 10008
+	NFS3ErrBadThing Status = 10001
+)
+
+func (s Status) String() string {
+	switch s {
+	case NFS3OK:
+		return "NFS3_OK"
+	case NFS3ErrIO:
+		return "NFS3ERR_IO"
+	case NFS3ErrStale:
+		return "NFS3ERR_STALE"
+	case NFS3ErrJukebox:
+		return "NFS3ERR_JUKEBOX"
+	default:
+		return fmt.Sprintf("nfsstat3(%d)", uint32(s))
+	}
+}
+
+// FHSize is the file handle size our servers issue. NFSv3 allows up to 64
+// bytes; Linux knfsd and ONTAP both used 32-byte handles in this era.
+const FHSize = 32
+
+// FileHandle identifies a file on a server.
+type FileHandle [FHSize]byte
+
+// MakeFileHandle builds a deterministic handle from a file id.
+func MakeFileHandle(fsid, fileid uint64) FileHandle {
+	var fh FileHandle
+	for i := 0; i < 8; i++ {
+		fh[i] = byte(fsid >> (8 * i))
+		fh[8+i] = byte(fileid >> (8 * i))
+	}
+	fh[16] = 0x6e // "nfs!"
+	fh[17] = 0x66
+	fh[18] = 0x73
+	fh[19] = 0x21
+	return fh
+}
+
+// WriteVerf is the write verifier servers return; it changes on server
+// reboot so clients know to re-send uncommitted data.
+type WriteVerf uint64
+
+// CallHeader is the SunRPC call envelope.
+type CallHeader struct {
+	XID  uint32
+	Proc uint32
+}
+
+// authUnixBody is a fixed AUTH_UNIX credential: stamp, machinename
+// ("client"), uid, gid, 1 supplementary gid. Matches what the 2.4 client
+// sends by default.
+func encodeAuthUnix(e *xdr.Encoder) {
+	body := xdr.NewEncoder(64)
+	body.Uint32(0)        // stamp
+	body.String("client") // machine name
+	body.Uint32(0)        // uid
+	body.Uint32(0)        // gid
+	body.Uint32(1)        // gids count
+	body.Uint32(0)        // gid[0]
+	e.Uint32(AuthUnix)
+	e.Opaque(body.Bytes())
+}
+
+func skipAuth(d *xdr.Decoder) error {
+	_, err := d.Uint32()
+	if err != nil {
+		return err
+	}
+	_, err = d.Opaque()
+	return err
+}
+
+// EncodeCall encodes the RPC call header (xid, call, rpcvers, prog, vers,
+// proc, AUTH_UNIX cred, AUTH_NULL verf).
+func (h CallHeader) Encode(e *xdr.Encoder) {
+	e.Uint32(h.XID)
+	e.Uint32(MsgCall)
+	e.Uint32(RPCVersion)
+	e.Uint32(ProgramNFS)
+	e.Uint32(NFSVersion3)
+	e.Uint32(h.Proc)
+	encodeAuthUnix(e)
+	e.Uint32(AuthNull) // verf flavor
+	e.Uint32(0)        // verf length
+}
+
+// DecodeCall decodes an RPC call header.
+func DecodeCall(d *xdr.Decoder) (CallHeader, error) {
+	var h CallHeader
+	xid, err := d.Uint32()
+	if err != nil {
+		return h, err
+	}
+	mtype, err := d.Uint32()
+	if err != nil {
+		return h, err
+	}
+	if mtype != MsgCall {
+		return h, errors.New("nfsproto: not a call")
+	}
+	rv, e1 := d.Uint32()
+	prog, e2 := d.Uint32()
+	vers, e3 := d.Uint32()
+	proc, e4 := d.Uint32()
+	if err := xdr.Check(e1, e2, e3, e4); err != nil {
+		return h, err
+	}
+	if rv != RPCVersion || prog != ProgramNFS || vers != NFSVersion3 {
+		return h, fmt.Errorf("nfsproto: bad rpc header rpcvers=%d prog=%d vers=%d", rv, prog, vers)
+	}
+	if err := skipAuth(d); err != nil {
+		return h, err
+	}
+	if err := skipAuth(d); err != nil { // verf is flavor+opaque too
+		return h, err
+	}
+	h.XID = xid
+	h.Proc = proc
+	return h, nil
+}
+
+// ReplyHeader is the SunRPC accepted-reply envelope.
+type ReplyHeader struct {
+	XID uint32
+}
+
+// Encode encodes the reply header (xid, reply, accepted, AUTH_NULL verf,
+// success).
+func (h ReplyHeader) Encode(e *xdr.Encoder) {
+	e.Uint32(h.XID)
+	e.Uint32(MsgReply)
+	e.Uint32(0) // MSG_ACCEPTED
+	e.Uint32(AuthNull)
+	e.Uint32(0)
+	e.Uint32(0) // SUCCESS
+}
+
+// DecodeReply decodes a reply header.
+func DecodeReply(d *xdr.Decoder) (ReplyHeader, error) {
+	var h ReplyHeader
+	xid, err := d.Uint32()
+	if err != nil {
+		return h, err
+	}
+	mtype, err := d.Uint32()
+	if err != nil {
+		return h, err
+	}
+	if mtype != MsgReply {
+		return h, errors.New("nfsproto: not a reply")
+	}
+	stat, err := d.Uint32()
+	if err != nil {
+		return h, err
+	}
+	if stat != 0 {
+		return h, errors.New("nfsproto: rpc denied")
+	}
+	if err := skipAuth(d); err != nil {
+		return h, err
+	}
+	astat, err := d.Uint32()
+	if err != nil {
+		return h, err
+	}
+	if astat != 0 {
+		return h, fmt.Errorf("nfsproto: accept_stat=%d", astat)
+	}
+	h.XID = xid
+	return h, nil
+}
+
+// WriteArgs is WRITE3args (RFC 1813 §3.3.7).
+type WriteArgs struct {
+	File   FileHandle
+	Offset uint64
+	Count  uint32
+	Stable StableHow
+	Data   []byte
+}
+
+// Encode appends the XDR form of the arguments.
+func (a *WriteArgs) Encode(e *xdr.Encoder) {
+	e.Opaque(a.File[:])
+	e.Uint64(a.Offset)
+	e.Uint32(a.Count)
+	e.Uint32(uint32(a.Stable))
+	e.Opaque(a.Data)
+}
+
+// DecodeWriteArgs decodes WRITE3args.
+func DecodeWriteArgs(d *xdr.Decoder) (*WriteArgs, error) {
+	fh, err := d.Opaque()
+	if err != nil {
+		return nil, err
+	}
+	if len(fh) != FHSize {
+		return nil, fmt.Errorf("nfsproto: file handle size %d", len(fh))
+	}
+	var a WriteArgs
+	copy(a.File[:], fh)
+	off, e1 := d.Uint64()
+	count, e2 := d.Uint32()
+	stable, e3 := d.Uint32()
+	data, e4 := d.Opaque()
+	if err := xdr.Check(e1, e2, e3, e4); err != nil {
+		return nil, err
+	}
+	a.Offset = off
+	a.Count = count
+	a.Stable = StableHow(stable)
+	a.Data = data
+	return &a, nil
+}
+
+// WriteRes is WRITE3res (success arm; wcc attributes elided as "not
+// present", which is a legal and common server choice).
+type WriteRes struct {
+	Status    Status
+	Count     uint32
+	Committed StableHow
+	Verf      WriteVerf
+}
+
+// Encode appends the XDR form of the result.
+func (r *WriteRes) Encode(e *xdr.Encoder) {
+	e.Uint32(uint32(r.Status))
+	e.Bool(false) // wcc_data.before not present
+	e.Bool(false) // wcc_data.after not present
+	if r.Status == NFS3OK {
+		e.Uint32(r.Count)
+		e.Uint32(uint32(r.Committed))
+		e.Uint64(uint64(r.Verf))
+	}
+}
+
+// DecodeWriteRes decodes WRITE3res.
+func DecodeWriteRes(d *xdr.Decoder) (*WriteRes, error) {
+	st, err := d.Uint32()
+	if err != nil {
+		return nil, err
+	}
+	if _, err := d.Bool(); err != nil {
+		return nil, err
+	}
+	if _, err := d.Bool(); err != nil {
+		return nil, err
+	}
+	r := &WriteRes{Status: Status(st)}
+	if r.Status != NFS3OK {
+		return r, nil
+	}
+	count, e1 := d.Uint32()
+	committed, e2 := d.Uint32()
+	verf, e3 := d.Uint64()
+	if err := xdr.Check(e1, e2, e3); err != nil {
+		return nil, err
+	}
+	r.Count = count
+	r.Committed = StableHow(committed)
+	r.Verf = WriteVerf(verf)
+	return r, nil
+}
+
+// CommitArgs is COMMIT3args (RFC 1813 §3.3.21). Count == 0 means "commit
+// everything from Offset to end of file", which is how the client commits
+// a whole file at close.
+type CommitArgs struct {
+	File   FileHandle
+	Offset uint64
+	Count  uint32
+}
+
+// Encode appends the XDR form of the arguments.
+func (a *CommitArgs) Encode(e *xdr.Encoder) {
+	e.Opaque(a.File[:])
+	e.Uint64(a.Offset)
+	e.Uint32(a.Count)
+}
+
+// DecodeCommitArgs decodes COMMIT3args.
+func DecodeCommitArgs(d *xdr.Decoder) (*CommitArgs, error) {
+	fh, err := d.Opaque()
+	if err != nil {
+		return nil, err
+	}
+	if len(fh) != FHSize {
+		return nil, fmt.Errorf("nfsproto: file handle size %d", len(fh))
+	}
+	var a CommitArgs
+	copy(a.File[:], fh)
+	off, e1 := d.Uint64()
+	count, e2 := d.Uint32()
+	if err := xdr.Check(e1, e2); err != nil {
+		return nil, err
+	}
+	a.Offset = off
+	a.Count = count
+	return &a, nil
+}
+
+// CommitRes is COMMIT3res.
+type CommitRes struct {
+	Status Status
+	Verf   WriteVerf
+}
+
+// Encode appends the XDR form of the result.
+func (r *CommitRes) Encode(e *xdr.Encoder) {
+	e.Uint32(uint32(r.Status))
+	e.Bool(false)
+	e.Bool(false)
+	if r.Status == NFS3OK {
+		e.Uint64(uint64(r.Verf))
+	}
+}
+
+// DecodeCommitRes decodes COMMIT3res.
+func DecodeCommitRes(d *xdr.Decoder) (*CommitRes, error) {
+	st, err := d.Uint32()
+	if err != nil {
+		return nil, err
+	}
+	if _, err := d.Bool(); err != nil {
+		return nil, err
+	}
+	if _, err := d.Bool(); err != nil {
+		return nil, err
+	}
+	r := &CommitRes{Status: Status(st)}
+	if r.Status != NFS3OK {
+		return r, nil
+	}
+	verf, err := d.Uint64()
+	if err != nil {
+		return nil, err
+	}
+	r.Verf = WriteVerf(verf)
+	return r, nil
+}
+
+// WriteCallSize returns the full encoded size of a WRITE call carrying n
+// data bytes, envelope included. Used for wire-time estimation without
+// building the message.
+func WriteCallSize(n int) int {
+	e := xdr.NewEncoder(128)
+	CallHeader{XID: 1, Proc: ProcWrite}.Encode(e)
+	hdr := e.Len()
+	return hdr + xdr.OpaqueLen(FHSize) + 8 + 4 + 4 + xdr.OpaqueLen(n)
+}

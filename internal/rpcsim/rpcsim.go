@@ -1,0 +1,285 @@
+// Package rpcsim models the Linux 2.4 SunRPC client transport: a bounded
+// slot table of in-flight requests, xid assignment and reply matching,
+// retransmission timers, and — critically for this paper — the global
+// kernel lock discipline around the socket send path.
+//
+// In the stock 2.4.4 kernel the RPC layer holds the big kernel lock (BKL)
+// across sock_sendmsg(), which the paper measures at ~50 µs of
+// network-layer CPU per 8 KB WRITE ("almost 90% of the time per request
+// spent waiting ... to acquire the kernel lock", §3.5). Because the
+// network stack stopped needing the BKL in 2.3, the paper's fix releases
+// the lock around sock_sendmsg() and reacquires it afterwards. Both
+// disciplines are implemented here as LockPolicy values.
+package rpcsim
+
+import (
+	"fmt"
+
+	"repro/internal/netsim"
+	"repro/internal/nfsproto"
+	"repro/internal/sim"
+	"repro/internal/xdr"
+)
+
+// LockPolicy selects the BKL discipline around sock_sendmsg.
+type LockPolicy int
+
+const (
+	// HoldBKLAcrossSend is the stock 2.4.4 behaviour: the BKL is held for
+	// the whole transmit path including the network layer.
+	HoldBKLAcrossSend LockPolicy = iota
+	// ReleaseBKLForSend is the paper's fix: drop the BKL before calling
+	// into the network layer, reacquire it on return.
+	ReleaseBKLForSend
+)
+
+func (l LockPolicy) String() string {
+	if l == ReleaseBKLForSend {
+		return "no-lock"
+	}
+	return "bkl"
+}
+
+// Config holds the transport's cost model and policy.
+type Config struct {
+	// MaxSlots bounds concurrently outstanding RPCs (the 2.4 xprt slot
+	// table holds 16 entries).
+	MaxSlots int
+	// SendCPUBase + SendCPUPerFragment model the sock_sendmsg cost: UDP
+	// send, IP fragmentation and driver work, per datagram and per
+	// fragment. At six fragments per 8 KB WRITE these default to the
+	// paper's ~50 µs.
+	SendCPUBase        sim.Time
+	SendCPUPerFragment sim.Time
+	// RPCPrepCPU is the xprt/xdr work outside the socket call (slot setup,
+	// header marshaling). Held under BKL in both policies.
+	RPCPrepCPU sim.Time
+	// ReplyCPUBase + ReplyCPUPerFragment model softirq receive processing
+	// (IP reassembly + UDP delivery) per reply.
+	ReplyCPUBase        sim.Time
+	ReplyCPUPerFragment sim.Time
+	// ReplyBKLHold is the time the reply path holds the BKL to update RPC
+	// state (not removed by the paper's fix).
+	ReplyBKLHold sim.Time
+	// RetransmitTimeout resends an unanswered call (classic UDP NFS).
+	RetransmitTimeout sim.Time
+	// LockPolicy selects the send-path BKL discipline.
+	LockPolicy LockPolicy
+	// MTU is the path MTU used to compute fragment counts for CPU
+	// charging (must match the network's).
+	MTU int
+}
+
+// DefaultConfig returns the 2.4.4-calibrated cost model: ~50 µs of
+// network-layer CPU per 8 KB WRITE (6 fragments), 16 slots, 1.1 s
+// retransmit.
+func DefaultConfig() Config {
+	return Config{
+		MaxSlots:            16,
+		SendCPUBase:         8_000, // 8 µs
+		SendCPUPerFragment:  7_000, // 7 µs × 6 frags + 8 = 50 µs per 8 KB WRITE
+		RPCPrepCPU:          5_000, // 5 µs
+		ReplyCPUBase:        6_000, // 6 µs
+		ReplyCPUPerFragment: 1_500, // small replies are one fragment
+		ReplyBKLHold:        4_000, // 4 µs
+		RetransmitTimeout:   1_100_000_000,
+		LockPolicy:          HoldBKLAcrossSend,
+		MTU:                 netsim.MTUEthernet,
+	}
+}
+
+// Stats counts transport activity.
+type Stats struct {
+	Calls       int64
+	Replies     int64
+	Retransmits int64
+	BytesSent   int64
+	TotalRTT    sim.Time
+}
+
+type pendingCall struct {
+	xid     uint32
+	payload []byte
+	onReply func(body *xdr.Decoder)
+	timer   *sim.Event
+	sentAt  sim.Time
+}
+
+// Transport is a client-side RPC transport bound to one server.
+type Transport struct {
+	s   *sim.Sim
+	net *netsim.Network
+	cpu *sim.CPUPool
+	bkl *sim.Mutex
+	cfg Config
+
+	local, remote string
+
+	nextXID  uint32
+	pending  map[uint32]*pendingCall
+	slotWait *sim.WaitQueue
+
+	rxq     [][]byte
+	rxWait  *sim.WaitQueue
+	softirq *sim.Proc
+
+	stats Stats
+}
+
+// New creates a transport between local and remote hosts. It installs
+// itself as the local host's datagram handler and starts a softirq
+// process that drains received replies.
+func New(s *sim.Sim, net *netsim.Network, cpu *sim.CPUPool, bkl *sim.Mutex, cfg Config, local, remote string) *Transport {
+	if cfg.MaxSlots < 1 {
+		panic("rpcsim: MaxSlots must be >= 1")
+	}
+	t := &Transport{
+		s: s, net: net, cpu: cpu, bkl: bkl, cfg: cfg,
+		local: local, remote: remote,
+		pending:  make(map[uint32]*pendingCall),
+		slotWait: s.NewWaitQueue("rpc-slots"),
+		rxWait:   s.NewWaitQueue("rpc-rx"),
+	}
+	net.SetHandler(local, func(dg netsim.Datagram) {
+		t.rxq = append(t.rxq, dg.Payload)
+		t.rxWait.Signal()
+	})
+	t.softirq = s.Go("softirq/"+local, t.softirqLoop)
+	return t
+}
+
+// Stats returns a copy of the transport's counters.
+func (t *Transport) Stats() Stats { return t.stats }
+
+// InFlight returns the number of outstanding calls.
+func (t *Transport) InFlight() int { return len(t.pending) }
+
+// SlotsAvailable reports whether a Call would start without blocking.
+func (t *Transport) SlotsAvailable() bool { return len(t.pending) < t.cfg.MaxSlots }
+
+// Call issues an RPC. It blocks the calling process until a transport
+// slot is free and the request is handed to the network, then returns;
+// the reply callback runs later in softirq context with the decoder
+// positioned after the reply header. The caller must NOT hold the BKL
+// (kernel sleeping paths drop it); Call manages the BKL internally
+// according to the configured LockPolicy.
+func (t *Transport) Call(p *sim.Proc, proc uint32, encodeArgs func(*xdr.Encoder), onReply func(*xdr.Decoder)) {
+	// Reserve a slot; sleeping here does not hold the BKL, which is why a
+	// slow server (slots always full) leaves the writer thread unimpeded
+	// — the paper's §3.5 paradox.
+	for len(t.pending) >= t.cfg.MaxSlots {
+		t.slotWait.Wait(p)
+	}
+
+	t.nextXID++
+	xid := t.nextXID
+	enc := xdr.NewEncoder(256)
+	nfsproto.CallHeader{XID: xid, Proc: proc}.Encode(enc)
+	encodeArgs(enc)
+	payload := enc.Bytes()
+
+	pc := &pendingCall{xid: xid, payload: payload, onReply: onReply, sentAt: t.s.Now()}
+	t.pending[xid] = pc
+	t.stats.Calls++
+
+	// xprt_transmit: RPC bookkeeping under the BKL in both policies.
+	t.bkl.Lock(p, "xprt_transmit")
+	t.cpu.Use(p, "xprt_transmit", t.cfg.RPCPrepCPU)
+	t.transmit(p, pc)
+	t.bkl.Unlock(p)
+}
+
+// transmit performs the sock_sendmsg portion; caller holds the BKL.
+func (t *Transport) transmit(p *sim.Proc, pc *pendingCall) {
+	frags := netsim.FragmentCount(len(pc.payload), t.cfg.MTU)
+	sendCPU := t.cfg.SendCPUBase + sim.Time(frags)*t.cfg.SendCPUPerFragment
+
+	switch t.cfg.LockPolicy {
+	case HoldBKLAcrossSend:
+		// Stock 2.4.4: the network layer runs entirely under the BKL.
+		t.bkl.Relabel(p, "sock_sendmsg")
+		t.cpu.Use(p, "sock_sendmsg", sendCPU)
+		t.bkl.Relabel(p, "xprt_transmit")
+	case ReleaseBKLForSend:
+		// The fix: "release the lock before calling sock_sendmsg, then
+		// reacquire the lock when it returns" (§3.5).
+		t.bkl.Unlock(p)
+		t.cpu.Use(p, "sock_sendmsg", sendCPU)
+		t.bkl.Lock(p, "xprt_transmit")
+	}
+
+	res := t.net.Send(netsim.Datagram{From: t.local, To: t.remote, Payload: pc.payload})
+	t.stats.BytesSent += res.WireBytes
+	xid := pc.xid
+	pc.timer = t.s.After(t.cfg.RetransmitTimeout, func() { t.retransmit(xid) })
+}
+
+// retransmit resends an unanswered call (event context; models the RPC
+// timer firing — cost charged to the softirq path on next send is
+// ignored, as retransmits never occur in the paper's experiments).
+func (t *Transport) retransmit(xid uint32) {
+	pc, ok := t.pending[xid]
+	if !ok {
+		return
+	}
+	t.stats.Retransmits++
+	res := t.net.Send(netsim.Datagram{From: t.local, To: t.remote, Payload: pc.payload})
+	t.stats.BytesSent += res.WireBytes
+	pc.timer = t.s.After(t.cfg.RetransmitTimeout, func() { t.retransmit(xid) })
+}
+
+// softirqLoop drains received datagrams: IP reassembly + UDP receive CPU,
+// then RPC reply matching under a short BKL hold, then the completion
+// callback.
+func (t *Transport) softirqLoop(p *sim.Proc) {
+	for {
+		for len(t.rxq) == 0 {
+			t.rxWait.Wait(p)
+		}
+		payload := t.rxq[0]
+		t.rxq = t.rxq[1:]
+
+		frags := netsim.FragmentCount(len(payload), t.cfg.MTU)
+		t.cpu.Use(p, "udp_rcv", t.cfg.ReplyCPUBase+sim.Time(frags)*t.cfg.ReplyCPUPerFragment)
+
+		d := xdr.NewDecoder(payload)
+		hdr, err := nfsproto.DecodeReply(d)
+		if err != nil {
+			panic(fmt.Sprintf("rpcsim: bad reply: %v", err))
+		}
+		pc, ok := t.pending[hdr.XID]
+		if !ok {
+			continue // duplicate reply after retransmit; drop
+		}
+
+		// rpc reply state update holds the BKL briefly in both policies.
+		t.bkl.Lock(p, "rpc_reply")
+		t.cpu.Use(p, "rpc_reply", t.cfg.ReplyBKLHold)
+		pc.timer.Cancel()
+		delete(t.pending, hdr.XID)
+		t.stats.Replies++
+		t.stats.TotalRTT += t.s.Now() - pc.sentAt
+		t.bkl.Unlock(p)
+
+		t.slotWait.Signal()
+		if pc.onReply != nil {
+			pc.onReply(d)
+		}
+	}
+}
+
+// CallSync issues an RPC and blocks the calling process until the reply
+// arrives, returning the positioned decoder. Used for COMMIT and for
+// synchronous flush waits.
+func (t *Transport) CallSync(p *sim.Proc, proc uint32, encodeArgs func(*xdr.Encoder)) *xdr.Decoder {
+	var reply *xdr.Decoder
+	done := t.s.NewWaitQueue("rpc-sync")
+	t.Call(p, proc, encodeArgs, func(d *xdr.Decoder) {
+		reply = d
+		done.Broadcast()
+	})
+	for reply == nil {
+		done.Wait(p)
+	}
+	return reply
+}

@@ -1,0 +1,140 @@
+package server
+
+import (
+	"repro/internal/disksim"
+	"repro/internal/nfsproto"
+	"repro/internal/sim"
+)
+
+// FilerConfig describes the F85 backend.
+type FilerConfig struct {
+	// NVRAMBytes is the write log capacity (64 MB on the F85, §3.1),
+	// managed as two halves: one fills while the other drains to disk at a
+	// consistency point, WAFL-style.
+	NVRAMBytes int64
+	// CPPause is how long the filer stops responding to writes when a
+	// consistency point begins — the cause of the Figure 4 quiet gap and
+	// of §3.5's "the filer briefly stops responding to network write
+	// requests during a file system checkpoint".
+	CPPause sim.Time
+	// CPInterval forces a consistency point after this much time even if
+	// the NVRAM half is not full (ONTAP checkpoints every ~10 s).
+	CPInterval sim.Time
+}
+
+// DefaultFilerConfig returns the F85 parameters.
+func DefaultFilerConfig() FilerConfig {
+	return FilerConfig{
+		NVRAMBytes: 64 << 20,
+		CPPause:    60_000_000,     // 60 ms
+		CPInterval: 10_000_000_000, // 10 s
+	}
+}
+
+// Filer is the NetApp-style backend: writes land in NVRAM and are
+// immediately stable (FILE_SYNC), so clients skip COMMIT; NVRAM drains to
+// a RAID-4 volume in big sequential consistency points.
+type Filer struct {
+	s    *sim.Sim
+	cfg  FilerConfig
+	disk *disksim.RAID4
+
+	halfCap    int64 // capacity of the filling half
+	active     int64 // bytes logged in the filling half
+	draining   bool  // the other half is being written to disk
+	pauseUntil sim.Time
+	spaceWait  *sim.WaitQueue
+	diskOff    int64 // WAFL writes sequentially; next stripe offset
+	verf       nfsproto.WriteVerf
+
+	// Checkpoints counts consistency points taken.
+	Checkpoints int64
+	// Stalls counts writes that blocked on a back-to-back checkpoint
+	// (both NVRAM halves busy).
+	Stalls int64
+}
+
+// NewFiler creates the backend draining to the given RAID volume.
+func NewFiler(s *sim.Sim, cfg FilerConfig, vol *disksim.RAID4) *Filer {
+	if cfg.NVRAMBytes <= 0 {
+		panic("server: filer needs NVRAM")
+	}
+	f := &Filer{
+		s:         s,
+		cfg:       cfg,
+		disk:      vol,
+		halfCap:   cfg.NVRAMBytes / 2,
+		spaceWait: s.NewWaitQueue("filer-nvram"),
+		verf:      0xf85f85f85,
+	}
+	f.scheduleTimerCP()
+	return f
+}
+
+func (f *Filer) scheduleTimerCP() {
+	if f.cfg.CPInterval <= 0 {
+		return
+	}
+	f.s.After(f.cfg.CPInterval, func() {
+		if f.active > 0 && !f.draining {
+			f.startCP()
+		}
+		f.scheduleTimerCP()
+	})
+}
+
+// startCP swaps NVRAM halves and begins draining the full one. The filer
+// stops accepting writes for CPPause while the consistency point is set
+// up.
+func (f *Filer) startCP() {
+	bytes := f.active
+	f.active = 0
+	f.draining = true
+	f.Checkpoints++
+	f.pauseUntil = f.s.Now() + f.cfg.CPPause
+	f.disk.WriteAsync(f.diskOff, bytes, func() {
+		f.draining = false
+		f.spaceWait.Broadcast()
+	})
+	f.diskOff += bytes
+}
+
+// HandleWrite implements Backend: log to NVRAM, reply FILE_SYNC.
+func (f *Filer) HandleWrite(p *sim.Proc, args *nfsproto.WriteArgs) *nfsproto.WriteRes {
+	n := int64(args.Count)
+	for {
+		// Stop responding while a consistency point starts.
+		if wait := f.pauseUntil - f.s.Now(); wait > 0 {
+			p.Sleep(wait)
+			continue
+		}
+		if f.active+n <= f.halfCap {
+			break
+		}
+		if !f.draining {
+			f.startCP()
+			continue
+		}
+		// Back-to-back checkpoint: the filling half is full and the other
+		// half has not finished draining. The client sees this as the
+		// server's sustained (disk-limited) ingest rate.
+		f.Stalls++
+		f.spaceWait.Wait(p)
+	}
+	f.active += n
+	return &nfsproto.WriteRes{
+		Status:    nfsproto.NFS3OK,
+		Count:     args.Count,
+		Committed: nfsproto.FileSync,
+		Verf:      f.verf,
+	}
+}
+
+// HandleCommit implements Backend: everything is already in NVRAM, so a
+// COMMIT (clients rarely send one to a filer) completes immediately.
+func (f *Filer) HandleCommit(p *sim.Proc, args *nfsproto.CommitArgs) *nfsproto.CommitRes {
+	return &nfsproto.CommitRes{Status: nfsproto.NFS3OK, Verf: f.verf}
+}
+
+// NVRAMActive returns the bytes currently logged in the filling half.
+func (f *Filer) NVRAMActive() int64 { return f.active }

@@ -1,0 +1,133 @@
+package server
+
+import (
+	"repro/internal/disksim"
+	"repro/internal/nfsproto"
+	"repro/internal/sim"
+)
+
+// LinuxConfig describes the four-way Linux 2.4.4 knfsd backend.
+type LinuxConfig struct {
+	// RAMBytes is server memory (512 MB in §3.1).
+	RAMBytes int64
+	// DirtyLimit is how much unstable write data the page cache will hold
+	// before the server throttles incoming writes behind the disk
+	// (bdflush-style, ~40% of RAM).
+	DirtyLimit int64
+	// DrainChunk is the writeback granularity.
+	DrainChunk int64
+}
+
+// DefaultLinuxConfig returns the paper's Linux server parameters.
+func DefaultLinuxConfig() LinuxConfig {
+	return LinuxConfig{
+		RAMBytes:   512 << 20,
+		DirtyLimit: 200 << 20,
+		DrainChunk: 1 << 20,
+	}
+}
+
+// LinuxServer is the knfsd backend: UNSTABLE writes land in the page
+// cache and a writeback process drains them to a single SCSI disk; COMMIT
+// blocks until the dirty data it covers is on disk. This is the durability
+// contract the client pays for at close() — the filer never makes it wait.
+type LinuxServer struct {
+	s    *sim.Sim
+	cfg  LinuxConfig
+	disk *disksim.Disk
+
+	dirty     int64
+	diskOff   int64
+	drainWork *sim.WaitQueue // wakes the writeback process
+	dirtyWait *sim.WaitQueue // writers throttled on DirtyLimit
+	cleanWait *sim.WaitQueue // COMMIT waiters
+	verf      nfsproto.WriteVerf
+
+	// Throttled counts writes that blocked on the dirty limit.
+	Throttled int64
+	// Flushed counts bytes written back to disk.
+	Flushed int64
+}
+
+// NewLinuxServer creates the backend draining to the given disk and
+// starts its writeback process.
+func NewLinuxServer(s *sim.Sim, cfg LinuxConfig, disk *disksim.Disk) *LinuxServer {
+	if cfg.DirtyLimit <= 0 || cfg.DrainChunk <= 0 {
+		panic("server: bad linux config")
+	}
+	l := &LinuxServer{
+		s:         s,
+		cfg:       cfg,
+		disk:      disk,
+		drainWork: s.NewWaitQueue("knfsd-drain"),
+		dirtyWait: s.NewWaitQueue("knfsd-dirty"),
+		cleanWait: s.NewWaitQueue("knfsd-clean"),
+		verf:      0x11c4411c44,
+	}
+	s.Go("kupdate/knfsd", l.writeback)
+	return l
+}
+
+// writeback is the server-side flush daemon: whenever dirty data exists,
+// write it to disk in DrainChunk units and wake throttled writers and
+// COMMIT waiters.
+func (l *LinuxServer) writeback(p *sim.Proc) {
+	for {
+		for l.dirty == 0 {
+			l.drainWork.Wait(p)
+		}
+		chunk := l.cfg.DrainChunk
+		if l.dirty < chunk {
+			chunk = l.dirty
+		}
+		l.disk.Write(p, l.diskOff, chunk)
+		l.diskOff += chunk
+		l.dirty -= chunk
+		l.Flushed += chunk
+		l.dirtyWait.Broadcast()
+		if l.dirty == 0 {
+			l.cleanWait.Broadcast()
+		}
+	}
+}
+
+// HandleWrite implements Backend.
+func (l *LinuxServer) HandleWrite(p *sim.Proc, args *nfsproto.WriteArgs) *nfsproto.WriteRes {
+	n := int64(args.Count)
+	for l.dirty+n > l.cfg.DirtyLimit {
+		l.Throttled++
+		l.drainWork.Signal()
+		l.dirtyWait.Wait(p)
+	}
+	l.dirty += n
+	l.drainWork.Signal()
+
+	committed := nfsproto.Unstable
+	if args.Stable != nfsproto.Unstable {
+		// Synchronous write: wait until the page cache is clean again.
+		// (Coarse — real knfsd waits for just this range — but our client
+		// only uses stable writes in targeted tests.)
+		for l.dirty > 0 {
+			l.cleanWait.Wait(p)
+		}
+		committed = nfsproto.FileSync
+	}
+	return &nfsproto.WriteRes{
+		Status:    nfsproto.NFS3OK,
+		Count:     args.Count,
+		Committed: committed,
+		Verf:      l.verf,
+	}
+}
+
+// HandleCommit implements Backend: block until dirty data reaches disk.
+func (l *LinuxServer) HandleCommit(p *sim.Proc, args *nfsproto.CommitArgs) *nfsproto.CommitRes {
+	for l.dirty > 0 {
+		l.drainWork.Signal()
+		l.cleanWait.Wait(p)
+	}
+	return &nfsproto.CommitRes{Status: nfsproto.NFS3OK, Verf: l.verf}
+}
+
+// Dirty returns the bytes of unstable data held in the page cache.
+func (l *LinuxServer) Dirty() int64 { return l.dirty }

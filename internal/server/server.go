@@ -1,0 +1,208 @@
+// Package server implements the two NFS servers the paper benchmarks
+// against — a prototype Network Appliance F85 filer and a four-way Linux
+// 2.4.4 knfsd — plus the shared RPC service front-end they hang off.
+//
+// The behavioural contrasts the paper leans on are modeled explicitly:
+//
+//   - The filer logs every write to NVRAM and replies FILE_SYNC, so the
+//     client never needs a COMMIT (§3.5); a WAFL-style consistency point
+//     periodically makes the filer "briefly stop responding to network
+//     write requests" (the Figure 4 quiet gap).
+//   - The Linux server accepts UNSTABLE writes into its page cache and
+//     makes the client pay for durability at COMMIT time, with a slower
+//     network path (its NIC sits on a 32-bit/33 MHz PCI bus, §3.1).
+package server
+
+import (
+	"fmt"
+
+	"repro/internal/netsim"
+	"repro/internal/nfsproto"
+	"repro/internal/rangeset"
+	"repro/internal/sim"
+	"repro/internal/xdr"
+)
+
+// Backend is an NFS write/commit implementation behind the RPC front-end.
+// Handlers run on an nfsd worker process and may block in virtual time.
+type Backend interface {
+	// HandleWrite services a WRITE3 request.
+	HandleWrite(p *sim.Proc, args *nfsproto.WriteArgs) *nfsproto.WriteRes
+	// HandleCommit services a COMMIT3 request.
+	HandleCommit(p *sim.Proc, args *nfsproto.CommitArgs) *nfsproto.CommitRes
+}
+
+// Config describes the server front-end.
+type Config struct {
+	// Host is the server's network name.
+	Host string
+	// Workers is the number of nfsd service threads.
+	Workers int
+	// CPUs is the number of processors.
+	CPUs int
+	// RecvCPUBase/PerFragment model interrupt + IP reassembly per request.
+	RecvCPUBase        sim.Time
+	RecvCPUPerFragment sim.Time
+	// ServiceCPU is per-request protocol processing (decode, cache/NVRAM
+	// management, reply construction). This is the knob that sets a
+	// server's peak ingest rate.
+	ServiceCPU sim.Time
+	// SendCPU is the reply transmit cost.
+	SendCPU sim.Time
+	// MTU for fragment-count computation; must match the network's.
+	MTU int
+}
+
+// Server is the RPC service front-end: NIC handler, request queue, worker
+// processes, and per-file coverage tracking for integrity checks.
+type Server struct {
+	s       *sim.Sim
+	net     *netsim.Network
+	cpu     *sim.CPUPool
+	cfg     Config
+	backend Backend
+
+	rxq    []rxItem
+	rxWait *sim.WaitQueue
+
+	coverage map[nfsproto.FileHandle]*rangeset.Set
+
+	// Statistics.
+	Writes        int64
+	Commits       int64
+	BytesWritten  int64
+	BusyWorkers   int
+	MaxBusy       int
+	firstWriteAt  sim.Time
+	lastWriteDone sim.Time
+}
+
+type rxItem struct {
+	from    string
+	payload []byte
+	frags   int
+}
+
+// New creates a server, registers its host on the network with the given
+// link configuration, and starts its worker processes.
+func New(s *sim.Sim, net *netsim.Network, link netsim.LinkConfig, cfg Config, backend Backend) *Server {
+	if cfg.Workers < 1 || cfg.CPUs < 1 {
+		panic("server: need at least one worker and one CPU")
+	}
+	srv := &Server{
+		s:        s,
+		net:      net,
+		cpu:      s.NewCPUPool(cfg.Host+"-cpus", cfg.CPUs),
+		cfg:      cfg,
+		backend:  backend,
+		rxWait:   s.NewWaitQueue(cfg.Host + "-rxq"),
+		coverage: make(map[nfsproto.FileHandle]*rangeset.Set),
+	}
+	net.AddHost(cfg.Host, link, func(dg netsim.Datagram) {
+		srv.rxq = append(srv.rxq, rxItem{
+			from:    dg.From,
+			payload: dg.Payload,
+			frags:   netsim.FragmentCount(len(dg.Payload), cfg.MTU),
+		})
+		srv.rxWait.Signal()
+	})
+	for i := 0; i < cfg.Workers; i++ {
+		s.Go(fmt.Sprintf("nfsd/%s/%d", cfg.Host, i), srv.worker)
+	}
+	return srv
+}
+
+// Coverage returns the set of byte ranges received for a file handle.
+func (srv *Server) Coverage(fh nfsproto.FileHandle) *rangeset.Set {
+	set, ok := srv.coverage[fh]
+	if !ok {
+		set = &rangeset.Set{}
+		srv.coverage[fh] = set
+	}
+	return set
+}
+
+// IngestWindow returns the time between the first write arriving and the
+// last write completing, used to compute sustained network throughput.
+func (srv *Server) IngestWindow() sim.Time {
+	if srv.lastWriteDone <= srv.firstWriteAt {
+		return 0
+	}
+	return srv.lastWriteDone - srv.firstWriteAt
+}
+
+// NetworkThroughputMBps returns the sustained server-side write ingest in
+// MB/s — the "network throughput" rows of §3.5.
+func (srv *Server) NetworkThroughputMBps() float64 {
+	w := srv.IngestWindow()
+	if w <= 0 {
+		return 0
+	}
+	return float64(srv.BytesWritten) / 1e6 / w.Seconds()
+}
+
+func (srv *Server) worker(p *sim.Proc) {
+	for {
+		for len(srv.rxq) == 0 {
+			srv.rxWait.Wait(p)
+		}
+		item := srv.rxq[0]
+		srv.rxq = srv.rxq[1:]
+
+		srv.BusyWorkers++
+		if srv.BusyWorkers > srv.MaxBusy {
+			srv.MaxBusy = srv.BusyWorkers
+		}
+		srv.serve(p, item)
+		srv.BusyWorkers--
+	}
+}
+
+func (srv *Server) serve(p *sim.Proc, item rxItem) {
+	srv.cpu.Use(p, "nfsd_recv", srv.cfg.RecvCPUBase+sim.Time(item.frags)*srv.cfg.RecvCPUPerFragment)
+
+	d := xdr.NewDecoder(item.payload)
+	hdr, err := nfsproto.DecodeCall(d)
+	if err != nil {
+		panic(fmt.Sprintf("server %s: bad call: %v", srv.cfg.Host, err))
+	}
+
+	reply := xdr.NewEncoder(128)
+	nfsproto.ReplyHeader{XID: hdr.XID}.Encode(reply)
+
+	switch hdr.Proc {
+	case nfsproto.ProcWrite:
+		args, err := nfsproto.DecodeWriteArgs(d)
+		if err != nil {
+			panic(fmt.Sprintf("server %s: bad WRITE args: %v", srv.cfg.Host, err))
+		}
+		if srv.firstWriteAt == 0 && srv.Writes == 0 {
+			srv.firstWriteAt = srv.s.Now()
+		}
+		srv.cpu.Use(p, "nfsd_write", srv.cfg.ServiceCPU)
+		res := srv.backend.HandleWrite(p, args)
+		if res.Status == nfsproto.NFS3OK {
+			srv.Writes++
+			srv.BytesWritten += int64(res.Count)
+			srv.Coverage(args.File).Add(int64(args.Offset), int64(args.Offset)+int64(res.Count))
+			srv.lastWriteDone = srv.s.Now()
+		}
+		res.Encode(reply)
+	case nfsproto.ProcCommit:
+		args, err := nfsproto.DecodeCommitArgs(d)
+		if err != nil {
+			panic(fmt.Sprintf("server %s: bad COMMIT args: %v", srv.cfg.Host, err))
+		}
+		srv.cpu.Use(p, "nfsd_commit", srv.cfg.ServiceCPU/2)
+		res := srv.backend.HandleCommit(p, args)
+		srv.Commits++
+		res.Encode(reply)
+	case nfsproto.ProcNull:
+		// NULL returns the bare accepted reply.
+	default:
+		panic(fmt.Sprintf("server %s: unsupported proc %d", srv.cfg.Host, hdr.Proc))
+	}
+
+	srv.cpu.Use(p, "nfsd_send", srv.cfg.SendCPU)
+	srv.net.Send(netsim.Datagram{From: srv.cfg.Host, To: item.from, Payload: reply.Bytes()})
+}

@@ -1,0 +1,403 @@
+// Package sim implements a deterministic discrete-event simulation kernel.
+//
+// The reproduction models the Linux 2.4.4 kernel's NFS client write path as
+// a set of cooperating processes (application writer threads, nfs_flushd,
+// network softirq handlers, server daemons) that execute on a virtual clock.
+// Exactly one process runs at a time; control is handed between the
+// scheduler goroutine and process goroutines through channels, so a given
+// seed and workload always produce bit-identical schedules. This is what
+// lets us reproduce the paper's queueing and lock-contention phenomena
+// without the run-to-run variance the authors complain about in §2.2.
+package sim
+
+import (
+	"container/heap"
+	"fmt"
+	"math/rand"
+	"time"
+)
+
+// Time is virtual time since the start of the simulation.
+type Time = time.Duration
+
+// event is a scheduled callback. Events fire in (at, seq) order, so
+// same-timestamp events run in the order they were scheduled (FIFO).
+type event struct {
+	at    Time
+	seq   uint64
+	fn    func()
+	index int  // heap index, -1 once popped or canceled
+	dead  bool // canceled
+}
+
+// Event is a handle to a scheduled callback; it can be canceled before it
+// fires (used for retransmit timers).
+type Event struct{ ev *event }
+
+// Cancel prevents the event from firing. Canceling an already-fired or
+// already-canceled event is a no-op.
+func (e *Event) Cancel() {
+	if e != nil && e.ev != nil {
+		e.ev.dead = true
+	}
+}
+
+type eventHeap []*event
+
+func (h eventHeap) Len() int { return len(h) }
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].at != h[j].at {
+		return h[i].at < h[j].at
+	}
+	return h[i].seq < h[j].seq
+}
+func (h eventHeap) Swap(i, j int) {
+	h[i], h[j] = h[j], h[i]
+	h[i].index = i
+	h[j].index = j
+}
+func (h *eventHeap) Push(x any) {
+	ev := x.(*event)
+	ev.index = len(*h)
+	*h = append(*h, ev)
+}
+func (h *eventHeap) Pop() any {
+	old := *h
+	n := len(old)
+	ev := old[n-1]
+	old[n-1] = nil
+	ev.index = -1
+	*h = old[:n-1]
+	return ev
+}
+
+// Sim is a discrete-event simulation instance. It is not safe for use from
+// multiple OS threads; all interaction happens from the scheduler goroutine
+// or from process goroutines that the scheduler has handed control to.
+type Sim struct {
+	now    Time
+	seq    uint64
+	events eventHeap
+	done   chan struct{} // process -> scheduler control handoff
+	rng    *rand.Rand
+	prof   *Profiler
+	fail   any // panic value captured from a process
+
+	procSeq int
+	live    int // live (spawned, unterminated) processes
+}
+
+// New returns a simulator with the given deterministic seed.
+func New(seed int64) *Sim {
+	return &Sim{
+		done: make(chan struct{}),
+		rng:  rand.New(rand.NewSource(seed)),
+		prof: NewProfiler(),
+	}
+}
+
+// Now returns the current virtual time.
+func (s *Sim) Now() Time { return s.now }
+
+// Rand returns the simulation's deterministic random source.
+func (s *Sim) Rand() *rand.Rand { return s.rng }
+
+// Profiler returns the simulation's CPU profiler.
+func (s *Sim) Profiler() *Profiler { return s.prof }
+
+// At schedules fn to run at absolute virtual time t (clamped to now).
+func (s *Sim) At(t Time, fn func()) *Event {
+	if t < s.now {
+		t = s.now
+	}
+	ev := &event{at: t, seq: s.seq, fn: fn}
+	s.seq++
+	heap.Push(&s.events, ev)
+	return &Event{ev: ev}
+}
+
+// After schedules fn to run d from now.
+func (s *Sim) After(d Time, fn func()) *Event { return s.At(s.now+d, fn) }
+
+// Run executes events until the event queue is empty or the virtual clock
+// would pass limit (limit <= 0 means no limit). It returns the final
+// virtual time. Run panics if any process panicked, preserving the value.
+func (s *Sim) Run(limit Time) Time {
+	for len(s.events) > 0 {
+		next := s.events[0]
+		if limit > 0 && next.at > limit {
+			s.now = limit
+			return s.now
+		}
+		heap.Pop(&s.events)
+		if next.dead {
+			continue
+		}
+		s.now = next.at
+		next.fn()
+		if s.fail != nil {
+			panic(fmt.Sprintf("sim: process panicked at t=%v: %v", s.now, s.fail))
+		}
+	}
+	return s.now
+}
+
+// Idle reports whether no events remain.
+func (s *Sim) Idle() bool { return len(s.events) == 0 }
+
+// Live returns the number of spawned processes that have not terminated.
+func (s *Sim) Live() int { return s.live }
+
+// Proc is a simulated thread of control. Every blocking primitive takes the
+// Proc so the scheduler knows which goroutine to park and resume.
+type Proc struct {
+	s      *Sim
+	id     int
+	name   string
+	resume chan struct{}
+	ended  bool
+}
+
+// Name returns the process's diagnostic name.
+func (p *Proc) Name() string { return p.name }
+
+// Sim returns the simulator the process belongs to.
+func (p *Proc) Sim() *Sim { return p.s }
+
+// Go spawns a process that begins running at the current virtual time.
+func (s *Sim) Go(name string, fn func(p *Proc)) *Proc {
+	s.procSeq++
+	s.live++
+	p := &Proc{s: s, id: s.procSeq, name: name, resume: make(chan struct{})}
+	go func() {
+		defer func() {
+			if r := recover(); r != nil {
+				s.fail = r
+			}
+			p.ended = true
+			s.live--
+			s.done <- struct{}{}
+		}()
+		<-p.resume
+		fn(p)
+	}()
+	s.At(s.now, func() { s.dispatch(p) })
+	return p
+}
+
+// dispatch hands control to p and waits for it to park or terminate.
+func (s *Sim) dispatch(p *Proc) {
+	if p.ended {
+		return
+	}
+	p.resume <- struct{}{}
+	<-s.done
+}
+
+// park yields control back to the scheduler until something dispatches p.
+func (p *Proc) park() {
+	p.s.done <- struct{}{}
+	<-p.resume
+}
+
+// Sleep advances the process's virtual time by d without consuming a CPU
+// (used for pure waiting: wire propagation, timers).
+func (p *Proc) Sleep(d Time) {
+	if d <= 0 {
+		return
+	}
+	p.s.After(d, func() { p.s.dispatch(p) })
+	p.park()
+}
+
+// Yield reschedules the process at the current time, letting every other
+// runnable process scheduled at this instant run first.
+func (p *Proc) Yield() {
+	p.s.After(0, func() { p.s.dispatch(p) })
+	p.park()
+}
+
+// Mutex is a FIFO-fair sleeping mutex. The simulation's "big kernel lock"
+// is one of these; FIFO ordering matches the 2.4 kernel's lock semantics
+// closely enough for the contention phenomena under study and keeps the
+// simulation deterministic.
+type Mutex struct {
+	s       *Sim
+	name    string
+	holder  *Proc
+	because string // profiling label the holder supplied
+	waiters []*Proc
+
+	// Contention statistics, used to reproduce the paper's kernel-profile
+	// observations (§3.5: the lock section is the 4th largest CPU consumer;
+	// ~90% of write-path lock wait is attributable to sock_sendmsg).
+	Acquisitions int
+	Contentions  int
+	TotalWait    Time
+	TotalHold    Time
+	waitBy       map[string]Time // wait time attributed to the holder's label
+	lockedAt     Time
+}
+
+// NewMutex returns a named FIFO mutex.
+func (s *Sim) NewMutex(name string) *Mutex {
+	return &Mutex{s: s, name: name, waitBy: make(map[string]Time)}
+}
+
+// Name returns the mutex's diagnostic name.
+func (m *Mutex) Name() string { return m.name }
+
+// Lock acquires the mutex for p, blocking in virtual time if it is held.
+// The label names the critical section for contention attribution.
+func (m *Mutex) Lock(p *Proc, label string) {
+	m.Acquisitions++
+	if m.holder == nil {
+		m.holder = p
+		m.because = label
+		m.lockedAt = m.s.now
+		return
+	}
+	m.Contentions++
+	blame := m.because
+	t0 := m.s.now
+	m.waiters = append(m.waiters, p)
+	p.park()
+	// Unlock made us the holder before dispatching us.
+	w := m.s.now - t0
+	m.TotalWait += w
+	m.waitBy[blame] += w
+	m.because = label
+}
+
+// Unlock releases the mutex; ownership passes FIFO to the oldest waiter.
+func (m *Mutex) Unlock(p *Proc) {
+	if m.holder != p {
+		panic(fmt.Sprintf("sim: %s unlocked by %s, held by %v", m.name, p.name, m.holder))
+	}
+	m.TotalHold += m.s.now - m.lockedAt
+	if len(m.waiters) == 0 {
+		m.holder = nil
+		m.because = ""
+		return
+	}
+	next := m.waiters[0]
+	m.waiters = m.waiters[1:]
+	m.holder = next
+	m.lockedAt = m.s.now
+	m.s.After(0, func() { m.s.dispatch(next) })
+}
+
+// Held reports whether the mutex is currently held.
+func (m *Mutex) Held() bool { return m.holder != nil }
+
+// HeldBy reports whether p currently holds the mutex.
+func (m *Mutex) HeldBy(p *Proc) bool { return m.holder == p }
+
+// Relabel renames the critical section p is executing while holding the
+// mutex, so contention is attributed to the right code path (e.g. the
+// send path relabels to "sock_sendmsg" for the duration of the network
+// call).
+func (m *Mutex) Relabel(p *Proc, label string) {
+	if m.holder != p {
+		panic(fmt.Sprintf("sim: %s relabeled by %s, held by %v", m.name, p.name, m.holder))
+	}
+	m.because = label
+}
+
+// WaitBreakdown returns, per critical-section label, the total time other
+// processes spent waiting while that label held the mutex.
+func (m *Mutex) WaitBreakdown() map[string]Time {
+	out := make(map[string]Time, len(m.waitBy))
+	for k, v := range m.waitBy {
+		out[k] = v
+	}
+	return out
+}
+
+// Semaphore is a counting semaphore with FIFO wakeup; a capacity-k
+// semaphore models a k-CPU machine.
+type Semaphore struct {
+	s       *Sim
+	name    string
+	free    int
+	cap     int
+	waiters []*Proc
+}
+
+// NewSemaphore returns a semaphore with the given capacity.
+func (s *Sim) NewSemaphore(name string, capacity int) *Semaphore {
+	if capacity < 1 {
+		panic("sim: semaphore capacity must be >= 1")
+	}
+	return &Semaphore{s: s, name: name, free: capacity, cap: capacity}
+}
+
+// Capacity returns the semaphore's capacity.
+func (sem *Semaphore) Capacity() int { return sem.cap }
+
+// Acquire takes one unit, blocking in virtual time if none are free.
+func (sem *Semaphore) Acquire(p *Proc) {
+	if sem.free > 0 {
+		sem.free--
+		return
+	}
+	sem.waiters = append(sem.waiters, p)
+	p.park()
+}
+
+// Release returns one unit, waking the oldest waiter if any.
+func (sem *Semaphore) Release() {
+	if len(sem.waiters) > 0 {
+		next := sem.waiters[0]
+		sem.waiters = sem.waiters[1:]
+		sem.s.After(0, func() { sem.s.dispatch(next) })
+		return
+	}
+	sem.free++
+	if sem.free > sem.cap {
+		panic("sim: semaphore over-released")
+	}
+}
+
+// WaitQueue parks processes until they are signaled, like the kernel's
+// wait_event/wake_up pairs. Callers must re-check their predicate after
+// Wait returns (standard condition-variable discipline).
+type WaitQueue struct {
+	s       *Sim
+	name    string
+	waiters []*Proc
+}
+
+// NewWaitQueue returns a named wait queue.
+func (s *Sim) NewWaitQueue(name string) *WaitQueue {
+	return &WaitQueue{s: s, name: name}
+}
+
+// Wait parks p until Signal or Broadcast wakes it.
+func (q *WaitQueue) Wait(p *Proc) {
+	q.waiters = append(q.waiters, p)
+	p.park()
+}
+
+// Signal wakes the oldest waiter, if any.
+func (q *WaitQueue) Signal() {
+	if len(q.waiters) == 0 {
+		return
+	}
+	next := q.waiters[0]
+	q.waiters = q.waiters[1:]
+	q.s.After(0, func() { q.s.dispatch(next) })
+}
+
+// Broadcast wakes every waiter.
+func (q *WaitQueue) Broadcast() {
+	ws := q.waiters
+	q.waiters = nil
+	for _, p := range ws {
+		p := p
+		q.s.After(0, func() { q.s.dispatch(p) })
+	}
+}
+
+// Waiting returns the number of parked processes.
+func (q *WaitQueue) Waiting() int { return len(q.waiters) }

@@ -1,0 +1,95 @@
+// Package vfs models the Linux 2.4 VFS write path shared by every
+// filesystem in the simulation: the write() system call splits user
+// buffers into page-sized pieces ("The Linux VFS layer passes write
+// requests no larger than a page to file systems, one at a time", §3.4),
+// charges per-page copy and bookkeeping CPU, and hands each page to the
+// filesystem's commit_write implementation.
+package vfs
+
+import (
+	"repro/internal/sim"
+)
+
+// PageSize is the i386 page size; an 8 KB benchmark write is two pages
+// ("8192 bytes is two pages, thus two requests", §3.3).
+const PageSize = 4096
+
+// File is what the benchmark drives: a writable file with explicit flush
+// and close, all blocking in virtual time.
+type File interface {
+	// Write appends n bytes at the file's current position.
+	Write(p *sim.Proc, n int)
+	// Flush makes all written data durable (fsync semantics).
+	Flush(p *sim.Proc)
+	// Close flushes remaining state and releases the file.
+	Close(p *sim.Proc)
+	// Size returns the bytes written so far.
+	Size() int64
+}
+
+// Costs is the syscall-layer CPU model, calibrated to the paper's client:
+// a 933 MHz Pentium III copying from user space through the page cache.
+type Costs struct {
+	// SyscallEntry covers user/kernel transition and fd lookup.
+	SyscallEntry sim.Time
+	// PerPageCopy is copy_from_user for one page.
+	PerPageCopy sim.Time
+	// PerPagePrepare is __grab_cache_page + prepare_write for one page.
+	PerPagePrepare sim.Time
+}
+
+// DefaultCosts returns the calibrated cost model (~42 µs per 8 KB write
+// before filesystem-specific work, ~195 MB/s peak local memory write
+// bandwidth as in Figure 1).
+func DefaultCosts() Costs {
+	return Costs{
+		SyscallEntry:   2_000,  // 2 µs
+		PerPageCopy:    15_000, // 15 µs
+		PerPagePrepare: 5_000,  // 5 µs
+	}
+}
+
+// PageSpan describes one page-sized piece of a write.
+type PageSpan struct {
+	// Page is the page index within the file.
+	Page int64
+	// Offset is the byte offset within the page.
+	Offset int
+	// Count is the number of bytes in this piece.
+	Count int
+}
+
+// SplitPages splits a write of n bytes at file offset off into page-sized
+// spans, the way generic_file_write iterates.
+func SplitPages(off int64, n int) []PageSpan {
+	if n <= 0 {
+		return nil
+	}
+	spans := make([]PageSpan, 0, n/PageSize+2)
+	for n > 0 {
+		page := off / PageSize
+		po := int(off % PageSize)
+		c := PageSize - po
+		if c > n {
+			c = n
+		}
+		spans = append(spans, PageSpan{Page: page, Offset: po, Count: c})
+		off += int64(c)
+		n -= c
+	}
+	return spans
+}
+
+// WriteSyscall charges the generic write-path CPU for a write of n bytes
+// at offset off and invokes commit for each page span in order. It
+// returns the spans processed. This is the shared skeleton of
+// sys_write -> generic_file_write for both ext2 and NFS files.
+func WriteSyscall(p *sim.Proc, cpu *sim.CPUPool, costs Costs, off int64, n int, commit func(PageSpan)) []PageSpan {
+	cpu.Use(p, "sys_write", costs.SyscallEntry)
+	spans := SplitPages(off, n)
+	for _, span := range spans {
+		cpu.Use(p, "generic_file_write", costs.PerPagePrepare+costs.PerPageCopy)
+		commit(span)
+	}
+	return spans
+}

@@ -1,0 +1,181 @@
+// Package xdr implements the subset of XDR (RFC 1832, External Data
+// Representation) needed to marshal SunRPC and NFSv3 messages. The
+// simulation carries real encoded bytes on its virtual wire so that
+// message sizes — and therefore transmission times and IP fragment counts —
+// are faithful to what the 2.4.4 client put on the network.
+package xdr
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+)
+
+// Errors returned by the decoder.
+var (
+	ErrShortBuffer = errors.New("xdr: short buffer")
+	ErrBadLength   = errors.New("xdr: invalid length")
+)
+
+// Encoder appends XDR-encoded values to a buffer. The zero value is ready
+// to use.
+type Encoder struct {
+	buf []byte
+}
+
+// NewEncoder returns an encoder with the given initial capacity.
+func NewEncoder(capacity int) *Encoder {
+	return &Encoder{buf: make([]byte, 0, capacity)}
+}
+
+// Bytes returns the encoded buffer (not a copy).
+func (e *Encoder) Bytes() []byte { return e.buf }
+
+// Len returns the number of encoded bytes.
+func (e *Encoder) Len() int { return len(e.buf) }
+
+// Reset discards the buffer contents, retaining capacity.
+func (e *Encoder) Reset() { e.buf = e.buf[:0] }
+
+// Uint32 encodes a 32-bit unsigned integer.
+func (e *Encoder) Uint32(v uint32) {
+	e.buf = binary.BigEndian.AppendUint32(e.buf, v)
+}
+
+// Int32 encodes a 32-bit signed integer.
+func (e *Encoder) Int32(v int32) { e.Uint32(uint32(v)) }
+
+// Uint64 encodes a 64-bit unsigned integer (XDR hyper).
+func (e *Encoder) Uint64(v uint64) {
+	e.buf = binary.BigEndian.AppendUint64(e.buf, v)
+}
+
+// Bool encodes a boolean as a 32-bit 0/1.
+func (e *Encoder) Bool(v bool) {
+	if v {
+		e.Uint32(1)
+	} else {
+		e.Uint32(0)
+	}
+}
+
+// Opaque encodes variable-length opaque data: a length word followed by
+// the bytes padded to a 4-byte boundary.
+func (e *Encoder) Opaque(b []byte) {
+	e.Uint32(uint32(len(b)))
+	e.FixedOpaque(b)
+}
+
+// FixedOpaque encodes fixed-length opaque data (bytes plus padding, no
+// length word).
+func (e *Encoder) FixedOpaque(b []byte) {
+	e.buf = append(e.buf, b...)
+	if pad := (4 - len(b)%4) % 4; pad > 0 {
+		e.buf = append(e.buf, make([]byte, pad)...)
+	}
+}
+
+// String encodes an XDR string (same wire form as Opaque).
+func (e *Encoder) String(s string) { e.Opaque([]byte(s)) }
+
+// Decoder consumes XDR-encoded values from a buffer.
+type Decoder struct {
+	buf []byte
+	off int
+}
+
+// NewDecoder returns a decoder reading from b.
+func NewDecoder(b []byte) *Decoder { return &Decoder{buf: b} }
+
+// Remaining returns the number of unread bytes.
+func (d *Decoder) Remaining() int { return len(d.buf) - d.off }
+
+// Offset returns the number of consumed bytes.
+func (d *Decoder) Offset() int { return d.off }
+
+// Uint32 decodes a 32-bit unsigned integer.
+func (d *Decoder) Uint32() (uint32, error) {
+	if d.Remaining() < 4 {
+		return 0, ErrShortBuffer
+	}
+	v := binary.BigEndian.Uint32(d.buf[d.off:])
+	d.off += 4
+	return v, nil
+}
+
+// Int32 decodes a 32-bit signed integer.
+func (d *Decoder) Int32() (int32, error) {
+	v, err := d.Uint32()
+	return int32(v), err
+}
+
+// Uint64 decodes a 64-bit unsigned integer.
+func (d *Decoder) Uint64() (uint64, error) {
+	if d.Remaining() < 8 {
+		return 0, ErrShortBuffer
+	}
+	v := binary.BigEndian.Uint64(d.buf[d.off:])
+	d.off += 8
+	return v, nil
+}
+
+// Bool decodes a boolean; any nonzero word is true (per RFC 1832 booleans
+// are 0 or 1, but we are liberal in what we accept).
+func (d *Decoder) Bool() (bool, error) {
+	v, err := d.Uint32()
+	return v != 0, err
+}
+
+// Opaque decodes variable-length opaque data, returning a copy.
+func (d *Decoder) Opaque() ([]byte, error) {
+	n, err := d.Uint32()
+	if err != nil {
+		return nil, err
+	}
+	if n > uint32(d.Remaining()) {
+		return nil, ErrBadLength
+	}
+	return d.FixedOpaque(int(n))
+}
+
+// FixedOpaque decodes n bytes of fixed-length opaque data plus padding.
+func (d *Decoder) FixedOpaque(n int) ([]byte, error) {
+	if n < 0 {
+		return nil, ErrBadLength
+	}
+	padded := n + (4-n%4)%4
+	if d.Remaining() < padded {
+		return nil, ErrShortBuffer
+	}
+	out := make([]byte, n)
+	copy(out, d.buf[d.off:d.off+n])
+	d.off += padded
+	return out, nil
+}
+
+// String decodes an XDR string.
+func (d *Decoder) String() (string, error) {
+	b, err := d.Opaque()
+	return string(b), err
+}
+
+// OpaqueLen returns the encoded size of variable-length opaque data of n
+// bytes: 4-byte length word plus the payload rounded up to 4 bytes.
+func OpaqueLen(n int) int { return 4 + FixedLen(n) }
+
+// FixedLen returns the encoded size of n bytes of fixed opaque data.
+func FixedLen(n int) int { return n + (4-n%4)%4 }
+
+// StringLen returns the encoded size of an XDR string.
+func StringLen(s string) int { return OpaqueLen(len(s)) }
+
+// Check is a convenience for decode sequences: it returns the first
+// non-nil error.
+func Check(errs ...error) error {
+	for i, err := range errs {
+		if err != nil {
+			return fmt.Errorf("xdr: field %d: %w", i, err)
+		}
+	}
+	return nil
+}

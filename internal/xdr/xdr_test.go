@@ -1,0 +1,187 @@
+package xdr
+
+import (
+	"bytes"
+	"testing"
+	"testing/quick"
+)
+
+func TestUint32RoundTrip(t *testing.T) {
+	e := NewEncoder(16)
+	e.Uint32(0xdeadbeef)
+	e.Int32(-1)
+	d := NewDecoder(e.Bytes())
+	u, err := d.Uint32()
+	if err != nil || u != 0xdeadbeef {
+		t.Fatalf("u=%x err=%v", u, err)
+	}
+	i, err := d.Int32()
+	if err != nil || i != -1 {
+		t.Fatalf("i=%d err=%v", i, err)
+	}
+	if d.Remaining() != 0 {
+		t.Fatalf("remaining = %d", d.Remaining())
+	}
+}
+
+func TestUint64RoundTrip(t *testing.T) {
+	e := NewEncoder(8)
+	e.Uint64(0x0123456789abcdef)
+	d := NewDecoder(e.Bytes())
+	v, err := d.Uint64()
+	if err != nil || v != 0x0123456789abcdef {
+		t.Fatalf("v=%x err=%v", v, err)
+	}
+}
+
+func TestBoolRoundTrip(t *testing.T) {
+	e := NewEncoder(8)
+	e.Bool(true)
+	e.Bool(false)
+	d := NewDecoder(e.Bytes())
+	a, _ := d.Bool()
+	b, err := d.Bool()
+	if err != nil || !a || b {
+		t.Fatalf("a=%v b=%v err=%v", a, b, err)
+	}
+}
+
+func TestOpaquePadding(t *testing.T) {
+	for n := 0; n <= 9; n++ {
+		e := NewEncoder(32)
+		data := bytes.Repeat([]byte{0xab}, n)
+		e.Opaque(data)
+		if e.Len()%4 != 0 {
+			t.Fatalf("n=%d: encoded length %d not 4-aligned", n, e.Len())
+		}
+		if e.Len() != OpaqueLen(n) {
+			t.Fatalf("n=%d: len=%d, OpaqueLen=%d", n, e.Len(), OpaqueLen(n))
+		}
+		d := NewDecoder(e.Bytes())
+		got, err := d.Opaque()
+		if err != nil || !bytes.Equal(got, data) {
+			t.Fatalf("n=%d: got %v err %v", n, got, err)
+		}
+		if d.Remaining() != 0 {
+			t.Fatalf("n=%d: %d bytes left over", n, d.Remaining())
+		}
+	}
+}
+
+func TestStringRoundTrip(t *testing.T) {
+	e := NewEncoder(32)
+	e.String("nfs_flushd")
+	if e.Len() != StringLen("nfs_flushd") {
+		t.Fatalf("len=%d want %d", e.Len(), StringLen("nfs_flushd"))
+	}
+	d := NewDecoder(e.Bytes())
+	s, err := d.String()
+	if err != nil || s != "nfs_flushd" {
+		t.Fatalf("s=%q err=%v", s, err)
+	}
+}
+
+func TestFixedOpaqueRoundTrip(t *testing.T) {
+	e := NewEncoder(16)
+	e.FixedOpaque([]byte{1, 2, 3})
+	if e.Len() != 4 {
+		t.Fatalf("len = %d, want 4 (padded)", e.Len())
+	}
+	d := NewDecoder(e.Bytes())
+	got, err := d.FixedOpaque(3)
+	if err != nil || !bytes.Equal(got, []byte{1, 2, 3}) {
+		t.Fatalf("got %v err %v", got, err)
+	}
+}
+
+func TestDecodeShortBuffer(t *testing.T) {
+	d := NewDecoder([]byte{0, 0})
+	if _, err := d.Uint32(); err != ErrShortBuffer {
+		t.Fatalf("err = %v", err)
+	}
+	d = NewDecoder([]byte{0, 0, 0})
+	if _, err := d.Uint64(); err != ErrShortBuffer {
+		t.Fatalf("err = %v", err)
+	}
+	if _, err := NewDecoder(nil).Opaque(); err != ErrShortBuffer {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestDecodeBadLength(t *testing.T) {
+	e := NewEncoder(8)
+	e.Uint32(100) // claims 100 bytes follow; none do
+	d := NewDecoder(e.Bytes())
+	if _, err := d.Opaque(); err != ErrBadLength {
+		t.Fatalf("err = %v", err)
+	}
+	if _, err := NewDecoder(nil).FixedOpaque(-1); err != ErrBadLength {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestEncoderReset(t *testing.T) {
+	e := NewEncoder(8)
+	e.Uint32(1)
+	e.Reset()
+	if e.Len() != 0 {
+		t.Fatalf("len after reset = %d", e.Len())
+	}
+}
+
+func TestCheck(t *testing.T) {
+	if Check(nil, nil) != nil {
+		t.Fatal("Check(nil, nil) != nil")
+	}
+	if Check(nil, ErrShortBuffer) == nil {
+		t.Fatal("Check missed error")
+	}
+}
+
+// Property: any mixed sequence of values round-trips.
+func TestMixedRoundTripProperty(t *testing.T) {
+	f := func(a uint32, b uint64, s string, o []byte, flag bool) bool {
+		e := NewEncoder(64)
+		e.Uint32(a)
+		e.Uint64(b)
+		e.String(s)
+		e.Opaque(o)
+		e.Bool(flag)
+		d := NewDecoder(e.Bytes())
+		ga, e1 := d.Uint32()
+		gb, e2 := d.Uint64()
+		gs, e3 := d.String()
+		gob, e4 := d.Opaque()
+		gf, e5 := d.Bool()
+		if Check(e1, e2, e3, e4, e5) != nil {
+			return false
+		}
+		return ga == a && gb == b && gs == s && bytes.Equal(gob, o) && gf == flag && d.Remaining() == 0
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: encoded length is always 4-byte aligned.
+func TestAlignmentProperty(t *testing.T) {
+	f := func(chunks [][]byte) bool {
+		e := NewEncoder(64)
+		for _, c := range chunks {
+			e.Opaque(c)
+		}
+		return e.Len()%4 == 0
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestLenHelpers(t *testing.T) {
+	if FixedLen(0) != 0 || FixedLen(1) != 4 || FixedLen(4) != 4 || FixedLen(5) != 8 {
+		t.Fatal("FixedLen wrong")
+	}
+	if OpaqueLen(0) != 4 || OpaqueLen(3) != 8 {
+		t.Fatal("OpaqueLen wrong")
+	}
+}

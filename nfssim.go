@@ -1,0 +1,195 @@
+// Package nfssim is the public face of the reproduction of "Linux NFS
+// Client Write Performance" (Lever & Honeyman, CITI TR 01-12, FREENIX
+// 2002). It assembles complete virtual test beds — an SMP Linux client
+// with a configurable NFS write path, a gigabit switch, and the paper's
+// servers (a NetApp F85 filer, a four-way Linux knfsd, a 100 Mb/s slow
+// server) — on a deterministic discrete-event simulator, and exposes the
+// paper's Bonnie-derived sequential write benchmark on top.
+//
+// Quick start:
+//
+//	tb := nfssim.NewTestbed(nfssim.Options{Server: nfssim.ServerFiler,
+//		Client: core.EnhancedConfig()})
+//	res := bonnie.Run(tb.Sim, tb.NewWorkload(), bonnie.Config{FileSize: 40 << 20})
+//	fmt.Println(res)
+package nfssim
+
+import (
+	"repro/internal/core"
+	"repro/internal/disksim"
+	"repro/internal/ext2"
+	"repro/internal/mm"
+	"repro/internal/netsim"
+	"repro/internal/rpcsim"
+	"repro/internal/server"
+	"repro/internal/sim"
+	"repro/internal/vfs"
+)
+
+// ServerKind selects which server the test bed mounts.
+type ServerKind int
+
+const (
+	// ServerFiler is the prototype NetApp F85 (§3.1).
+	ServerFiler ServerKind = iota
+	// ServerLinux is the four-way Linux 2.4.4 knfsd (§3.1).
+	ServerLinux
+	// ServerSlow100 is the knfsd stack behind a 100 Mb/s link (§3.5).
+	ServerSlow100
+	// ServerNone builds a client-only test bed (local ext2 runs).
+	ServerNone
+)
+
+func (k ServerKind) String() string {
+	switch k {
+	case ServerFiler:
+		return "filer"
+	case ServerLinux:
+		return "linux"
+	case ServerSlow100:
+		return "slow100"
+	default:
+		return "local"
+	}
+}
+
+// Options configures a test bed.
+type Options struct {
+	// Seed is the deterministic simulation seed (default 1).
+	Seed int64
+	// Server selects the mounted server.
+	Server ServerKind
+	// Client is the NFS client configuration; its LockPolicy is applied
+	// to the RPC transport. Zero value means core.Stock244Config().
+	Client core.Config
+	// ClientCPUs is the client processor count (default 2, the paper's
+	// dual P-III; set 1 for the uniprocessor ablation).
+	ClientCPUs int
+	// CacheLimit overrides the client page-cache budget (default
+	// mm.DefaultDirtyLimit).
+	CacheLimit int64
+	// Jumbo enables 9000-byte MTU end to end (§3.5 future work).
+	Jumbo bool
+	// Jitter is the per-execution CPU-cost noise factor on the client
+	// (default 0.04; set negative for none). Deterministic per seed.
+	Jitter float64
+	// RPC optionally overrides the transport cost model; LockPolicy and
+	// MTU are always taken from Client/Jumbo.
+	RPC *rpcsim.Config
+}
+
+// Testbed is an assembled simulation: client machine, network, server.
+type Testbed struct {
+	Sim   *sim.Sim
+	Net   *netsim.Network
+	CPU   *sim.CPUPool
+	BKL   *sim.Mutex
+	Cache *mm.PageCache
+
+	// Client is the NFS client (nil for ServerNone).
+	Client *core.Client
+	// Transport is the client's RPC transport (nil for ServerNone).
+	Transport *rpcsim.Transport
+	// Server is the mounted server's front-end (nil for ServerNone).
+	Server *server.Server
+	// Filer is the filer backend when Server == ServerFiler.
+	Filer *server.Filer
+	// Linux is the knfsd backend for ServerLinux / ServerSlow100.
+	Linux *server.LinuxServer
+	// LocalDisk is the client's EIDE disk for local ext2 runs.
+	LocalDisk *disksim.Disk
+
+	opts Options
+}
+
+// NewTestbed assembles a test bed.
+func NewTestbed(opts Options) *Testbed {
+	if opts.Seed == 0 {
+		opts.Seed = 1
+	}
+	if opts.ClientCPUs == 0 {
+		opts.ClientCPUs = 2
+	}
+	if opts.CacheLimit == 0 {
+		opts.CacheLimit = mm.DefaultDirtyLimit
+	}
+	if opts.Client.WSize == 0 {
+		opts.Client = core.Stock244Config()
+	}
+
+	if opts.Jitter == 0 {
+		opts.Jitter = 0.04
+	} else if opts.Jitter < 0 {
+		opts.Jitter = 0
+	}
+
+	s := sim.New(opts.Seed)
+	net := netsim.New(s)
+	tb := &Testbed{
+		Sim:   s,
+		Net:   net,
+		CPU:   s.NewCPUPool("client-cpus", opts.ClientCPUs),
+		BKL:   s.NewMutex("kernel_flag"),
+		Cache: mm.New(s, opts.CacheLimit),
+		opts:  opts,
+	}
+	tb.CPU.Jitter = opts.Jitter
+
+	mtu := netsim.MTUEthernet
+	if opts.Jumbo {
+		mtu = netsim.MTUJumbo
+	}
+	net.AddHost(server.HostClient, netsim.LinkConfig{
+		Bandwidth:   netsim.BandwidthGigabit,
+		Propagation: 20_000,
+		MTU:         mtu,
+	}, nil)
+	tb.LocalDisk = disksim.NewDeskstarEIDE(s)
+
+	var remote string
+	switch opts.Server {
+	case ServerFiler:
+		tb.Server, tb.Filer = server.NewF85(s, net, mtu)
+		remote = server.HostFiler
+	case ServerLinux:
+		tb.Server, tb.Linux = server.NewLinuxNFS(s, net, mtu)
+		remote = server.HostLinux
+	case ServerSlow100:
+		tb.Server, tb.Linux = server.NewSlow100(s, net, mtu)
+		remote = server.HostSlow
+	case ServerNone:
+		return tb
+	}
+
+	rpcCfg := rpcsim.DefaultConfig()
+	if opts.RPC != nil {
+		rpcCfg = *opts.RPC
+	}
+	rpcCfg.LockPolicy = opts.Client.LockPolicy
+	rpcCfg.MTU = mtu
+	tb.Transport = rpcsim.New(s, net, tb.CPU, tb.BKL, rpcCfg, server.HostClient, remote)
+	tb.Client = core.NewClient(s, tb.CPU, tb.BKL, tb.Cache, tb.Transport, opts.Client)
+	return tb
+}
+
+// OpenNFS opens a fresh file on the NFS mount.
+func (tb *Testbed) OpenNFS() *core.File {
+	if tb.Client == nil {
+		panic("nfssim: test bed has no NFS mount")
+	}
+	return tb.Client.Open()
+}
+
+// OpenLocal opens a fresh file on the client's local ext2 filesystem.
+func (tb *Testbed) OpenLocal() vfs.File {
+	return ext2.NewFile(tb.Sim, tb.CPU, tb.Cache, tb.LocalDisk)
+}
+
+// Open opens a file on the test bed's configured target: local ext2 for
+// ServerNone, NFS otherwise.
+func (tb *Testbed) Open() vfs.File {
+	if tb.opts.Server == ServerNone {
+		return tb.OpenLocal()
+	}
+	return tb.OpenNFS()
+}
