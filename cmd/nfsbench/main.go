@@ -25,7 +25,10 @@ import (
 	"repro/internal/experiments"
 )
 
-var quick = flag.Bool("quick", false, "use a reduced file-size grid for fig1/fig7 sweeps")
+var (
+	quick   = flag.Bool("quick", false, "use a reduced file-size grid for fig1/fig7 sweeps")
+	workers = flag.Int("workers", 0, "worker-pool size for grid-shaped experiments (0 = one per CPU); results are identical for every value")
+)
 
 func sizes() []int {
 	if *quick {
@@ -72,6 +75,7 @@ func runners() []runner {
 func main() {
 	flag.Usage = usage
 	flag.Parse()
+	experiments.Workers = *workers
 	args := flag.Args()
 	if len(args) != 1 {
 		usage()

@@ -1,0 +1,185 @@
+// Command nfssweep runs arbitrary scenario sweeps over the simulator:
+// the cross-product of the axis flags below is expanded into scenarios,
+// executed across a worker pool (one private test bed per scenario), and
+// reported as per-run results plus per-cell mean/stddev summaries.
+// Output is deterministic: the same grid and seeds produce byte-identical
+// results regardless of -workers.
+//
+// Examples:
+//
+//	nfssweep -servers filer,linux,local -configs stock -sizes 25..450:25
+//	    the Figure 1 grid
+//	nfssweep -servers filer -configs stock,nolimits,hash,enhanced \
+//	    -sizes 40 -repeats 5 -format csv -out results/
+//	    the paper's fix progression with error bars
+//	nfssweep -servers filer -configs enhanced -sizes 100 -cpus 1,2,4 \
+//	    -jumbo both -full
+//	    a sweep the paper never ran
+//
+// See docs/experiments.md for the axis semantics and output schema.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strconv"
+	"strings"
+
+	"repro/internal/harness"
+)
+
+var (
+	servers = flag.String("servers", "filer", "comma list of servers: filer, linux, slow100, local")
+	configs = flag.String("configs", "stock", "comma list of client configs: stock, nolimits, hash, enhanced")
+	sizes   = flag.String("sizes", "40", "file sizes in MB: comma list (25,100) or range lo..hi:step (25..450:25)")
+	wsizes  = flag.String("wsizes", "", "comma list of wsize bytes (multiples of 4096; default: each config's own)")
+	cpus    = flag.String("cpus", "", "comma list of client CPU counts (default 2)")
+	caches  = flag.String("cache", "", "comma list of page-cache limits in MB (default: the 2.4.4 budget)")
+	jumbo   = flag.String("jumbo", "off", "jumbo frames: off, on, or both (an axis)")
+	seed    = flag.Int64("seed", 1, "base simulation seed")
+	repeats = flag.Int("repeats", 1, "repeats per cell with seeds seed, seed+1, ...")
+	workers = flag.Int("workers", 0, "worker-pool size (0 = one per CPU); does not change results")
+	format  = flag.String("format", "table", "output format: csv, json, or table")
+	outDir  = flag.String("out", "", "directory to write results.<format> and summary.<format> (default: stdout only)")
+	full    = flag.Bool("full", false, "run the full write+flush+close sequence instead of the write phase only")
+	quiet   = flag.Bool("quiet", false, "suppress per-run progress on stderr")
+)
+
+func fatalf(f string, args ...any) {
+	fmt.Fprintf(os.Stderr, "nfssweep: "+f+"\n", args...)
+	os.Exit(2)
+}
+
+func parseIntList(spec string) ([]int, error) {
+	if spec == "" {
+		return nil, nil
+	}
+	var out []int
+	for _, f := range strings.Split(spec, ",") {
+		n, err := strconv.Atoi(strings.TrimSpace(f))
+		if err != nil || n <= 0 {
+			return nil, fmt.Errorf("bad value %q", f)
+		}
+		out = append(out, n)
+	}
+	return out, nil
+}
+
+func buildGrid() harness.Grid {
+	var g harness.Grid
+	var err error
+	if g.Servers, err = harness.ParseServers(*servers); err != nil {
+		fatalf("%v", err)
+	}
+	if g.Configs, err = harness.ParseConfigs(*configs); err != nil {
+		fatalf("%v", err)
+	}
+	if g.FileSizesMB, err = harness.ParseSizes(*sizes); err != nil {
+		fatalf("%v", err)
+	}
+	if g.WSizes, err = parseIntList(*wsizes); err != nil {
+		fatalf("-wsizes: %v", err)
+	}
+	for _, ws := range g.WSizes {
+		if ws%4096 != 0 {
+			fatalf("-wsizes: %d is not a multiple of the 4096-byte page size", ws)
+		}
+	}
+	if g.ClientCPUs, err = parseIntList(*cpus); err != nil {
+		fatalf("-cpus: %v", err)
+	}
+	cacheMBs, err := parseIntList(*caches)
+	if err != nil {
+		fatalf("-cache: %v", err)
+	}
+	for _, mb := range cacheMBs {
+		g.CacheLimits = append(g.CacheLimits, int64(mb)<<20)
+	}
+	switch *jumbo {
+	case "off":
+	case "on":
+		g.Jumbo = []bool{true}
+	case "both":
+		g.Jumbo = []bool{false, true}
+	default:
+		fatalf("-jumbo must be off, on, or both")
+	}
+	if *seed <= 0 {
+		fatalf("-seed must be positive")
+	}
+	g.Seeds = []int64{*seed}
+	if *repeats < 1 {
+		fatalf("-repeats must be >= 1")
+	}
+	g.Repeats = *repeats
+	g.SkipFlushClose = !*full
+	return g
+}
+
+type renderers struct {
+	results    func([]harness.Result) string
+	aggregates func([]harness.Aggregate) string
+	ext        string
+}
+
+// renderersFor resolves -format once, before the sweep runs, so a bad
+// value fails fast instead of after minutes of simulation.
+func renderersFor(format string) renderers {
+	switch format {
+	case "csv":
+		return renderers{harness.ResultsCSV, harness.AggregatesCSV, "csv"}
+	case "json":
+		return renderers{harness.ResultsJSON, harness.AggregatesJSON, "json"}
+	case "table":
+		return renderers{harness.ResultsTable, harness.AggregatesTable, "txt"}
+	}
+	fatalf("-format must be csv, json, or table")
+	panic("unreachable")
+}
+
+func main() {
+	flag.Parse()
+	if flag.NArg() != 0 {
+		fatalf("unexpected arguments %v (axes are flags; see -h)", flag.Args())
+	}
+	render := renderersFor(*format)
+	g := buildGrid()
+	scenarios := g.Expand()
+	if !*quiet {
+		fmt.Fprintf(os.Stderr, "nfssweep: %d scenarios (%d cells x %d repeats)\n",
+			len(scenarios), len(scenarios) / *repeats, *repeats)
+	}
+	ran := 0
+	runner := harness.Runner{Workers: *workers}
+	if !*quiet {
+		runner.OnResult = func(r harness.Result) {
+			ran++
+			fmt.Fprintf(os.Stderr, "  [%d/%d] %s: %.1f MB/s\n", ran, len(scenarios), r.Name, r.WriteMBps)
+		}
+	}
+	results := runner.Run(scenarios)
+	aggs := harness.AggregateResults(results)
+	resOut, sumOut := render.results(results), render.aggregates(aggs)
+
+	if *outDir != "" {
+		if err := os.MkdirAll(*outDir, 0o755); err != nil {
+			fatalf("%v", err)
+		}
+		resPath := filepath.Join(*outDir, "results."+render.ext)
+		sumPath := filepath.Join(*outDir, "summary."+render.ext)
+		if err := os.WriteFile(resPath, []byte(resOut), 0o644); err != nil {
+			fatalf("%v", err)
+		}
+		if err := os.WriteFile(sumPath, []byte(sumOut), 0o644); err != nil {
+			fatalf("%v", err)
+		}
+		fmt.Fprintf(os.Stderr, "nfssweep: wrote %s and %s\n", resPath, sumPath)
+	}
+	fmt.Print(resOut)
+	if *repeats > 1 {
+		fmt.Println("\n-- per-cell summary over repeats --")
+		fmt.Print(sumOut)
+	}
+}

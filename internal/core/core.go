@@ -80,7 +80,7 @@ const (
 // Costs is the client-side CPU model for the NFS-specific write path,
 // calibrated (together with vfs.DefaultCosts and rpcsim.DefaultConfig) to
 // the paper's 933 MHz P-III client. Per-byte figures match the paper;
-// see EXPERIMENTS.md for the calibration notes.
+// see DESIGN.md §2 for the calibration notes.
 type Costs struct {
 	// CommitWriteBase is nfs_commit_write bookkeeping, held under the BKL.
 	CommitWriteBase sim.Time

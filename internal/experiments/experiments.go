@@ -26,9 +26,20 @@ import (
 	nfssim "repro"
 	"repro/internal/bonnie"
 	"repro/internal/core"
+	"repro/internal/harness"
 	"repro/internal/sim"
 	"repro/internal/stats"
 )
+
+// Workers is the harness worker-pool size for the grid-shaped
+// experiments (Fig1/Fig7 sweeps, Table1, Slow100, Jumbo); 0 means one
+// worker per CPU. cmd/nfsbench's -workers flag sets it. Results are
+// identical for every value — only wall-clock time changes.
+var Workers int
+
+func runGrid(g harness.Grid) []harness.Result {
+	return (&harness.Runner{Workers: Workers}).Run(g.Expand())
+}
 
 // PaperSizesMB is the Figure 1/7 x-axis: 25–450 MB in 25 MB steps.
 func PaperSizesMB() []int {
@@ -73,20 +84,31 @@ func (r *SweepResult) Render() string {
 	return b.String()
 }
 
-func sweep(title string, cfg core.Config, sizesMB []int) *SweepResult {
+// sweep runs the Figure 1/7 grid — three targets x the size axis,
+// write-phase throughput only — on the parallel harness. Scenario order
+// (and hence series point order) is the grid's deterministic expansion.
+func sweep(title, cfgName string, cfg core.Config, sizesMB []int) *SweepResult {
 	r := &SweepResult{
 		Title: title,
 		Local: &stats.Series{Name: "local ext2", XLabel: "MB", YLabel: "KB/s"},
 		Filer: &stats.Series{Name: "Netapp filer", XLabel: "MB", YLabel: "KB/s"},
 		Linux: &stats.Series{Name: "Linux NFS server", XLabel: "MB", YLabel: "KB/s"},
 	}
-	for _, mb := range sizesMB {
-		_, loc := runOne(nfssim.ServerNone, cfg, mb, false)
-		r.Local.Add(float64(mb), loc.WriteKBps())
-		_, fil := runOne(nfssim.ServerFiler, cfg, mb, false)
-		r.Filer.Add(float64(mb), fil.WriteKBps())
-		_, lin := runOne(nfssim.ServerLinux, cfg, mb, false)
-		r.Linux.Add(float64(mb), lin.WriteKBps())
+	results := runGrid(harness.Grid{
+		Servers:        []nfssim.ServerKind{nfssim.ServerNone, nfssim.ServerFiler, nfssim.ServerLinux},
+		Configs:        []harness.ClientConfig{{Name: cfgName, Config: cfg}},
+		FileSizesMB:    sizesMB,
+		SkipFlushClose: true,
+	})
+	for _, res := range results {
+		switch res.Server {
+		case "local":
+			r.Local.Add(float64(res.FileMB), res.WriteKBps)
+		case "filer":
+			r.Filer.Add(float64(res.FileMB), res.WriteKBps)
+		case "linux":
+			r.Linux.Add(float64(res.FileMB), res.WriteKBps)
+		}
 	}
 	return r
 }
@@ -99,7 +121,7 @@ func Fig1(sizesMB []int) *SweepResult {
 		sizesMB = PaperSizesMB()
 	}
 	return sweep("Figure 1 - Local v. NFS write throughput (stock 2.4.4 client)",
-		core.Stock244Config(), sizesMB)
+		"stock", core.Stock244Config(), sizesMB)
 }
 
 // Fig7 reproduces Figure 7: with all three fixes, NFS memory write
@@ -110,7 +132,7 @@ func Fig7(sizesMB []int) *SweepResult {
 		sizesMB = PaperSizesMB()
 	}
 	return sweep("Figure 7 - Local v. NFS write throughput (enhanced client)",
-		core.EnhancedConfig(), sizesMB)
+		"enhanced", core.EnhancedConfig(), sizesMB)
 }
 
 // TraceResult is a Figures 2–4 dataset: one run's per-call latency trace
@@ -255,7 +277,7 @@ func (r *HistResult) Render() string {
 // faster filer produces more slow write() calls than the Linux server.
 // (Bucket width is 30 µs rather than the paper's 60 µs because our 8 KB
 // write path is ~2x faster than the paper's measured calls; see
-// EXPERIMENTS.md on the paper's internal 8 KB/16 KB inconsistency.)
+// DESIGN.md §2 on the paper's internal 8 KB/16 KB inconsistency.)
 func Fig5() *HistResult {
 	return hist("Figure 5 - Latency histogram (BKL across sock_sendmsg)", core.HashConfig())
 }
@@ -301,20 +323,31 @@ func (r *Table1Result) Render() string {
 	return b.String()
 }
 
-// Table1 reproduces Table 1: 5 MB runs on the hash-table client with the
-// BKL held versus released, against both servers.
+// Table1 reproduces Table 1 as a harness grid: 5 MB runs on the
+// hash-table client with the BKL held ("hash") versus released
+// ("enhanced"), against both servers — a 2x2 cell sweep.
 func Table1() *Table1Result {
+	results := runGrid(harness.Grid{
+		Servers: []nfssim.ServerKind{nfssim.ServerFiler, nfssim.ServerLinux},
+		Configs: []harness.ClientConfig{
+			{Name: "hash", Config: core.HashConfig()},
+			{Name: "enhanced", Config: core.EnhancedConfig()},
+		},
+		FileSizesMB: []int{5},
+	})
 	r := &Table1Result{}
-	tbFL, fl := runOne(nfssim.ServerFiler, core.HashConfig(), 5, true)
-	r.FilerLockMBps = fl.WriteMBps()
-	r.FilerNetMBps = tbFL.Server.NetworkThroughputMBps()
-	_, fn := runOne(nfssim.ServerFiler, core.EnhancedConfig(), 5, true)
-	r.FilerNoLockMBps = fn.WriteMBps()
-	tbLL, ll := runOne(nfssim.ServerLinux, core.HashConfig(), 5, true)
-	r.LinuxLockMBps = ll.WriteMBps()
-	r.LinuxNetMBps = tbLL.Server.NetworkThroughputMBps()
-	_, ln := runOne(nfssim.ServerLinux, core.EnhancedConfig(), 5, true)
-	r.LinuxNoLockMBps = ln.WriteMBps()
+	for _, res := range results {
+		switch {
+		case res.Server == "filer" && res.Config == "hash":
+			r.FilerLockMBps, r.FilerNetMBps = res.WriteMBps, res.ServerNetMBps
+		case res.Server == "filer" && res.Config == "enhanced":
+			r.FilerNoLockMBps = res.WriteMBps
+		case res.Server == "linux" && res.Config == "hash":
+			r.LinuxLockMBps, r.LinuxNetMBps = res.WriteMBps, res.ServerNetMBps
+		case res.Server == "linux" && res.Config == "enhanced":
+			r.LinuxNoLockMBps = res.WriteMBps
+		}
+	}
 	return r
 }
 
@@ -335,17 +368,24 @@ func (r *Slow100Result) Render() string {
 `, r.SlowMBps, r.FilerMBps, r.SlowNetMBps, r.FilerNetMBps, r.SlowMBps > r.FilerMBps)
 }
 
-// Slow100 reproduces the §3.5 check: a server on 100 Mb/s Ethernet
-// sustains <10 MB/s on the wire yet yields *faster* client memory writes.
+// Slow100 reproduces the §3.5 check as a harness grid over the server
+// axis: a server on 100 Mb/s Ethernet sustains <10 MB/s on the wire yet
+// yields *faster* client memory writes.
 func Slow100() *Slow100Result {
-	tbS, slow := runOne(nfssim.ServerSlow100, core.HashConfig(), 5, true)
-	tbF, filer := runOne(nfssim.ServerFiler, core.HashConfig(), 5, true)
-	return &Slow100Result{
-		SlowMBps:     slow.WriteMBps(),
-		FilerMBps:    filer.WriteMBps(),
-		SlowNetMBps:  tbS.Server.NetworkThroughputMBps(),
-		FilerNetMBps: tbF.Server.NetworkThroughputMBps(),
+	results := runGrid(harness.Grid{
+		Servers:     []nfssim.ServerKind{nfssim.ServerSlow100, nfssim.ServerFiler},
+		Configs:     []harness.ClientConfig{{Name: "hash", Config: core.HashConfig()}},
+		FileSizesMB: []int{5},
+	})
+	r := &Slow100Result{}
+	for _, res := range results {
+		if res.Server == "slow100" {
+			r.SlowMBps, r.SlowNetMBps = res.WriteMBps, res.ServerNetMBps
+		} else {
+			r.FilerMBps, r.FilerNetMBps = res.WriteMBps, res.ServerNetMBps
+		}
 	}
+	return r
 }
 
 // ProfileResult carries the §3.4/§3.5 kernel-profile findings.
@@ -469,25 +509,23 @@ func (r *JumboResult) Render() string {
 `, r.StandardMBps, r.JumboMBps, r.StandardSendCPU, r.JumboSendCPU)
 }
 
-// Jumbo runs the jumbo-frame ablation.
+// Jumbo runs the jumbo-frame ablation as a harness grid over the MTU
+// axis: filer, enhanced client, 20 MB, standard versus jumbo frames.
 func Jumbo() *JumboResult {
-	run := func(jumbo bool) (*nfssim.Testbed, *bonnie.Result) {
-		tb := nfssim.NewTestbed(nfssim.Options{
-			Server: nfssim.ServerFiler,
-			Client: core.EnhancedConfig(),
-			Jumbo:  jumbo,
-		})
-		res := bonnie.Run(tb.Sim, "jumbo-ablation", tb.Open, bonnie.Config{
-			FileSize: 20 << 20, TimeLimit: 10 * time.Minute,
-		})
-		return tb, res
+	results := runGrid(harness.Grid{
+		Servers:     []nfssim.ServerKind{nfssim.ServerFiler},
+		Configs:     []harness.ClientConfig{{Name: "enhanced", Config: core.EnhancedConfig()}},
+		FileSizesMB: []int{20},
+		Jumbo:       []bool{false, true},
+		TimeLimit:   10 * time.Minute,
+	})
+	r := &JumboResult{}
+	for _, res := range results {
+		if res.Jumbo {
+			r.JumboMBps, r.JumboSendCPU = res.FlushMBps, res.SendCPU
+		} else {
+			r.StandardMBps, r.StandardSendCPU = res.FlushMBps, res.SendCPU
+		}
 	}
-	tbStd, std := run(false)
-	tbJmb, jmb := run(true)
-	return &JumboResult{
-		StandardMBps:    std.FlushMBps(),
-		JumboMBps:       jmb.FlushMBps(),
-		StandardSendCPU: tbStd.Sim.Profiler().Total("sock_sendmsg"),
-		JumboSendCPU:    tbJmb.Sim.Profiler().Total("sock_sendmsg"),
-	}
+	return r
 }

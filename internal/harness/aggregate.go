@@ -1,0 +1,70 @@
+package harness
+
+import (
+	"repro/internal/stats"
+)
+
+// Aggregate is the summary of one grid cell's repeated runs: mean and
+// population standard deviation over every repeat/seed of the cell.
+type Aggregate struct {
+	Key     string `json:"key"`
+	Server  string `json:"server"`
+	Config  string `json:"config"`
+	FileMB  int    `json:"file_mb"`
+	WSize   int    `json:"wsize"`
+	CPUs    int    `json:"cpus"`
+	CacheMB int    `json:"cache_mb"`
+	Jumbo   bool   `json:"jumbo"`
+	N       int    `json:"n"`
+
+	WriteMBpsMean   float64 `json:"write_mbps_mean"`
+	WriteMBpsStddev float64 `json:"write_mbps_stddev"`
+	FlushMBpsMean   float64 `json:"flush_mbps_mean"`
+	FlushMBpsStddev float64 `json:"flush_mbps_stddev"`
+	MeanLatUsMean   float64 `json:"mean_lat_us_mean"`
+	MeanLatUsStddev float64 `json:"mean_lat_us_stddev"`
+	P99LatUsMean    float64 `json:"p99_lat_us_mean"`
+	P99LatUsStddev  float64 `json:"p99_lat_us_stddev"`
+}
+
+// AggregateResults folds per-run Results into one Aggregate per grid
+// cell (grouping by Scenario.Key, i.e. every axis except seed and
+// repeat), in the order cells first appear in results — which, for
+// Runner output, is grid order.
+func AggregateResults(results []Result) []Aggregate {
+	byKey := make(map[string][]Result, len(results))
+	order := make([]string, 0, len(results))
+	for _, r := range results {
+		k := r.Scenario.Key()
+		byKey[k] = append(byKey[k], r)
+		order = append(order, k)
+	}
+	out := make([]Aggregate, 0, len(byKey))
+	for _, k := range appearanceOrder(order) {
+		rs := byKey[k]
+		pick := func(f func(Result) float64) (mean, sd float64) {
+			xs := make([]float64, len(rs))
+			for i, r := range rs {
+				xs[i] = f(r)
+			}
+			return stats.MeanStddev(xs)
+		}
+		a := Aggregate{
+			Key:     k,
+			Server:  rs[0].Server,
+			Config:  rs[0].Config,
+			FileMB:  rs[0].FileMB,
+			WSize:   rs[0].WSize,
+			CPUs:    rs[0].CPUs,
+			CacheMB: rs[0].CacheMB,
+			Jumbo:   rs[0].Jumbo,
+			N:       len(rs),
+		}
+		a.WriteMBpsMean, a.WriteMBpsStddev = pick(func(r Result) float64 { return r.WriteMBps })
+		a.FlushMBpsMean, a.FlushMBpsStddev = pick(func(r Result) float64 { return r.FlushMBps })
+		a.MeanLatUsMean, a.MeanLatUsStddev = pick(func(r Result) float64 { return r.MeanLatUs })
+		a.P99LatUsMean, a.P99LatUsStddev = pick(func(r Result) float64 { return r.P99LatUs })
+		out = append(out, a)
+	}
+	return out
+}

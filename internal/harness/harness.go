@@ -1,0 +1,306 @@
+// Package harness is the parallel scenario-sweep engine. It treats each
+// test bed as an independent, deterministic unit of work: a Scenario
+// fully specifies one benchmark run (server kind, client configuration,
+// file size, wsize, client CPUs, cache limit, jumbo frames, seed), a
+// Grid expands axis lists into the exact cross-product of Scenarios, and
+// a Runner executes them across a worker pool, streaming Result records
+// in stable scenario order so output is byte-for-byte reproducible
+// regardless of worker count.
+//
+// The paper's own figures are fixed grids (see internal/experiments),
+// but the harness accepts arbitrary user-defined grids via cmd/nfssweep.
+package harness
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+	"time"
+
+	nfssim "repro"
+	"repro/internal/core"
+	"repro/internal/mm"
+	"repro/internal/sim"
+)
+
+// ClientConfig is a named client configuration, so results carry a
+// human-readable label instead of a struct dump.
+type ClientConfig struct {
+	Name   string
+	Config core.Config
+}
+
+// NamedConfigs maps the canonical configuration names — the progression
+// of the paper's fixes — to their core.Config constructors.
+func NamedConfigs() []ClientConfig {
+	return []ClientConfig{
+		{"stock", core.Stock244Config()},
+		{"nolimits", core.NoLimitsConfig()},
+		{"hash", core.HashConfig()},
+		{"enhanced", core.EnhancedConfig()},
+	}
+}
+
+// ConfigByName resolves one canonical configuration name.
+func ConfigByName(name string) (ClientConfig, error) {
+	for _, c := range NamedConfigs() {
+		if c.Name == name {
+			return c, nil
+		}
+	}
+	names := make([]string, 0, 4)
+	for _, c := range NamedConfigs() {
+		names = append(names, c.Name)
+	}
+	return ClientConfig{}, fmt.Errorf("harness: unknown config %q (have %s)", name, strings.Join(names, ", "))
+}
+
+// ServerByName resolves a server-kind name as printed by
+// nfssim.ServerKind.String.
+func ServerByName(name string) (nfssim.ServerKind, error) {
+	switch name {
+	case "filer":
+		return nfssim.ServerFiler, nil
+	case "linux":
+		return nfssim.ServerLinux, nil
+	case "slow100":
+		return nfssim.ServerSlow100, nil
+	case "local", "none":
+		return nfssim.ServerNone, nil
+	}
+	return 0, fmt.Errorf("harness: unknown server %q (have filer, linux, slow100, local)", name)
+}
+
+// Scenario is one fully-specified benchmark run. Expand fills every
+// field, so two Scenarios with equal fields produce identical Results.
+type Scenario struct {
+	Server     nfssim.ServerKind
+	Config     ClientConfig
+	FileMB     int
+	WSize      int   // bytes; overrides Config's wsize
+	ClientCPUs int   // client processor count
+	CacheLimit int64 // page-cache budget, bytes
+	Jumbo      bool
+	Seed       int64
+	Repeat     int // repeat index; Seed already includes the offset
+
+	// SkipFlushClose stops each run after the write phase (the Figure
+	// 1/7 memory-write comparison). When false the run flushes and
+	// closes, as NFS semantics require before last close.
+	SkipFlushClose bool
+	// TimeLimit bounds one run's virtual time (default 30 minutes).
+	TimeLimit sim.Time
+}
+
+// Key identifies the scenario's grid cell — every axis except seed and
+// repeat — for grouping repeated runs.
+func (sc Scenario) Key() string {
+	return fmt.Sprintf("%s/%s/%dMB/w%d/c%d/m%dMB/j%v",
+		sc.Server, sc.Config.Name, sc.FileMB, sc.WSize, sc.ClientCPUs,
+		sc.CacheLimit>>20, sc.Jumbo)
+}
+
+// Name is the scenario's full identity including seed and repeat.
+func (sc Scenario) Name() string {
+	return fmt.Sprintf("%s/s%d.%d", sc.Key(), sc.Seed, sc.Repeat)
+}
+
+// Grid declares the sweep axes. Expand produces the exact cross-product
+// of every non-empty axis; empty axes fall back to the listed default.
+type Grid struct {
+	Servers     []nfssim.ServerKind // default: filer
+	Configs     []ClientConfig      // default: stock
+	FileSizesMB []int               // default: 40
+	WSizes      []int               // default: each config's own wsize
+	ClientCPUs  []int               // default: 2 (the paper's dual P-III)
+	CacheLimits []int64             // default: mm.DefaultDirtyLimit
+	Jumbo       []bool              // default: false
+	Seeds       []int64             // default: 1
+
+	// Repeats re-runs every cell Repeats times, offsetting each base
+	// seed per repeat by the span of the Seeds list (max-min+1, so a
+	// single base seed yields seed, seed+1, ...). Distinct base seeds
+	// therefore never collide across repeats: every run in a cell has
+	// a unique seed, and Aggregate folds genuinely independent runs
+	// into its mean/stddev summaries.
+	Repeats int
+
+	SkipFlushClose bool
+	TimeLimit      sim.Time
+}
+
+func orInts(xs []int, def int) []int {
+	if len(xs) == 0 {
+		return []int{def}
+	}
+	return xs
+}
+
+// Expand returns the cross-product of all axes in a fixed nesting order
+// (config, server, file size, wsize, CPUs, cache limit, jumbo, seed,
+// repeat — innermost last), with every Scenario field resolved to its
+// concrete value. The order is deterministic: the same Grid always
+// expands to the same slice.
+func (g Grid) Expand() []Scenario {
+	servers := g.Servers
+	if len(servers) == 0 {
+		servers = []nfssim.ServerKind{nfssim.ServerFiler}
+	}
+	configs := g.Configs
+	if len(configs) == 0 {
+		configs = []ClientConfig{{"stock", core.Stock244Config()}}
+	}
+	sizes := orInts(g.FileSizesMB, 40)
+	cpus := orInts(g.ClientCPUs, 2)
+	caches := g.CacheLimits
+	if len(caches) == 0 {
+		caches = []int64{mm.DefaultDirtyLimit}
+	}
+	jumbos := g.Jumbo
+	if len(jumbos) == 0 {
+		jumbos = []bool{false}
+	}
+	seeds := g.Seeds
+	if len(seeds) == 0 {
+		seeds = []int64{1}
+	}
+	// Repeat r shifts every base seed by r*span; span covers the whole
+	// base-seed range, so no two (seed, repeat) pairs share a seed.
+	minSeed, maxSeed := seeds[0], seeds[0]
+	for _, s := range seeds {
+		if s < minSeed {
+			minSeed = s
+		}
+		if s > maxSeed {
+			maxSeed = s
+		}
+	}
+	span := maxSeed - minSeed + 1
+	repeats := g.Repeats
+	if repeats < 1 {
+		repeats = 1
+	}
+	timeLimit := g.TimeLimit
+	if timeLimit == 0 {
+		timeLimit = 30 * time.Minute
+	}
+
+	var out []Scenario
+	for _, cfg := range configs {
+		wsizes := orInts(g.WSizes, cfg.Config.WSize)
+		for _, srv := range servers {
+			for _, mb := range sizes {
+				for _, ws := range wsizes {
+					for _, ncpu := range cpus {
+						for _, cache := range caches {
+							for _, jumbo := range jumbos {
+								for _, seed := range seeds {
+									for rep := 0; rep < repeats; rep++ {
+										out = append(out, Scenario{
+											Server:         srv,
+											Config:         cfg,
+											FileMB:         mb,
+											WSize:          ws,
+											ClientCPUs:     ncpu,
+											CacheLimit:     cache,
+											Jumbo:          jumbo,
+											Seed:           seed + int64(rep)*span,
+											Repeat:         rep,
+											SkipFlushClose: g.SkipFlushClose,
+											TimeLimit:      timeLimit,
+										})
+									}
+								}
+							}
+						}
+					}
+				}
+			}
+		}
+	}
+	return out
+}
+
+// ParseSizes parses a file-size axis spec: either a comma list
+// ("25,100,450") or a range with step ("25..450:25", step defaulting
+// to 25). Values are megabytes.
+func ParseSizes(spec string) ([]int, error) {
+	if spec == "" {
+		return nil, fmt.Errorf("harness: empty size spec")
+	}
+	if lo, rest, ok := strings.Cut(spec, ".."); ok {
+		hi, stepStr, _ := strings.Cut(rest, ":")
+		step := 25
+		var err error
+		if stepStr != "" {
+			if step, err = strconv.Atoi(stepStr); err != nil || step <= 0 {
+				return nil, fmt.Errorf("harness: bad size step %q", stepStr)
+			}
+		}
+		a, err := strconv.Atoi(lo)
+		if err != nil {
+			return nil, fmt.Errorf("harness: bad size %q", lo)
+		}
+		b, err := strconv.Atoi(hi)
+		if err != nil {
+			return nil, fmt.Errorf("harness: bad size %q", hi)
+		}
+		if a <= 0 || b < a {
+			return nil, fmt.Errorf("harness: bad size range %d..%d", a, b)
+		}
+		var out []int
+		for mb := a; mb <= b; mb += step {
+			out = append(out, mb)
+		}
+		return out, nil
+	}
+	var out []int
+	for _, f := range strings.Split(spec, ",") {
+		mb, err := strconv.Atoi(strings.TrimSpace(f))
+		if err != nil || mb <= 0 {
+			return nil, fmt.Errorf("harness: bad size %q", f)
+		}
+		out = append(out, mb)
+	}
+	return out, nil
+}
+
+// ParseServers parses a comma list of server names.
+func ParseServers(spec string) ([]nfssim.ServerKind, error) {
+	var out []nfssim.ServerKind
+	for _, f := range strings.Split(spec, ",") {
+		k, err := ServerByName(strings.TrimSpace(f))
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, k)
+	}
+	return out, nil
+}
+
+// ParseConfigs parses a comma list of canonical configuration names.
+func ParseConfigs(spec string) ([]ClientConfig, error) {
+	var out []ClientConfig
+	for _, f := range strings.Split(spec, ",") {
+		c, err := ConfigByName(strings.TrimSpace(f))
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, c)
+	}
+	return out, nil
+}
+
+// appearanceOrder deduplicates keys preserving first appearance, so
+// aggregation output follows scenario order, not map order.
+func appearanceOrder(order []string) []string {
+	seen := make(map[string]bool, len(order))
+	out := make([]string, 0, len(order))
+	for _, k := range order {
+		if !seen[k] {
+			seen[k] = true
+			out = append(out, k)
+		}
+	}
+	return out
+}

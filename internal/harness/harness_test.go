@@ -1,0 +1,309 @@
+package harness
+
+import (
+	"fmt"
+	"math"
+	"reflect"
+	"strings"
+	"testing"
+
+	nfssim "repro"
+	"repro/internal/core"
+	"repro/internal/mm"
+)
+
+func TestGridExpandIsExactCrossProduct(t *testing.T) {
+	g := Grid{
+		Servers:     []nfssim.ServerKind{nfssim.ServerFiler, nfssim.ServerLinux, nfssim.ServerNone},
+		Configs:     []ClientConfig{{"stock", core.Stock244Config()}, {"enhanced", core.EnhancedConfig()}},
+		FileSizesMB: []int{5, 10},
+		WSizes:      []int{8192, 16384},
+		ClientCPUs:  []int{1, 2},
+		Jumbo:       []bool{false, true},
+		Seeds:       []int64{1, 7},
+		Repeats:     3,
+	}
+	scens := g.Expand()
+	want := 3 * 2 * 2 * 2 * 2 * 2 * 2 * 3
+	if len(scens) != want {
+		t.Fatalf("expanded %d scenarios, want %d", len(scens), want)
+	}
+	// Every combination appears exactly once.
+	seen := make(map[string]bool, len(scens))
+	for _, sc := range scens {
+		n := sc.Name()
+		if seen[n] {
+			t.Fatalf("duplicate scenario %s", n)
+		}
+		seen[n] = true
+	}
+	// Spot-check axis values survive into the scenario.
+	for _, sc := range scens {
+		if sc.WSize != 8192 && sc.WSize != 16384 {
+			t.Fatalf("unexpected wsize %d", sc.WSize)
+		}
+		if sc.Repeat < 0 || sc.Repeat > 2 {
+			t.Fatalf("unexpected repeat %d", sc.Repeat)
+		}
+		// Seed carries the repeat offset (stride = the base-seed span,
+		// here 7-1+1) from its base seed.
+		stride := int64(7 * sc.Repeat)
+		if sc.Seed != 1+stride && sc.Seed != 7+stride {
+			t.Fatalf("seed %d inconsistent with repeat %d", sc.Seed, sc.Repeat)
+		}
+	}
+	// No cell aggregates two runs of the same seed: (cell, seed) pairs
+	// are unique, so repeats never duplicate a bit-identical run.
+	assertUniqueCellSeeds(t, scens)
+}
+
+func assertUniqueCellSeeds(t *testing.T, scens []Scenario) {
+	t.Helper()
+	cellSeeds := make(map[string]bool, len(scens))
+	for _, sc := range scens {
+		k := fmt.Sprintf("%s/%d", sc.Key(), sc.Seed)
+		if cellSeeds[k] {
+			t.Fatalf("duplicate (cell, seed) %s", k)
+		}
+		cellSeeds[k] = true
+	}
+}
+
+func TestGridExpandSeedsNeverCollideAcrossRepeats(t *testing.T) {
+	// Base seeds whose difference is a multiple of the list length used
+	// to collide under a count-based stride ({1,3} x 2 repeats reused
+	// seed 3); the span-based stride keeps every run seed unique.
+	assertUniqueCellSeeds(t, Grid{Seeds: []int64{1, 3}, Repeats: 2}.Expand())
+	assertUniqueCellSeeds(t, Grid{Seeds: []int64{5, 2, 9}, Repeats: 4}.Expand())
+	// Single base seed still yields the documented seed, seed+1, ...
+	for i, sc := range (Grid{Seeds: []int64{5}, Repeats: 3}).Expand() {
+		if sc.Seed != int64(5+i) {
+			t.Fatalf("repeat %d seed = %d, want %d", i, sc.Seed, 5+i)
+		}
+	}
+}
+
+func TestGridExpandDefaults(t *testing.T) {
+	scens := Grid{}.Expand()
+	if len(scens) != 1 {
+		t.Fatalf("empty grid expanded to %d scenarios, want 1", len(scens))
+	}
+	sc := scens[0]
+	if sc.Server != nfssim.ServerFiler || sc.Config.Name != "stock" ||
+		sc.FileMB != 40 || sc.WSize != core.DefaultWSize ||
+		sc.ClientCPUs != 2 || sc.CacheLimit != mm.DefaultDirtyLimit ||
+		sc.Jumbo || sc.Seed != 1 {
+		t.Fatalf("unexpected defaults: %+v", sc)
+	}
+	if sc.TimeLimit == 0 {
+		t.Fatal("time limit not defaulted")
+	}
+}
+
+func TestGridExpandDeterministicOrder(t *testing.T) {
+	g := Grid{
+		Servers:     []nfssim.ServerKind{nfssim.ServerFiler, nfssim.ServerNone},
+		FileSizesMB: []int{1, 2, 3},
+		Repeats:     2,
+	}
+	a, b := g.Expand(), g.Expand()
+	if !reflect.DeepEqual(a, b) {
+		t.Fatal("same grid expanded to different scenario orders")
+	}
+}
+
+// testGrid is a small-but-real grid used by the runner tests: 8 runs,
+// ~1 MB each, covering two servers and two configs.
+func testGrid() Grid {
+	return Grid{
+		Servers:     []nfssim.ServerKind{nfssim.ServerFiler, nfssim.ServerLinux},
+		Configs:     []ClientConfig{{"stock", core.Stock244Config()}, {"enhanced", core.EnhancedConfig()}},
+		FileSizesMB: []int{1},
+		Repeats:     2,
+	}
+}
+
+func TestRunnerOutputIdenticalAcrossWorkerCounts(t *testing.T) {
+	scens := testGrid().Expand()
+	var streamed1, streamed8 []string
+	r1 := (&Runner{Workers: 1, OnResult: func(r Result) { streamed1 = append(streamed1, r.Name) }}).Run(scens)
+	r8 := (&Runner{Workers: 8, OnResult: func(r Result) { streamed8 = append(streamed8, r.Name) }}).Run(scens)
+	if len(r1) != len(scens) || len(r8) != len(scens) {
+		t.Fatalf("result counts %d/%d, want %d", len(r1), len(r8), len(scens))
+	}
+	c1, c8 := ResultsCSV(r1), ResultsCSV(r8)
+	if c1 != c8 {
+		t.Fatalf("CSV differs between 1 and 8 workers:\n%s\nvs\n%s", c1, c8)
+	}
+	if ResultsJSON(r1) != ResultsJSON(r8) {
+		t.Fatal("JSON differs between 1 and 8 workers")
+	}
+	// Streaming delivery is in scenario order for both.
+	if !reflect.DeepEqual(streamed1, streamed8) {
+		t.Fatalf("streamed order differs:\n%v\nvs\n%v", streamed1, streamed8)
+	}
+	for i, sc := range scens {
+		if streamed1[i] != sc.Name() {
+			t.Fatalf("streamed[%d] = %s, want %s", i, streamed1[i], sc.Name())
+		}
+	}
+}
+
+func TestRunnerResultsMatchScenarioOrder(t *testing.T) {
+	scens := testGrid().Expand()
+	results := (&Runner{Workers: 4, KeepTraces: true}).Run(scens)
+	for i, r := range results {
+		if r.Name != scens[i].Name() {
+			t.Fatalf("results[%d] = %s, want %s", i, r.Name, scens[i].Name())
+		}
+		if r.Calls != 128 { // 1 MB / 8 KB
+			t.Fatalf("results[%d].Calls = %d, want 128", i, r.Calls)
+		}
+		if r.WriteMBps <= 0 || r.Trace == nil || r.Trace.Len() != r.Calls {
+			t.Fatalf("results[%d] incomplete: %+v", i, r)
+		}
+	}
+	// Without KeepTraces, traces are dropped so big grids don't pin
+	// every per-call sample for the whole sweep.
+	for i, r := range (&Runner{Workers: 4}).Run(scens[:2]) {
+		if r.Trace != nil {
+			t.Fatalf("results[%d] retained its trace without KeepTraces", i)
+		}
+	}
+}
+
+func TestAggregateRepeats(t *testing.T) {
+	g := testGrid()
+	g.Repeats = 3
+	results := (&Runner{Workers: 4}).Run(g.Expand())
+	aggs := AggregateResults(results)
+	if len(aggs) != 4 { // 2 servers x 2 configs x 1 size
+		t.Fatalf("got %d aggregates, want 4", len(aggs))
+	}
+	for _, a := range aggs {
+		if a.N != 3 {
+			t.Fatalf("cell %s aggregated %d runs, want 3", a.Key, a.N)
+		}
+	}
+	// Hand-check one cell's mean against its member runs.
+	var member []float64
+	for _, r := range results {
+		if r.Scenario.Key() == aggs[0].Key {
+			member = append(member, r.WriteMBps)
+		}
+	}
+	var sum float64
+	for _, x := range member {
+		sum += x
+	}
+	if got, want := aggs[0].WriteMBpsMean, sum/float64(len(member)); math.Abs(got-want) > 1e-9 {
+		t.Fatalf("mean = %g, want %g", got, want)
+	}
+	// Repeats use distinct seeds, so runs are not literally identical
+	// (the client cost model has deterministic per-seed jitter)...
+	if aggs[0].MeanLatUsStddev == 0 {
+		t.Fatal("expected nonzero latency stddev across distinct seeds")
+	}
+	// ...but cell summaries must be tight: jitter is 4%.
+	if aggs[0].WriteMBpsStddev > aggs[0].WriteMBpsMean*0.10 {
+		t.Fatalf("stddev %g implausibly large vs mean %g", aggs[0].WriteMBpsStddev, aggs[0].WriteMBpsMean)
+	}
+}
+
+func TestSameSeedSameResult(t *testing.T) {
+	sc := Grid{FileSizesMB: []int{1}}.Expand()[0]
+	a, b := RunScenario(sc), RunScenario(sc)
+	a.Trace, b.Trace = nil, nil
+	if !reflect.DeepEqual(a, b) {
+		t.Fatalf("same scenario produced different results:\n%+v\nvs\n%+v", a, b)
+	}
+}
+
+func TestParseSizes(t *testing.T) {
+	for _, tc := range []struct {
+		spec string
+		want []int
+	}{
+		{"25..450:25", func() []int {
+			var s []int
+			for mb := 25; mb <= 450; mb += 25 {
+				s = append(s, mb)
+			}
+			return s
+		}()},
+		{"25..100:25", []int{25, 50, 75, 100}},
+		{"10..30", []int{10}}, // default step 25
+		{"5,40,100", []int{5, 40, 100}},
+		{"40", []int{40}},
+	} {
+		got, err := ParseSizes(tc.spec)
+		if err != nil {
+			t.Fatalf("ParseSizes(%q): %v", tc.spec, err)
+		}
+		if !reflect.DeepEqual(got, tc.want) {
+			t.Fatalf("ParseSizes(%q) = %v, want %v", tc.spec, got, tc.want)
+		}
+	}
+	for _, bad := range []string{"", "0", "-5", "a..b", "10..5", "10..20:0", "x"} {
+		if _, err := ParseSizes(bad); err == nil {
+			t.Fatalf("ParseSizes(%q) should fail", bad)
+		}
+	}
+}
+
+func TestParseServersAndConfigs(t *testing.T) {
+	srvs, err := ParseServers("filer, linux,slow100,local")
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []nfssim.ServerKind{nfssim.ServerFiler, nfssim.ServerLinux, nfssim.ServerSlow100, nfssim.ServerNone}
+	if !reflect.DeepEqual(srvs, want) {
+		t.Fatalf("servers = %v", srvs)
+	}
+	if _, err := ParseServers("netapp"); err == nil {
+		t.Fatal("bad server name should fail")
+	}
+	cfgs, err := ParseConfigs("stock,enhanced")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(cfgs) != 2 || cfgs[0].Name != "stock" || cfgs[1].Name != "enhanced" {
+		t.Fatalf("configs = %v", cfgs)
+	}
+	if cfgs[1].Config.IndexPolicy != core.IndexHashTable {
+		t.Fatal("enhanced config not resolved")
+	}
+	if _, err := ParseConfigs("turbo"); err == nil {
+		t.Fatal("bad config name should fail")
+	}
+}
+
+func TestFormatsRenderSchema(t *testing.T) {
+	results := (&Runner{Workers: 2}).Run(Grid{FileSizesMB: []int{1}, Repeats: 2}.Expand())
+	csv := ResultsCSV(results)
+	lines := strings.Split(strings.TrimSuffix(csv, "\n"), "\n")
+	if len(lines) != 3 {
+		t.Fatalf("CSV has %d lines, want header + 2 rows", len(lines))
+	}
+	if got, want := len(strings.Split(lines[1], ",")), len(strings.Split(lines[0], ",")); got != want {
+		t.Fatalf("row has %d fields, header %d", got, want)
+	}
+	if !strings.HasPrefix(lines[0], "name,server,config,file_mb") {
+		t.Fatalf("unexpected header %q", lines[0])
+	}
+	js := ResultsJSON(results)
+	if !strings.Contains(js, `"write_mbps"`) || !strings.Contains(js, `"p99_lat_us"`) {
+		t.Fatal("JSON schema missing fields")
+	}
+	tbl := ResultsTable(results)
+	if !strings.Contains(tbl, "write MB/s") {
+		t.Fatal("table missing columns")
+	}
+	aggs := AggregateResults(results)
+	if !strings.Contains(AggregatesCSV(aggs), "write_mbps_mean") {
+		t.Fatal("aggregate CSV schema missing fields")
+	}
+	if !strings.Contains(AggregatesJSON(aggs), `"write_mbps_stddev"`) {
+		t.Fatal("aggregate JSON schema missing fields")
+	}
+}

@@ -1,0 +1,192 @@
+package harness
+
+import (
+	"runtime"
+	"sync"
+	"time"
+
+	nfssim "repro"
+	"repro/internal/bonnie"
+	"repro/internal/stats"
+)
+
+// Result is one scenario's measurements, flattened for machine-readable
+// output. Latencies are microseconds (the paper's unit); throughputs use
+// the paper's decimal MB/KB.
+type Result struct {
+	Name    string `json:"name"`
+	Server  string `json:"server"`
+	Config  string `json:"config"`
+	FileMB  int    `json:"file_mb"`
+	WSize   int    `json:"wsize"`
+	CPUs    int    `json:"cpus"`
+	CacheMB int    `json:"cache_mb"`
+	Jumbo   bool   `json:"jumbo"`
+	Seed    int64  `json:"seed"`
+	Repeat  int    `json:"repeat"`
+
+	Calls     int     `json:"calls"`
+	WriteMBps float64 `json:"write_mbps"`
+	WriteKBps float64 `json:"write_kbps"`
+	FlushMBps float64 `json:"flush_mbps"` // 0 when SkipFlushClose
+	CloseMBps float64 `json:"close_mbps"` // 0 when SkipFlushClose
+
+	MeanLatUs   float64 `json:"mean_lat_us"`
+	MedianLatUs float64 `json:"median_lat_us"`
+	P95LatUs    float64 `json:"p95_lat_us"`
+	P99LatUs    float64 `json:"p99_lat_us"`
+	MaxLatUs    float64 `json:"max_lat_us"`
+
+	SoftFlushes int64 `json:"soft_flushes"` // writer-forced whole-inode flushes
+	HardBlocks  int64 `json:"hard_blocks"`  // writer sleeps on the mount hard limit
+	RPCsSent    int64 `json:"rpcs_sent"`
+	Retransmits int64 `json:"retransmits"`
+
+	ServerNetMBps float64 `json:"server_net_mbps"` // sustained server ingest
+	SendCPUUs     float64 `json:"send_cpu_us"`     // total sock_sendmsg CPU
+
+	// Scenario, Trace, and SendCPU carry the full inputs, the raw
+	// per-call latency trace, and the exact sock_sendmsg total for
+	// programmatic consumers; they are excluded from serialized output.
+	Scenario Scenario      `json:"-"`
+	Trace    *stats.Trace  `json:"-"`
+	SendCPU  time.Duration `json:"-"`
+}
+
+func usec(d time.Duration) float64 { return float64(d) / float64(time.Microsecond) }
+
+// RunScenario executes one scenario on a fresh, private test bed. It is
+// safe to call concurrently: nothing is shared between invocations.
+func RunScenario(sc Scenario) Result {
+	opts := nfssim.Options{
+		Seed:       sc.Seed,
+		Server:     sc.Server,
+		Client:     sc.Config.Config,
+		ClientCPUs: sc.ClientCPUs,
+		CacheLimit: sc.CacheLimit,
+		Jumbo:      sc.Jumbo,
+	}
+	if sc.WSize != 0 {
+		opts.Client.WSize = sc.WSize
+	}
+	tb := nfssim.NewTestbed(opts)
+	res := bonnie.Run(tb.Sim, sc.Name(), tb.Open, bonnie.Config{
+		FileSize:       int64(sc.FileMB) << 20,
+		TimeLimit:      sc.TimeLimit,
+		SkipFlushClose: sc.SkipFlushClose,
+	})
+	sum := res.Trace.Summary()
+	out := Result{
+		Name:    sc.Name(),
+		Server:  sc.Server.String(),
+		Config:  sc.Config.Name,
+		FileMB:  sc.FileMB,
+		WSize:   opts.Client.WSize,
+		CPUs:    sc.ClientCPUs,
+		CacheMB: int(sc.CacheLimit >> 20),
+		Jumbo:   sc.Jumbo,
+		Seed:    sc.Seed,
+		Repeat:  sc.Repeat,
+
+		Calls:     res.Calls,
+		WriteMBps: res.WriteMBps(),
+		WriteKBps: res.WriteKBps(),
+		FlushMBps: res.FlushMBps(),
+		CloseMBps: res.CloseMBps(),
+
+		MeanLatUs:   usec(sum.Mean),
+		MedianLatUs: usec(sum.Median),
+		P95LatUs:    usec(sum.P95),
+		P99LatUs:    usec(sum.P99),
+		MaxLatUs:    usec(sum.Max),
+
+		SendCPUUs: usec(tb.Sim.Profiler().Total("sock_sendmsg")),
+
+		Scenario: sc,
+		Trace:    res.Trace,
+		SendCPU:  tb.Sim.Profiler().Total("sock_sendmsg"),
+	}
+	if tb.Client != nil {
+		out.SoftFlushes = tb.Client.SoftFlushes
+		out.HardBlocks = tb.Client.HardBlocks
+		out.RPCsSent = tb.Client.RPCsSent
+	}
+	if tb.Transport != nil {
+		out.Retransmits = tb.Transport.Stats().Retransmits
+	}
+	if tb.Server != nil {
+		out.ServerNetMBps = tb.Server.NetworkThroughputMBps()
+	}
+	return out
+}
+
+// Runner executes scenarios across a worker pool. Each worker builds its
+// own test bed per scenario, so there is no shared simulator state; the
+// result order is the scenario order regardless of worker count or
+// completion interleaving.
+type Runner struct {
+	// Workers is the pool size (default runtime.GOMAXPROCS(0)).
+	Workers int
+	// OnResult, if set, is called with each Result in strict scenario
+	// order as soon as it and all its predecessors have completed —
+	// streaming output stays byte-identical across worker counts.
+	OnResult func(Result)
+	// KeepTraces retains each Result's raw per-call latency Trace (one
+	// sample per write; ~460 KB for a 450 MB run). Off by default: the
+	// latency percentiles are already flattened into the Result, and a
+	// large grid would otherwise pin every trace until the sweep ends.
+	// RunScenario always returns the trace for single-run callers.
+	KeepTraces bool
+}
+
+// Run executes every scenario and returns the results in scenario order.
+func (r *Runner) Run(scenarios []Scenario) []Result {
+	n := len(scenarios)
+	if n == 0 {
+		return nil
+	}
+	workers := r.Workers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > n {
+		workers = n
+	}
+
+	results := make([]Result, n)
+	done := make([]chan struct{}, n)
+	for i := range done {
+		done[i] = make(chan struct{})
+	}
+	next := make(chan int)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range next {
+				results[i] = RunScenario(scenarios[i])
+				if !r.KeepTraces {
+					results[i].Trace = nil
+				}
+				close(done[i])
+			}
+		}()
+	}
+	go func() {
+		for i := 0; i < n; i++ {
+			next <- i
+		}
+		close(next)
+	}()
+	// Emit in order: wait for scenario i before touching i+1, so the
+	// callback sees the same sequence whether workers is 1 or 64.
+	for i := 0; i < n; i++ {
+		<-done[i]
+		if r.OnResult != nil {
+			r.OnResult(results[i])
+		}
+	}
+	wg.Wait()
+	return results
+}

@@ -434,6 +434,26 @@ func (t *Table) String() string {
 	return b.String()
 }
 
+// MeanStddev returns the mean and population standard deviation of xs
+// (0, 0 for an empty slice). The sweep harness uses it to fold repeated
+// runs of one scenario into a summary.
+func MeanStddev(xs []float64) (mean, stddev float64) {
+	if len(xs) == 0 {
+		return 0, 0
+	}
+	var sum float64
+	for _, x := range xs {
+		sum += x
+	}
+	mean = sum / float64(len(xs))
+	var varsum float64
+	for _, x := range xs {
+		d := x - mean
+		varsum += d * d
+	}
+	return mean, math.Sqrt(varsum / float64(len(xs)))
+}
+
 // MBps converts bytes moved in elapsed virtual time to MB/s (MB = 1e6
 // bytes, the unit the paper's "MBps" figures use).
 func MBps(bytes int64, elapsed time.Duration) float64 {

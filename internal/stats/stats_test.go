@@ -329,3 +329,17 @@ func TestQuietGapNone(t *testing.T) {
 		t.Fatal("gap in zero-variance trace")
 	}
 }
+
+func TestMeanStddev(t *testing.T) {
+	if m, sd := MeanStddev(nil); m != 0 || sd != 0 {
+		t.Fatalf("empty: %g, %g", m, sd)
+	}
+	if m, sd := MeanStddev([]float64{5}); m != 5 || sd != 0 {
+		t.Fatalf("single: %g, %g", m, sd)
+	}
+	// {2, 4, 4, 4, 5, 5, 7, 9}: mean 5, population stddev 2.
+	m, sd := MeanStddev([]float64{2, 4, 4, 4, 5, 5, 7, 9})
+	if m != 5 || sd != 2 {
+		t.Fatalf("got %g, %g, want 5, 2", m, sd)
+	}
+}
