@@ -12,6 +12,7 @@
 //	nfsbench slow100   §3.5: slower server -> faster memory writes
 //	nfsbench profile   §3.4/§3.5 kernel-profile findings
 //	nfsbench jumbo     §3.5 future work: jumbo-frame ablation
+//	nfsbench scaling   beyond the paper: N client machines, one server
 //	nfsbench all       everything above, in order
 //
 // Sweeps accept -quick to use a reduced file-size grid.
@@ -69,6 +70,8 @@ func runners() []runner {
 			func() string { return experiments.Jumbo().Render() }},
 		{"concurrent", "two writers to separate files, BKL vs no lock",
 			func() string { return experiments.Concurrency().Render() }},
+		{"scaling", "multi-client scale-out: per-client vs aggregate throughput + fairness",
+			func() string { return experiments.Scaling().Render() }},
 	}
 }
 

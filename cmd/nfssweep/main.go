@@ -15,6 +15,8 @@
 //	nfssweep -servers filer -configs enhanced -sizes 100 -cpus 1,2,4 \
 //	    -jumbo both -full
 //	    a sweep the paper never ran
+//	nfssweep -servers filer,linux -configs stock,enhanced -clients 1,2,4,8
+//	    multi-client scale-out: N client machines against one server
 //
 // See docs/experiments.md for the axis semantics and output schema.
 package main
@@ -36,6 +38,7 @@ var (
 	sizes   = flag.String("sizes", "40", "file sizes in MB: comma list (25,100) or range lo..hi:step (25..450:25)")
 	wsizes  = flag.String("wsizes", "", "comma list of wsize bytes (multiples of 4096; default: each config's own)")
 	cpus    = flag.String("cpus", "", "comma list of client CPU counts (default 2)")
+	clients = flag.String("clients", "", "comma list of concurrent client machines per run, e.g. 1,2,4,8 (default 1)")
 	caches  = flag.String("cache", "", "comma list of page-cache limits in MB (default: the 2.4.4 budget)")
 	jumbo   = flag.String("jumbo", "off", "jumbo frames: off, on, or both (an axis)")
 	seed    = flag.Int64("seed", 1, "base simulation seed")
@@ -89,6 +92,9 @@ func buildGrid() harness.Grid {
 	}
 	if g.ClientCPUs, err = parseIntList(*cpus); err != nil {
 		fatalf("-cpus: %v", err)
+	}
+	if g.Clients, err = parseIntList(*clients); err != nil {
+		fatalf("-clients: %v", err)
 	}
 	cacheMBs, err := parseIntList(*caches)
 	if err != nil {

@@ -96,9 +96,11 @@ func (r *ConcurrentResult) AggregateMBps() float64 {
 
 // RunConcurrent drives n writers into n distinct files simultaneously
 // (§3.5: removing the BKL from the RPC layer should "allow concurrent
-// writes to separate files ... from separate client CPUs"). Each writer
-// runs the full write/flush/close sequence.
-func RunConcurrent(s *sim.Sim, target string, open func() vfs.File, n int, cfg Config) *ConcurrentResult {
+// writes to separate files ... from separate client CPUs"). open
+// receives the writer index, so writers can land on distinct files of
+// one machine or on distinct client machines of a multi-client test bed.
+// Each writer runs the full write/flush/close sequence.
+func RunConcurrent(s *sim.Sim, target string, open func(writer int) vfs.File, n int, cfg Config) *ConcurrentResult {
 	if n < 1 {
 		panic("bonnie: need at least one writer")
 	}
@@ -121,7 +123,7 @@ func RunConcurrent(s *sim.Sim, target string, open func() vfs.File, n int, cfg C
 		}
 		out.PerWriter[i] = res
 		s.Go(res.Target, func(p *sim.Proc) {
-			f := open()
+			f := open(i)
 			var written int64
 			for written < cfg.FileSize {
 				nb := cfg.ChunkSize

@@ -127,7 +127,7 @@ func TestResultString(t *testing.T) {
 
 func TestRunConcurrent(t *testing.T) {
 	s := sim.New(1)
-	open := func() vfs.File {
+	open := func(int) vfs.File {
 		return &fakeFile{s: s, perWrite: 10 * time.Microsecond, flushCost: time.Millisecond}
 	}
 	res := RunConcurrent(s, "multi", open, 3, Config{FileSize: 1 << 20})

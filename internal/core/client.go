@@ -66,6 +66,9 @@ func NewClient(s *sim.Sim, cpu *sim.CPUPool, bkl *sim.Mutex, cache *mm.PageCache
 	if cfg.WSize < pageSize || cfg.WSize%pageSize != 0 {
 		panic("core: wsize must be a positive multiple of the page size")
 	}
+	if cfg.FSID == 0 {
+		cfg.FSID = 1
+	}
 	c := &Client{
 		s: s, cpu: cpu, bkl: bkl, cache: cache, tr: tr, cfg: cfg,
 		hardWait:  s.NewWaitQueue("nfs-hard-limit"),
@@ -90,7 +93,7 @@ func (c *Client) Open() *File {
 	c.nextFH++
 	ino := &Inode{
 		c:         c,
-		FH:        nfsproto.MakeFileHandle(1, c.nextFH),
+		FH:        nfsproto.MakeFileHandle(c.cfg.FSID, c.nextFH),
 		flushWait: c.s.NewWaitQueue("nfs-inode-flush"),
 	}
 	if c.cfg.IndexPolicy == IndexHashTable {
@@ -124,7 +127,13 @@ func (c *Client) lookup(p *sim.Proc, ino *Inode, page int64) *Request {
 // write() system call", §3.4). A cached request for the same page that
 // the new data neither overlaps nor extends is "incompatible" and must be
 // flushed before the current request, to preserve write ordering.
-func (c *Client) commitPage(p *sim.Proc, ino *Inode, page int64, offset, count int) {
+//
+// It returns the net-new dirty bytes this write added to the cache: the
+// full count for a fresh request, only the growth when an existing
+// request was extended, and zero for a pure overwrite. Each queued
+// request's Count therefore always equals the dirty bytes charged for it,
+// so EndWriteback's credit exactly balances the charges.
+func (c *Client) commitPage(p *sim.Proc, ino *Inode, page int64, offset, count int) int {
 	for {
 		c.bkl.Lock(p, "nfs_commit_write")
 		c.cpu.Use(p, "nfs_commit_write", c.cfg.Costs.CommitWriteBase)
@@ -146,12 +155,13 @@ func (c *Client) commitPage(p *sim.Proc, ino *Inode, page int64, offset, count i
 			}
 			c.mountRequests++
 			c.bkl.Unlock(p)
-			return
+			return count
 		}
 		if offset <= existing.Offset+existing.Count && existing.Offset <= offset+count {
 			// Overlapping or adjacent: extend the cached request in place
 			// (the client "usually caches only a single write request per
 			// page to maintain write ordering").
+			before := existing.Count
 			if offset < existing.Offset {
 				existing.Count += existing.Offset - offset
 				existing.Offset = offset
@@ -159,8 +169,9 @@ func (c *Client) commitPage(p *sim.Proc, ino *Inode, page int64, offset, count i
 			if end := offset + count; end > existing.Offset+existing.Count {
 				existing.Count = end - existing.Offset
 			}
+			grown := existing.Count - before
 			c.bkl.Unlock(p)
-			return
+			return grown
 		}
 		// Incompatible request on the same page: flush it first, then
 		// retry. (Rare: disjoint sub-page writes.)
@@ -169,10 +180,41 @@ func (c *Client) commitPage(p *sim.Proc, ino *Inode, page int64, offset, count i
 	}
 }
 
+// chargeSpan accounts one page span under FlushCacheAll before the
+// request is committed — and therefore before flushd can see it. A
+// pessimistic charge of the full span blocks the writer under real
+// memory pressure; charging after the queue insert instead would let
+// flushd start writeback on bytes the cache had not admitted yet
+// (StartWriteback outrunning the dirty counter), and a writer parked in
+// ChargeDirty with the daemon asleep would wedge forever, so the writer
+// kicks flushd awake before blocking.
+func (c *Client) chargeSpan(p *sim.Proc, count int) {
+	if c.cfg.FlushPolicy != FlushCacheAll {
+		return
+	}
+	if c.cache.Usage()+int64(count) > c.cache.Limit() {
+		c.flushWork.Signal()
+	}
+	c.cache.ChargeDirty(p, int64(count))
+}
+
+// creditSurplus refunds the pessimistically charged bytes commitPage
+// found were not net-new (overwrites and partial extensions), so each
+// queued request's Count always equals the dirty bytes held for it.
+func (c *Client) creditSurplus(count, netNew int) {
+	if c.cfg.FlushPolicy != FlushCacheAll {
+		return
+	}
+	if surplus := int64(count - netNew); surplus > 0 {
+		c.cache.CreditDirty(surplus)
+	}
+}
+
 // enforceLimits applies the 2.4.4 write-path flushing rules after a page
-// is queued (FlushLimits24), or memory accounting + write-behind kicks
-// (FlushCacheAll).
-func (c *Client) enforceLimits(p *sim.Proc, ino *Inode, count int) {
+// is queued (FlushLimits24), or the write-behind watermark kick
+// (FlushCacheAll; the memory accounting itself happens in chargeSpan,
+// before the request becomes visible to flushd).
+func (c *Client) enforceLimits(p *sim.Proc, ino *Inode) {
 	switch c.cfg.FlushPolicy {
 	case FlushLimits24:
 		// "When the per-inode request count grows larger than
@@ -195,9 +237,8 @@ func (c *Client) enforceLimits(p *sim.Proc, ino *Inode, count int) {
 			}
 		}
 	case FlushCacheAll:
-		// Fix 1: no arbitrary limits. Charge the page cache (blocking
-		// under real memory pressure) and let flushd write behind.
-		c.cache.ChargeDirty(p, int64(count))
+		// Fix 1: no arbitrary limits; let flushd write behind once the
+		// inode passes the watermark.
 		if ino.reqs.Len() >= c.cfg.FlushdWatermarkPages {
 			c.flushWork.Signal()
 		}
@@ -402,7 +443,11 @@ func (c *Client) queuedAnywhere() bool {
 }
 
 func (c *Client) underMemoryPressure() bool {
-	return c.cache.Usage() >= c.cache.Limit()*9/10
+	// A parked writer is definitive pressure: its pending charge is not
+	// yet in Usage, so with a cache limit that is not a multiple of the
+	// write size the 90% threshold alone can sit just below the park
+	// point and never trip.
+	return c.cache.Usage() >= c.cache.Limit()*9/10 || c.cache.Throttled()
 }
 
 // pickFlushable returns an inode flushd should service now, or nil.

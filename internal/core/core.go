@@ -117,6 +117,12 @@ type Config struct {
 	// LockPolicy is applied to the RPC transport (fix 3).
 	LockPolicy rpcsim.LockPolicy
 
+	// FSID identifies this mount in the file handles the client builds
+	// (default 1). Multi-client test beds offset it by the machine index
+	// so handles from different clients never collide in the shared
+	// server's per-file state.
+	FSID uint64
+
 	// FlushdWatermarkPages is how many dirty pages accumulate before the
 	// write-behind daemon starts sending (FlushCacheAll).
 	FlushdWatermarkPages int

@@ -9,6 +9,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/rpcsim"
 	"repro/internal/sim"
+	"repro/internal/vfs"
 )
 
 func newBed(t *testing.T, srv nfssim.ServerKind, cfg core.Config) *nfssim.Testbed {
@@ -515,7 +516,7 @@ func TestIncompatibleSubPageWriteFlushes(t *testing.T) {
 func TestConcurrentWritersBenefitFromLockFix(t *testing.T) {
 	run := func(cfg core.Config) float64 {
 		tb := nfssim.NewTestbed(nfssim.Options{Server: nfssim.ServerFiler, Client: cfg})
-		res := bonnie.RunConcurrent(tb.Sim, "c", tb.Open, 2, bonnie.Config{
+		res := bonnie.RunConcurrent(tb.Sim, "c", func(int) vfs.File { return tb.Open() }, 2, bonnie.Config{
 			FileSize: 5 << 20, TimeLimit: 10 * time.Minute, SkipFlushClose: true,
 		})
 		return res.AggregateMBps()
@@ -524,5 +525,179 @@ func TestConcurrentWritersBenefitFromLockFix(t *testing.T) {
 	nolock := run(core.EnhancedConfig())
 	if nolock <= lock {
 		t.Fatalf("aggregate: no-lock %.1f <= lock %.1f MB/s", nolock, lock)
+	}
+}
+
+// Regression for the FlushCacheAll dirty-accounting leak: rewriting one
+// page must not inflate PageCache.Usage(). Before the fix, every
+// WriteAt charged the full span even when commitPage merely updated the
+// existing request, so 10,000 rewrites of one page accounted ~40 MB of
+// phantom dirty memory that no writeback would ever credit back — until
+// the writer throttled forever.
+func TestOverwriteDirtyAccountingBounded(t *testing.T) {
+	tb := newBed(t, nfssim.ServerFiler, core.EnhancedConfig())
+	f := tb.OpenNFS()
+	const rewrites = 10_000
+	done := false
+	tb.Sim.Go("w", func(p *sim.Proc) {
+		for i := 0; i < rewrites; i++ {
+			f.WriteAt(p, 0, vfs.PageSize)
+		}
+		// Bounded by one dirty page plus whatever writeback is in
+		// flight at this instant.
+		if got := tb.Cache.Usage(); got > vfs.PageSize+tb.Cache.Writeback() {
+			t.Errorf("usage %d exceeds one page + writeback %d", got, tb.Cache.Writeback())
+		}
+		f.Close(p)
+		done = true
+	})
+	tb.Sim.Run(20 * time.Minute)
+	if !done {
+		t.Fatal("run did not finish (writer throttled forever?)")
+	}
+	// The run never holds more than the one page dirty plus the RPCs the
+	// flush pushed out; with the leak, peak usage was ~rewrites pages.
+	maxInflight := int64(core.EnhancedConfig().WSize * 16) // full slot table
+	if tb.Cache.PeakUsage > int64(vfs.PageSize)+maxInflight {
+		t.Fatalf("peak usage %d, want <= one page + in-flight writeback %d",
+			tb.Cache.PeakUsage, int64(vfs.PageSize)+maxInflight)
+	}
+	if tb.Cache.ThrottleEvents != 0 {
+		t.Fatalf("%d throttle events while rewriting a single page", tb.Cache.ThrottleEvents)
+	}
+	if tb.Cache.Usage() != 0 {
+		t.Fatalf("cache not drained after close: %d", tb.Cache.Usage())
+	}
+}
+
+// Extending a cached request must charge only the net-new bytes: two
+// adjacent 2 KB writes into one page dirty 4 KB total, not 6 KB.
+func TestPartialPageExtensionChargesNetNew(t *testing.T) {
+	tb := newBed(t, nfssim.ServerFiler, core.EnhancedConfig())
+	f := tb.OpenNFS()
+	tb.Sim.Go("w", func(p *sim.Proc) {
+		f.WriteAt(p, 0, 2048)
+		if got := tb.Cache.Usage(); got != 2048 {
+			t.Errorf("after first half: usage = %d, want 2048", got)
+		}
+		f.WriteAt(p, 2048, 2048) // adjacent: extends the cached request
+		if got := tb.Cache.Usage(); got != 4096 {
+			t.Errorf("after extension: usage = %d, want 4096", got)
+		}
+		f.WriteAt(p, 1024, 2048) // overlap inside the dirty range: net 0
+		if got := tb.Cache.Usage(); got != 4096 {
+			t.Errorf("after overwrite: usage = %d, want 4096", got)
+		}
+	})
+	tb.Sim.Run(time.Minute)
+}
+
+// Two client machines mounting the same server must present distinct
+// file handles (per-machine FSIDs), and every byte each machine writes
+// must arrive exactly once in that machine's file — the integrity check
+// that identical handles used to corrupt.
+func TestMultiClientIntegrity(t *testing.T) {
+	tb := nfssim.NewTestbed(nfssim.Options{
+		Server:  nfssim.ServerFiler,
+		Client:  core.EnhancedConfig(),
+		Clients: 2,
+		Seed:    3,
+	})
+	const size = 2 << 20
+	files := make([]*core.File, 2)
+	finished := 0
+	for i := 0; i < 2; i++ {
+		i := i
+		files[i] = tb.Machine(i).OpenNFS()
+		tb.Sim.Go("w", func(p *sim.Proc) {
+			for w := 0; w < size/8192; w++ {
+				files[i].Write(p, 8192)
+			}
+			files[i].Close(p)
+			finished++
+		})
+	}
+	tb.Sim.Run(5 * time.Minute)
+	if finished != 2 {
+		t.Fatalf("%d of 2 writers finished", finished)
+	}
+	fh0, fh1 := files[0].Inode().FH, files[1].Inode().FH
+	if fh0 == fh1 {
+		t.Fatalf("file handles collide across machines: %v", fh0)
+	}
+	for i, f := range files {
+		cov := tb.Server.Coverage(f.Inode().FH)
+		if !cov.IsContiguousFromZero(size) {
+			t.Fatalf("machine %d coverage %v, want [0,%d)", i, cov, size)
+		}
+	}
+}
+
+// Regression for the charge-after-queue race: a writer throttled on
+// memory pressure used to park *after* its request was already visible
+// to flushd, letting writeback start on bytes the cache had not
+// admitted ("mm: writeback exceeds dirty" panic). The charge now lands
+// before the request is queued. Sub-page writes against a tiny cache
+// reproduce the original panic within milliseconds.
+func TestThrottledSubPageWritesDoNotOutrunAccounting(t *testing.T) {
+	tb := nfssim.NewTestbed(nfssim.Options{
+		Server:     nfssim.ServerFiler,
+		Client:     core.EnhancedConfig(),
+		CacheLimit: 64 << 10,
+		Seed:       3,
+	})
+	f := tb.OpenNFS()
+	done := false
+	tb.Sim.Go("w", func(p *sim.Proc) {
+		for i := 0; i < 1024; i++ { // 2 MB of sequential 2 KB writes
+			f.Write(p, 2048)
+		}
+		f.Close(p)
+		done = true
+	})
+	tb.Sim.Run(10 * time.Minute)
+	if !done {
+		t.Fatal("run did not finish")
+	}
+	if tb.Cache.Usage() != 0 {
+		t.Fatalf("cache not drained: %d", tb.Cache.Usage())
+	}
+	if !tb.Server.Coverage(f.Inode().FH).IsContiguousFromZero(2 << 20) {
+		t.Fatal("server coverage incomplete")
+	}
+}
+
+// Regression for the tiny-cache wedge: with a budget below the flushd
+// watermark (8 pages), the writer used to block in ChargeDirty before
+// anything had ever signaled the write-behind daemon — a deadlock. The
+// writer now kicks flushd awake before parking on memory pressure.
+func TestCacheSmallerThanWatermarkMakesProgress(t *testing.T) {
+	// Both a page-aligned budget (the writer parks at exactly 100% of
+	// the limit) and a misaligned one (the park point sits below the
+	// 90% pressure threshold, so only the Throttled signal can wake
+	// writeback) must make progress.
+	for _, limit := range []int64{4 * vfs.PageSize, 4*vfs.PageSize + 2048} {
+		tb := nfssim.NewTestbed(nfssim.Options{
+			Server:     nfssim.ServerFiler,
+			Client:     core.EnhancedConfig(),
+			CacheLimit: limit, // well below the 8-page flushd watermark
+			Seed:       3,
+		})
+		f := tb.OpenNFS()
+		done := false
+		tb.Sim.Go("w", func(p *sim.Proc) {
+			for i := 0; i < 256; i++ { // 1 MB in page-sized writes
+				f.Write(p, vfs.PageSize)
+			}
+			f.Close(p)
+			done = true
+		})
+		tb.Sim.Run(10 * time.Minute)
+		if !done {
+			t.Fatalf("limit %d: writer wedged, cache below the flushd watermark never drained", limit)
+		}
+		if tb.Cache.ThrottleEvents == 0 {
+			t.Fatalf("limit %d: expected memory-pressure throttling", limit)
+		}
 	}
 }

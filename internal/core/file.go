@@ -49,8 +49,10 @@ func (f *File) WriteAt(p *sim.Proc, off int64, n int) {
 			f.c.writeSyncSpan(p, f.ino, span)
 			return
 		}
-		f.c.commitPage(p, f.ino, span.Page, span.Offset, span.Count)
-		f.c.enforceLimits(p, f.ino, span.Count)
+		f.c.chargeSpan(p, span.Count)
+		netNew := f.c.commitPage(p, f.ino, span.Page, span.Offset, span.Count)
+		f.c.creditSurplus(span.Count, netNew)
+		f.c.enforceLimits(p, f.ino)
 	})
 	if end := off + int64(n); end > f.ino.size {
 		f.ino.size = end

@@ -16,6 +16,7 @@
 //	Slow100 §3.5 verification: slower server, faster memory writes
 //	Profile §3.4/§3.5 kernel-profile findings
 //	Jumbo   §3.5 future work: jumbo frames ablation
+//	Scaling beyond the paper: N client machines against one server
 package experiments
 
 import (
@@ -29,6 +30,7 @@ import (
 	"repro/internal/harness"
 	"repro/internal/sim"
 	"repro/internal/stats"
+	"repro/internal/vfs"
 )
 
 // Workers is the harness worker-pool size for the grid-shaped
@@ -467,7 +469,7 @@ func Concurrency() *ConcurrencyResult {
 	const writers = 2
 	run := func(cfg core.Config) *bonnie.ConcurrentResult {
 		tb := nfssim.NewTestbed(nfssim.Options{Server: nfssim.ServerFiler, Client: cfg})
-		return bonnie.RunConcurrent(tb.Sim, "conc", tb.Open, writers, bonnie.Config{
+		return bonnie.RunConcurrent(tb.Sim, "conc", func(int) vfs.File { return tb.Open() }, writers, bonnie.Config{
 			FileSize: 5 << 20, TimeLimit: 10 * time.Minute, SkipFlushClose: true,
 		})
 	}
@@ -490,6 +492,77 @@ func Concurrency() *ConcurrencyResult {
 		LockMeanLat: mean(lock),
 		NoLockMean:  mean(nolock),
 	}
+}
+
+// ScalingRow is one cell of the multi-client scale-out table.
+type ScalingRow struct {
+	Config    string
+	Clients   int
+	PerClient float64 // mean per-client throughput through close, MBps
+	Aggregate float64 // fleet bytes over the span to the last close, MBps
+	Fairness  float64 // Jain's index over per-client throughputs
+	ServerNet float64 // sustained server ingest, MBps
+}
+
+// ScalingResult is the scale-out experiment the paper's single-client
+// test bed could not run: N client machines against one server.
+type ScalingResult struct {
+	Server string
+	FileMB int
+	Rows   []ScalingRow
+}
+
+// Table renders the scale-out table.
+func (r *ScalingResult) Table() *stats.Table {
+	t := stats.NewTable(
+		fmt.Sprintf("Multi-client scale-out - %d MB per client, full runs, %s", r.FileMB, r.Server),
+		"config", "clients", "per-client MBps", "aggregate MBps", "fairness", "server MBps")
+	for _, row := range r.Rows {
+		t.AddRow(row.Config, fmt.Sprint(row.Clients),
+			fmt.Sprintf("%.1f", row.PerClient), fmt.Sprintf("%.1f", row.Aggregate),
+			fmt.Sprintf("%.3f", row.Fairness), fmt.Sprintf("%.1f", row.ServerNet))
+	}
+	return t
+}
+
+// Render formats the table plus the headline observation.
+func (r *ScalingResult) Render() string {
+	var b strings.Builder
+	b.WriteString(r.Table().String())
+	b.WriteString("aggregate throughput converges on the server's sustained ingest as\n")
+	b.WriteString("clients are added; the fairness column shows the server's FIFO request\n")
+	b.WriteString("queue splitting that ceiling evenly across client machines\n")
+	return b.String()
+}
+
+// Scaling runs the scale-out grid: stock vs enhanced clients, 1-8 client
+// machines, full write+flush+close runs against the filer, all on the
+// parallel harness. Per-client and aggregate throughput plus the Jain
+// fairness index come straight from the harness's multi-client columns.
+func Scaling() *ScalingResult {
+	const fileMB = 5
+	results := runGrid(harness.Grid{
+		Servers: []nfssim.ServerKind{nfssim.ServerFiler},
+		Configs: []harness.ClientConfig{
+			{Name: "stock", Config: core.Stock244Config()},
+			{Name: "enhanced", Config: core.EnhancedConfig()},
+		},
+		FileSizesMB: []int{fileMB},
+		Clients:     []int{1, 2, 4, 8},
+		TimeLimit:   10 * time.Minute,
+	})
+	r := &ScalingResult{Server: nfssim.ServerFiler.String(), FileMB: fileMB}
+	for _, res := range results {
+		r.Rows = append(r.Rows, ScalingRow{
+			Config:    res.Config,
+			Clients:   res.Clients,
+			PerClient: res.CloseMBps,
+			Aggregate: res.AggMBps,
+			Fairness:  res.Fairness,
+			ServerNet: res.ServerNetMBps,
+		})
+	}
+	return r
 }
 
 // JumboResult is the §3.5 future-work ablation: jumbo frames cut IP

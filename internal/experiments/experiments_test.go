@@ -297,3 +297,48 @@ func TestConcurrencyShape(t *testing.T) {
 		t.Fatal("render broken")
 	}
 }
+
+func TestScalingShape(t *testing.T) {
+	r := Scaling()
+	if len(r.Rows) != 8 { // 2 configs x {1, 2, 4, 8} clients
+		t.Fatalf("rows = %d, want 8", len(r.Rows))
+	}
+	byConfig := map[string][]ScalingRow{}
+	for _, row := range r.Rows {
+		if row.PerClient <= 0 || row.Aggregate <= 0 {
+			t.Fatalf("empty throughput in row %+v", row)
+		}
+		if row.Fairness <= 0 || row.Fairness > 1 {
+			t.Fatalf("fairness %v out of (0, 1] in row %+v", row.Fairness, row)
+		}
+		byConfig[row.Config] = append(byConfig[row.Config], row)
+	}
+	for cfg, rows := range byConfig {
+		if len(rows) != 4 {
+			t.Fatalf("%s has %d client counts, want 4", cfg, len(rows))
+		}
+		// Two clients outrun one: the shared server is not saturated by a
+		// single client machine's full write+flush+close run.
+		if rows[1].Aggregate <= rows[0].Aggregate {
+			t.Fatalf("%s: 2-client aggregate %.1f <= 1-client %.1f",
+				cfg, rows[1].Aggregate, rows[0].Aggregate)
+		}
+		// Identical machines split the server evenly.
+		for _, row := range rows {
+			if row.Clients > 1 && row.Fairness < 0.9 {
+				t.Fatalf("%s x%d: fairness %.3f, want >= 0.9", cfg, row.Clients, row.Fairness)
+			}
+		}
+		// Per-client share shrinks once the fleet shares the ingest ceiling.
+		if rows[3].PerClient >= rows[0].PerClient {
+			t.Fatalf("%s: 8-client per-client %.1f >= 1-client %.1f",
+				cfg, rows[3].PerClient, rows[0].PerClient)
+		}
+	}
+	out := r.Render()
+	for _, want := range []string{"scale-out", "fairness", "stock", "enhanced"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("render missing %q:\n%s", want, out)
+		}
+	}
+}

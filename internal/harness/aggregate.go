@@ -25,6 +25,15 @@ type Aggregate struct {
 	MeanLatUsStddev float64 `json:"mean_lat_us_stddev"`
 	P99LatUsMean    float64 `json:"p99_lat_us_mean"`
 	P99LatUsStddev  float64 `json:"p99_lat_us_stddev"`
+
+	// Multi-client scale-out columns (appended after the original
+	// schema). CacheBytes is exact; CacheMB above truncates.
+	Clients        int     `json:"clients"`
+	CacheBytes     int64   `json:"cache_bytes"`
+	AggMBpsMean    float64 `json:"agg_mbps_mean"`
+	AggMBpsStddev  float64 `json:"agg_mbps_stddev"`
+	FairnessMean   float64 `json:"fairness_mean"`
+	FairnessStddev float64 `json:"fairness_stddev"`
 }
 
 // AggregateResults folds per-run Results into one Aggregate per grid
@@ -50,20 +59,24 @@ func AggregateResults(results []Result) []Aggregate {
 			return stats.MeanStddev(xs)
 		}
 		a := Aggregate{
-			Key:     k,
-			Server:  rs[0].Server,
-			Config:  rs[0].Config,
-			FileMB:  rs[0].FileMB,
-			WSize:   rs[0].WSize,
-			CPUs:    rs[0].CPUs,
-			CacheMB: rs[0].CacheMB,
-			Jumbo:   rs[0].Jumbo,
-			N:       len(rs),
+			Key:        k,
+			Server:     rs[0].Server,
+			Config:     rs[0].Config,
+			FileMB:     rs[0].FileMB,
+			WSize:      rs[0].WSize,
+			CPUs:       rs[0].CPUs,
+			CacheMB:    rs[0].CacheMB,
+			Jumbo:      rs[0].Jumbo,
+			N:          len(rs),
+			Clients:    rs[0].Clients,
+			CacheBytes: rs[0].CacheBytes,
 		}
 		a.WriteMBpsMean, a.WriteMBpsStddev = pick(func(r Result) float64 { return r.WriteMBps })
 		a.FlushMBpsMean, a.FlushMBpsStddev = pick(func(r Result) float64 { return r.FlushMBps })
 		a.MeanLatUsMean, a.MeanLatUsStddev = pick(func(r Result) float64 { return r.MeanLatUs })
 		a.P99LatUsMean, a.P99LatUsStddev = pick(func(r Result) float64 { return r.P99LatUs })
+		a.AggMBpsMean, a.AggMBpsStddev = pick(func(r Result) float64 { return r.AggMBps })
+		a.FairnessMean, a.FairnessStddev = pick(func(r Result) float64 { return r.Fairness })
 		out = append(out, a)
 	}
 	return out

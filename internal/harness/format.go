@@ -17,7 +17,8 @@ var resultColumns = []string{
 	"flush_mbps", "close_mbps", "mean_lat_us", "median_lat_us",
 	"p95_lat_us", "p99_lat_us", "max_lat_us", "soft_flushes",
 	"hard_blocks", "rpcs_sent", "retransmits", "server_net_mbps",
-	"send_cpu_us",
+	"send_cpu_us", "clients", "cache_bytes", "agg_mbps", "fairness",
+	"min_client_mbps", "max_client_mbps",
 }
 
 func (r Result) csvRow() []string {
@@ -34,6 +35,9 @@ func (r Result) csvRow() []string {
 		fmt.Sprint(r.SoftFlushes), fmt.Sprint(r.HardBlocks),
 		fmt.Sprint(r.RPCsSent), fmt.Sprint(r.Retransmits),
 		fmt.Sprintf("%.2f", r.ServerNetMBps), fmt.Sprintf("%.1f", r.SendCPUUs),
+		fmt.Sprint(r.Clients), fmt.Sprint(r.CacheBytes),
+		fmt.Sprintf("%.2f", r.AggMBps), fmt.Sprintf("%.3f", r.Fairness),
+		fmt.Sprintf("%.2f", r.MinClientMBps), fmt.Sprintf("%.2f", r.MaxClientMBps),
 	}
 }
 
@@ -69,13 +73,15 @@ func ResultsJSON(results []Result) string {
 // the high-signal columns.
 func ResultsTable(results []Result) string {
 	t := stats.NewTable("",
-		"server", "config", "MB", "wsize", "cpus", "cacheMB", "jumbo", "seed",
-		"write MB/s", "flush MB/s", "mean us", "p99 us", "soft", "rpcs")
+		"server", "config", "MB", "wsize", "cpus", "cl", "cacheMB", "jumbo", "seed",
+		"write MB/s", "flush MB/s", "agg MB/s", "fair", "mean us", "p99 us", "soft", "rpcs")
 	for _, r := range results {
 		t.AddRow(r.Server, r.Config,
 			fmt.Sprint(r.FileMB), fmt.Sprint(r.WSize), fmt.Sprint(r.CPUs),
-			fmt.Sprint(r.CacheMB), fmt.Sprint(r.Jumbo), fmt.Sprint(r.Seed),
+			fmt.Sprint(r.Clients), fmt.Sprint(r.CacheMB), fmt.Sprint(r.Jumbo),
+			fmt.Sprint(r.Seed),
 			fmt.Sprintf("%.1f", r.WriteMBps), fmt.Sprintf("%.1f", r.FlushMBps),
+			fmt.Sprintf("%.1f", r.AggMBps), fmt.Sprintf("%.3f", r.Fairness),
 			fmt.Sprintf("%.1f", r.MeanLatUs), fmt.Sprintf("%.1f", r.P99LatUs),
 			fmt.Sprint(r.SoftFlushes), fmt.Sprint(r.RPCsSent))
 	}
@@ -87,6 +93,8 @@ var aggregateColumns = []string{
 	"jumbo", "n", "write_mbps_mean", "write_mbps_stddev",
 	"flush_mbps_mean", "flush_mbps_stddev", "mean_lat_us_mean",
 	"mean_lat_us_stddev", "p99_lat_us_mean", "p99_lat_us_stddev",
+	"clients", "cache_bytes", "agg_mbps_mean", "agg_mbps_stddev",
+	"fairness_mean", "fairness_stddev",
 }
 
 // AggregatesCSV renders per-cell summaries as CSV.
@@ -102,6 +110,9 @@ func AggregatesCSV(aggs []Aggregate) string {
 			fmt.Sprintf("%.2f", a.FlushMBpsMean), fmt.Sprintf("%.3f", a.FlushMBpsStddev),
 			fmt.Sprintf("%.1f", a.MeanLatUsMean), fmt.Sprintf("%.2f", a.MeanLatUsStddev),
 			fmt.Sprintf("%.1f", a.P99LatUsMean), fmt.Sprintf("%.2f", a.P99LatUsStddev),
+			fmt.Sprint(a.Clients), fmt.Sprint(a.CacheBytes),
+			fmt.Sprintf("%.2f", a.AggMBpsMean), fmt.Sprintf("%.3f", a.AggMBpsStddev),
+			fmt.Sprintf("%.3f", a.FairnessMean), fmt.Sprintf("%.4f", a.FairnessStddev),
 		}
 		b.WriteString(strings.Join(row, ",") + "\n")
 	}
@@ -123,12 +134,14 @@ func AggregatesJSON(aggs []Aggregate) string {
 // AggregatesTable renders per-cell summaries as an aligned table.
 func AggregatesTable(aggs []Aggregate) string {
 	t := stats.NewTable("",
-		"server", "config", "MB", "cacheMB", "n",
-		"write MB/s", "±", "mean us", "±", "p99 us", "±")
+		"server", "config", "MB", "cl", "cacheMB", "n",
+		"write MB/s", "±", "agg MB/s", "±", "fair", "mean us", "±", "p99 us", "±")
 	for _, a := range aggs {
 		t.AddRow(a.Server, a.Config, fmt.Sprint(a.FileMB),
-			fmt.Sprint(a.CacheMB), fmt.Sprint(a.N),
+			fmt.Sprint(a.Clients), fmt.Sprint(a.CacheMB), fmt.Sprint(a.N),
 			fmt.Sprintf("%.1f", a.WriteMBpsMean), fmt.Sprintf("%.2f", a.WriteMBpsStddev),
+			fmt.Sprintf("%.1f", a.AggMBpsMean), fmt.Sprintf("%.2f", a.AggMBpsStddev),
+			fmt.Sprintf("%.3f", a.FairnessMean),
 			fmt.Sprintf("%.1f", a.MeanLatUsMean), fmt.Sprintf("%.2f", a.MeanLatUsStddev),
 			fmt.Sprintf("%.1f", a.P99LatUsMean), fmt.Sprintf("%.2f", a.P99LatUsStddev))
 	}

@@ -76,10 +76,11 @@ func ServerByName(name string) (nfssim.ServerKind, error) {
 type Scenario struct {
 	Server     nfssim.ServerKind
 	Config     ClientConfig
-	FileMB     int
+	FileMB     int   // per-client file size
 	WSize      int   // bytes; overrides Config's wsize
-	ClientCPUs int   // client processor count
-	CacheLimit int64 // page-cache budget, bytes
+	ClientCPUs int   // per-machine client processor count
+	Clients    int   // client machines writing concurrently (>= 1)
+	CacheLimit int64 // per-machine page-cache budget, bytes
 	Jumbo      bool
 	Seed       int64
 	Repeat     int // repeat index; Seed already includes the offset
@@ -93,11 +94,17 @@ type Scenario struct {
 }
 
 // Key identifies the scenario's grid cell — every axis except seed and
-// repeat — for grouping repeated runs.
+// repeat — for grouping repeated runs. The cache limit appears in exact
+// bytes: keying on truncated megabytes used to fold two cache limits
+// differing by less than 1 MiB into one aggregation cell.
 func (sc Scenario) Key() string {
-	return fmt.Sprintf("%s/%s/%dMB/w%d/c%d/m%dMB/j%v",
+	clients := sc.Clients
+	if clients < 1 {
+		clients = 1 // hand-built pre-Clients scenarios; matches RunScenario
+	}
+	return fmt.Sprintf("%s/%s/%dMB/w%d/c%d/n%d/m%dB/j%v",
 		sc.Server, sc.Config.Name, sc.FileMB, sc.WSize, sc.ClientCPUs,
-		sc.CacheLimit>>20, sc.Jumbo)
+		clients, sc.CacheLimit, sc.Jumbo)
 }
 
 // Name is the scenario's full identity including seed and repeat.
@@ -110,9 +117,10 @@ func (sc Scenario) Name() string {
 type Grid struct {
 	Servers     []nfssim.ServerKind // default: filer
 	Configs     []ClientConfig      // default: stock
-	FileSizesMB []int               // default: 40
+	FileSizesMB []int               // default: 40 (per client)
 	WSizes      []int               // default: each config's own wsize
 	ClientCPUs  []int               // default: 2 (the paper's dual P-III)
+	Clients     []int               // default: 1 (client machines per run)
 	CacheLimits []int64             // default: mm.DefaultDirtyLimit
 	Jumbo       []bool              // default: false
 	Seeds       []int64             // default: 1
@@ -137,9 +145,9 @@ func orInts(xs []int, def int) []int {
 }
 
 // Expand returns the cross-product of all axes in a fixed nesting order
-// (config, server, file size, wsize, CPUs, cache limit, jumbo, seed,
-// repeat — innermost last), with every Scenario field resolved to its
-// concrete value. The order is deterministic: the same Grid always
+// (config, server, file size, wsize, CPUs, clients, cache limit, jumbo,
+// seed, repeat — innermost last), with every Scenario field resolved to
+// its concrete value. The order is deterministic: the same Grid always
 // expands to the same slice.
 func (g Grid) Expand() []Scenario {
 	servers := g.Servers
@@ -152,6 +160,7 @@ func (g Grid) Expand() []Scenario {
 	}
 	sizes := orInts(g.FileSizesMB, 40)
 	cpus := orInts(g.ClientCPUs, 2)
+	clients := orInts(g.Clients, 1)
 	caches := g.CacheLimits
 	if len(caches) == 0 {
 		caches = []int64{mm.DefaultDirtyLimit}
@@ -192,23 +201,26 @@ func (g Grid) Expand() []Scenario {
 			for _, mb := range sizes {
 				for _, ws := range wsizes {
 					for _, ncpu := range cpus {
-						for _, cache := range caches {
-							for _, jumbo := range jumbos {
-								for _, seed := range seeds {
-									for rep := 0; rep < repeats; rep++ {
-										out = append(out, Scenario{
-											Server:         srv,
-											Config:         cfg,
-											FileMB:         mb,
-											WSize:          ws,
-											ClientCPUs:     ncpu,
-											CacheLimit:     cache,
-											Jumbo:          jumbo,
-											Seed:           seed + int64(rep)*span,
-											Repeat:         rep,
-											SkipFlushClose: g.SkipFlushClose,
-											TimeLimit:      timeLimit,
-										})
+						for _, ncli := range clients {
+							for _, cache := range caches {
+								for _, jumbo := range jumbos {
+									for _, seed := range seeds {
+										for rep := 0; rep < repeats; rep++ {
+											out = append(out, Scenario{
+												Server:         srv,
+												Config:         cfg,
+												FileMB:         mb,
+												WSize:          ws,
+												ClientCPUs:     ncpu,
+												Clients:        ncli,
+												CacheLimit:     cache,
+												Jumbo:          jumbo,
+												Seed:           seed + int64(rep)*span,
+												Repeat:         rep,
+												SkipFlushClose: g.SkipFlushClose,
+												TimeLimit:      timeLimit,
+											})
+										}
 									}
 								}
 							}

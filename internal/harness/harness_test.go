@@ -19,12 +19,13 @@ func TestGridExpandIsExactCrossProduct(t *testing.T) {
 		FileSizesMB: []int{5, 10},
 		WSizes:      []int{8192, 16384},
 		ClientCPUs:  []int{1, 2},
+		Clients:     []int{1, 4},
 		Jumbo:       []bool{false, true},
 		Seeds:       []int64{1, 7},
 		Repeats:     3,
 	}
 	scens := g.Expand()
-	want := 3 * 2 * 2 * 2 * 2 * 2 * 2 * 3
+	want := 3 * 2 * 2 * 2 * 2 * 2 * 2 * 2 * 3
 	if len(scens) != want {
 		t.Fatalf("expanded %d scenarios, want %d", len(scens), want)
 	}
@@ -41,6 +42,9 @@ func TestGridExpandIsExactCrossProduct(t *testing.T) {
 	for _, sc := range scens {
 		if sc.WSize != 8192 && sc.WSize != 16384 {
 			t.Fatalf("unexpected wsize %d", sc.WSize)
+		}
+		if sc.Clients != 1 && sc.Clients != 4 {
+			t.Fatalf("unexpected clients %d", sc.Clients)
 		}
 		if sc.Repeat < 0 || sc.Repeat > 2 {
 			t.Fatalf("unexpected repeat %d", sc.Repeat)
@@ -91,7 +95,8 @@ func TestGridExpandDefaults(t *testing.T) {
 	sc := scens[0]
 	if sc.Server != nfssim.ServerFiler || sc.Config.Name != "stock" ||
 		sc.FileMB != 40 || sc.WSize != core.DefaultWSize ||
-		sc.ClientCPUs != 2 || sc.CacheLimit != mm.DefaultDirtyLimit ||
+		sc.ClientCPUs != 2 || sc.Clients != 1 ||
+		sc.CacheLimit != mm.DefaultDirtyLimit ||
 		sc.Jumbo || sc.Seed != 1 {
 		t.Fatalf("unexpected defaults: %+v", sc)
 	}
@@ -305,5 +310,102 @@ func TestFormatsRenderSchema(t *testing.T) {
 	}
 	if !strings.Contains(AggregatesJSON(aggs), `"write_mbps_stddev"`) {
 		t.Fatal("aggregate JSON schema missing fields")
+	}
+}
+
+// The Clients axis must be deterministic across worker counts like every
+// other axis: multi-client scenarios run N writers in one sim, and the
+// streamed CSV must still be byte-identical for any pool size.
+func TestMultiClientDeterministicAcrossWorkers(t *testing.T) {
+	g := Grid{
+		Servers:     []nfssim.ServerKind{nfssim.ServerFiler},
+		Configs:     []ClientConfig{{"stock", core.Stock244Config()}, {"enhanced", core.EnhancedConfig()}},
+		FileSizesMB: []int{1},
+		Clients:     []int{1, 2, 3},
+		Repeats:     2,
+	}
+	scens := g.Expand()
+	if len(scens) != 2*3*2 {
+		t.Fatalf("expanded %d scenarios, want 12", len(scens))
+	}
+	r1 := (&Runner{Workers: 1}).Run(scens)
+	r8 := (&Runner{Workers: 8}).Run(scens)
+	if ResultsCSV(r1) != ResultsCSV(r8) {
+		t.Fatal("multi-client CSV differs between 1 and 8 workers")
+	}
+	if AggregatesCSV(AggregateResults(r1)) != AggregatesCSV(AggregateResults(r8)) {
+		t.Fatal("multi-client aggregate CSV differs between 1 and 8 workers")
+	}
+}
+
+// Multi-client results must populate the scale-out fields: one per-client
+// throughput per machine, an aggregate at least the best single share,
+// and a meaningful Jain fairness index.
+func TestMultiClientFairnessFields(t *testing.T) {
+	sc := Grid{
+		Servers:     []nfssim.ServerKind{nfssim.ServerFiler},
+		Configs:     []ClientConfig{{"enhanced", core.EnhancedConfig()}},
+		FileSizesMB: []int{1},
+		Clients:     []int{2},
+	}.Expand()[0]
+	r := RunScenario(sc)
+	if r.Clients != 2 {
+		t.Fatalf("clients = %d", r.Clients)
+	}
+	if len(r.PerClientMBps) != 2 {
+		t.Fatalf("per-client throughputs = %v, want 2 entries", r.PerClientMBps)
+	}
+	for i, mbps := range r.PerClientMBps {
+		if mbps <= 0 {
+			t.Fatalf("client %d throughput %v", i, mbps)
+		}
+	}
+	if r.Calls != 2*128 { // two writers x 1 MB / 8 KB
+		t.Fatalf("calls = %d, want 256", r.Calls)
+	}
+	if r.AggMBps < r.MaxClientMBps {
+		t.Fatalf("aggregate %.2f below best client %.2f", r.AggMBps, r.MaxClientMBps)
+	}
+	if r.Fairness <= 0.5 || r.Fairness > 1 {
+		t.Fatalf("fairness = %.3f, want in (0.5, 1]", r.Fairness)
+	}
+	if r.MinClientMBps > r.MaxClientMBps {
+		t.Fatalf("min %.2f > max %.2f", r.MinClientMBps, r.MaxClientMBps)
+	}
+	// Single-client runs collapse the fleet fields.
+	sc.Clients = 1
+	r1 := RunScenario(sc)
+	if r1.Fairness != 1 || len(r1.PerClientMBps) != 1 || r1.AggMBps != r1.PerClientMBps[0] {
+		t.Fatalf("single-client fleet fields wrong: %+v", r1)
+	}
+}
+
+// Regression: cache limits differing by less than 1 MiB must land in
+// distinct aggregation cells. Key used to print CacheLimit>>20, folding
+// e.g. 16 MiB and 16 MiB+4 KiB into one mean/stddev.
+func TestSubMBCacheLimitsDoNotAlias(t *testing.T) {
+	g := Grid{
+		FileSizesMB: []int{1},
+		CacheLimits: []int64{16 << 20, 16<<20 + 4096},
+	}
+	scens := g.Expand()
+	if len(scens) != 2 {
+		t.Fatalf("expanded %d scenarios, want 2", len(scens))
+	}
+	if scens[0].Key() == scens[1].Key() {
+		t.Fatalf("distinct cache limits share key %q", scens[0].Key())
+	}
+	results := (&Runner{Workers: 2}).Run(scens)
+	aggs := AggregateResults(results)
+	if len(aggs) != 2 {
+		t.Fatalf("aggregated into %d cells, want 2", len(aggs))
+	}
+	for i, a := range aggs {
+		if a.N != 1 {
+			t.Fatalf("cell %d aggregated %d runs, want 1", i, a.N)
+		}
+		if a.CacheBytes != scens[i].CacheLimit {
+			t.Fatalf("cell %d cache bytes %d, want %d", i, a.CacheBytes, scens[i].CacheLimit)
+		}
 	}
 }

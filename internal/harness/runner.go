@@ -2,17 +2,21 @@ package harness
 
 import (
 	"runtime"
+	"slices"
 	"sync"
 	"time"
 
 	nfssim "repro"
 	"repro/internal/bonnie"
 	"repro/internal/stats"
+	"repro/internal/vfs"
 )
 
 // Result is one scenario's measurements, flattened for machine-readable
 // output. Latencies are microseconds (the paper's unit); throughputs use
-// the paper's decimal MB/KB.
+// the paper's decimal MB/KB. For multi-client scenarios the write/flush/
+// close throughputs are per-client means; AggMBps, Fairness, and the
+// min/max client columns describe the fleet.
 type Result struct {
 	Name    string `json:"name"`
 	Server  string `json:"server"`
@@ -45,9 +49,31 @@ type Result struct {
 	ServerNetMBps float64 `json:"server_net_mbps"` // sustained server ingest
 	SendCPUUs     float64 `json:"send_cpu_us"`     // total sock_sendmsg CPU
 
+	// Multi-client scale-out metrics (CSV columns appended after the
+	// original schema). CacheBytes is the exact per-machine cache limit
+	// (CacheMB truncates sub-MiB limits). AggMBps is total bytes over
+	// the span until the last client finished; Fairness is Jain's index
+	// over the per-client throughputs. For Clients == 1 these collapse
+	// to the single client's throughput and 1.0.
+	Clients       int     `json:"clients"`
+	CacheBytes    int64   `json:"cache_bytes"`
+	AggMBps       float64 `json:"agg_mbps"`
+	Fairness      float64 `json:"fairness"`
+	MinClientMBps float64 `json:"min_client_mbps"`
+	MaxClientMBps float64 `json:"max_client_mbps"`
+
+	// PerClientMBps is each client machine's throughput (write-phase, or
+	// through close when the scenario runs the full sequence), in
+	// machine order.
+	PerClientMBps []float64 `json:"per_client_mbps"`
+
 	// Scenario, Trace, and SendCPU carry the full inputs, the raw
 	// per-call latency trace, and the exact sock_sendmsg total for
 	// programmatic consumers; they are excluded from serialized output.
+	// For Clients > 1 the trace is the per-writer traces concatenated in
+	// machine order: distribution statistics (Summary, histograms) are
+	// valid, but order-sensitive analyses (Slope, SpikePeriod, QuietGap)
+	// are not — each writer's call sequence restarts partway through.
 	Scenario Scenario      `json:"-"`
 	Trace    *stats.Trace  `json:"-"`
 	SendCPU  time.Duration `json:"-"`
@@ -56,12 +82,19 @@ type Result struct {
 func usec(d time.Duration) float64 { return float64(d) / float64(time.Microsecond) }
 
 // RunScenario executes one scenario on a fresh, private test bed. It is
-// safe to call concurrently: nothing is shared between invocations.
+// safe to call concurrently: nothing is shared between invocations. With
+// Clients > 1 it drives one bonnie writer per client machine in a single
+// simulation, all against the shared server.
 func RunScenario(sc Scenario) Result {
+	clients := sc.Clients
+	if clients < 1 {
+		clients = 1
+	}
 	opts := nfssim.Options{
 		Seed:       sc.Seed,
 		Server:     sc.Server,
 		Client:     sc.Config.Config,
+		Clients:    clients,
 		ClientCPUs: sc.ClientCPUs,
 		CacheLimit: sc.CacheLimit,
 		Jumbo:      sc.Jumbo,
@@ -70,12 +103,12 @@ func RunScenario(sc Scenario) Result {
 		opts.Client.WSize = sc.WSize
 	}
 	tb := nfssim.NewTestbed(opts)
-	res := bonnie.Run(tb.Sim, sc.Name(), tb.Open, bonnie.Config{
+	bcfg := bonnie.Config{
 		FileSize:       int64(sc.FileMB) << 20,
 		TimeLimit:      sc.TimeLimit,
 		SkipFlushClose: sc.SkipFlushClose,
-	})
-	sum := res.Trace.Summary()
+	}
+
 	out := Result{
 		Name:    sc.Name(),
 		Server:  sc.Server.String(),
@@ -88,36 +121,85 @@ func RunScenario(sc Scenario) Result {
 		Seed:    sc.Seed,
 		Repeat:  sc.Repeat,
 
-		Calls:     res.Calls,
-		WriteMBps: res.WriteMBps(),
-		WriteKBps: res.WriteKBps(),
-		FlushMBps: res.FlushMBps(),
-		CloseMBps: res.CloseMBps(),
-
-		MeanLatUs:   usec(sum.Mean),
-		MedianLatUs: usec(sum.Median),
-		P95LatUs:    usec(sum.P95),
-		P99LatUs:    usec(sum.P99),
-		MaxLatUs:    usec(sum.Max),
-
-		SendCPUUs: usec(tb.Sim.Profiler().Total("sock_sendmsg")),
+		Clients:    clients,
+		CacheBytes: sc.CacheLimit,
 
 		Scenario: sc,
-		Trace:    res.Trace,
-		SendCPU:  tb.Sim.Profiler().Total("sock_sendmsg"),
 	}
-	if tb.Client != nil {
-		out.SoftFlushes = tb.Client.SoftFlushes
-		out.HardBlocks = tb.Client.HardBlocks
-		out.RPCsSent = tb.Client.RPCsSent
+
+	if clients == 1 {
+		res := bonnie.Run(tb.Sim, sc.Name(), tb.Open, bcfg)
+		out.Calls = res.Calls
+		out.WriteMBps = res.WriteMBps()
+		out.WriteKBps = res.WriteKBps()
+		out.FlushMBps = res.FlushMBps()
+		out.CloseMBps = res.CloseMBps()
+		out.Trace = res.Trace
+		out.AggMBps = clientMBps(res, sc.SkipFlushClose)
+		out.PerClientMBps = []float64{out.AggMBps}
+		out.MinClientMBps, out.MaxClientMBps = out.AggMBps, out.AggMBps
+		out.Fairness = 1
+	} else {
+		res := bonnie.RunConcurrent(tb.Sim, sc.Name(),
+			func(i int) vfs.File { return tb.Machine(i).Open() }, clients, bcfg)
+		trace := stats.NewTrace(sc.Name())
+		var writeSum, kbSum, flushSum, closeSum float64
+		for _, w := range res.PerWriter {
+			out.Calls += w.Calls
+			writeSum += w.WriteMBps()
+			kbSum += w.WriteKBps()
+			flushSum += w.FlushMBps()
+			closeSum += w.CloseMBps()
+			out.PerClientMBps = append(out.PerClientMBps, clientMBps(w, sc.SkipFlushClose))
+			for _, s := range w.Trace.Samples() {
+				trace.Add(s)
+			}
+		}
+		n := float64(clients)
+		out.WriteMBps = writeSum / n
+		out.WriteKBps = kbSum / n
+		out.FlushMBps = flushSum / n
+		out.CloseMBps = closeSum / n
+		out.Trace = trace
+		out.AggMBps = res.AggregateMBps()
+		out.Fairness = stats.JainFairness(out.PerClientMBps)
+		out.MinClientMBps = slices.Min(out.PerClientMBps)
+		out.MaxClientMBps = slices.Max(out.PerClientMBps)
 	}
-	if tb.Transport != nil {
-		out.Retransmits = tb.Transport.Stats().Retransmits
+
+	sum := out.Trace.Summary()
+	out.MeanLatUs = usec(sum.Mean)
+	out.MedianLatUs = usec(sum.Median)
+	out.P95LatUs = usec(sum.P95)
+	out.P99LatUs = usec(sum.P99)
+	out.MaxLatUs = usec(sum.Max)
+	out.SendCPU = tb.Sim.Profiler().Total("sock_sendmsg")
+	out.SendCPUUs = usec(out.SendCPU)
+
+	for _, m := range tb.Machines {
+		if m.Client != nil {
+			out.SoftFlushes += m.Client.SoftFlushes
+			out.HardBlocks += m.Client.HardBlocks
+			out.RPCsSent += m.Client.RPCsSent
+		}
+		if m.Transport != nil {
+			out.Retransmits += m.Transport.Stats().Retransmits
+		}
 	}
 	if tb.Server != nil {
 		out.ServerNetMBps = tb.Server.NetworkThroughputMBps()
 	}
 	return out
+}
+
+// clientMBps is one writer's end-to-end throughput: through close for
+// full runs, write-phase only otherwise — the quantity the fairness
+// index and per-client columns report.
+func clientMBps(r *bonnie.Result, skipFlushClose bool) float64 {
+	if skipFlushClose {
+		return r.WriteMBps()
+	}
+	return r.CloseMBps()
 }
 
 // Runner executes scenarios across a worker pool. Each worker builds its

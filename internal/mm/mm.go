@@ -59,6 +59,12 @@ func (c *PageCache) Writeback() int64 { return c.writeback }
 // Usage returns dirty+writeback.
 func (c *PageCache) Usage() int64 { return c.dirty + c.writeback }
 
+// Throttled reports whether any writer is currently parked in
+// ChargeDirty waiting for room. Write-behind daemons treat this as
+// memory pressure: the parked writer's pending charge is not yet in
+// Usage, so threshold checks alone can miss it.
+func (c *PageCache) Throttled() bool { return c.wait.Waiting() > 0 }
+
 // ChargeDirty blocks p until n bytes fit in the budget, then accounts
 // them as dirty. This is the VFS blocking the writer under memory
 // pressure — the correct replacement for the 2.4.4 request-count limits.
@@ -78,6 +84,18 @@ func (c *PageCache) ChargeDirty(p *sim.Proc, n int64) {
 	if u := c.Usage(); u > c.PeakUsage {
 		c.PeakUsage = u
 	}
+}
+
+// CreditDirty returns n dirty bytes that turned out not to be net-new (a
+// pessimistic charge taken before the page commit discovered it was
+// extending or rewriting an existing request) and wakes throttled
+// writers.
+func (c *PageCache) CreditDirty(n int64) {
+	if n > c.dirty {
+		panic(fmt.Sprintf("mm: credit %d exceeds dirty %d", n, c.dirty))
+	}
+	c.dirty -= n
+	c.wait.Broadcast()
 }
 
 // StartWriteback moves n bytes from dirty to writeback.

@@ -1,18 +1,24 @@
 package server
 
 import (
+	"fmt"
+
 	"repro/internal/disksim"
 	"repro/internal/netsim"
 	"repro/internal/sim"
 )
 
-// Canonical host names for the paper's test bed.
+// Canonical host names for the paper's test bed. Client machines are
+// numbered client0, client1, ... (ClientHost); HostClient is machine 0.
 const (
-	HostClient = "client"
+	HostClient = "client0"
 	HostFiler  = "filer"
 	HostLinux  = "linuxsrv"
 	HostSlow   = "slowsrv"
 )
+
+// ClientHost returns the canonical host name of the i'th client machine.
+func ClientHost(i int) string { return fmt.Sprintf("client%d", i) }
 
 // NewF85 builds the prototype Network Appliance F85: single 833 MHz CPU,
 // fiber gigabit NIC on fast PCI, 64 MB NVRAM, RAID-4 volume of eight data

@@ -454,6 +454,26 @@ func MeanStddev(xs []float64) (mean, stddev float64) {
 	return mean, math.Sqrt(varsum / float64(len(xs)))
 }
 
+// JainFairness returns Jain's fairness index over xs:
+// (Σx)² / (n·Σx²). It is 1 when every share is equal and 1/n when one
+// participant takes everything — the scale-out experiments use it to
+// check that N client machines split a shared server evenly. An empty
+// slice yields 0; an all-zero slice (everyone equally starved) yields 1.
+func JainFairness(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	var sum, sumsq float64
+	for _, x := range xs {
+		sum += x
+		sumsq += x * x
+	}
+	if sumsq == 0 {
+		return 1
+	}
+	return sum * sum / (float64(len(xs)) * sumsq)
+}
+
 // MBps converts bytes moved in elapsed virtual time to MB/s (MB = 1e6
 // bytes, the unit the paper's "MBps" figures use).
 func MBps(bytes int64, elapsed time.Duration) float64 {

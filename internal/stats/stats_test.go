@@ -343,3 +343,27 @@ func TestMeanStddev(t *testing.T) {
 		t.Fatalf("got %g, %g, want 5, 2", m, sd)
 	}
 }
+
+func TestJainFairness(t *testing.T) {
+	for _, tc := range []struct {
+		xs   []float64
+		want float64
+	}{
+		{nil, 0},
+		{[]float64{5}, 1},
+		{[]float64{3, 3, 3, 3}, 1},
+		{[]float64{0, 0}, 1},           // everyone equally starved
+		{[]float64{10, 0, 0, 0}, 0.25}, // one-hot: 1/n
+		{[]float64{4, 2}, 36.0 / 40.0}, // (4+2)^2 / (2 * (16+4))
+	} {
+		if got := JainFairness(tc.xs); math.Abs(got-tc.want) > 1e-12 {
+			t.Fatalf("JainFairness(%v) = %v, want %v", tc.xs, got, tc.want)
+		}
+	}
+	// Bounds: always within [1/n, 1] for non-degenerate inputs.
+	xs := []float64{1, 7, 2, 9, 4}
+	f := JainFairness(xs)
+	if f < 1.0/float64(len(xs)) || f > 1 {
+		t.Fatalf("fairness %v out of [1/n, 1]", f)
+	}
+}

@@ -1,17 +1,24 @@
 // Package nfssim is the public face of the reproduction of "Linux NFS
 // Client Write Performance" (Lever & Honeyman, CITI TR 01-12, FREENIX
-// 2002). It assembles complete virtual test beds — an SMP Linux client
-// with a configurable NFS write path, a gigabit switch, and the paper's
-// servers (a NetApp F85 filer, a four-way Linux knfsd, a 100 Mb/s slow
-// server) — on a deterministic discrete-event simulator, and exposes the
-// paper's Bonnie-derived sequential write benchmark on top.
+// 2002). It assembles complete virtual test beds — one or more SMP Linux
+// clients with a configurable NFS write path, a gigabit switch, and the
+// paper's servers (a NetApp F85 filer, a four-way Linux knfsd, a
+// 100 Mb/s slow server) — on a deterministic discrete-event simulator,
+// and exposes the paper's Bonnie-derived sequential write benchmark on
+// top.
 //
 // Quick start:
 //
 //	tb := nfssim.NewTestbed(nfssim.Options{Server: nfssim.ServerFiler,
 //		Client: core.EnhancedConfig()})
-//	res := bonnie.Run(tb.Sim, tb.NewWorkload(), bonnie.Config{FileSize: 40 << 20})
+//	res := bonnie.Run(tb.Sim, "bench", tb.Open, bonnie.Config{FileSize: 40 << 20})
 //	fmt.Println(res)
+//
+// The paper's servers exist to serve many clients; Options.Clients
+// attaches N independent client machines (each a full ClientMachine:
+// CPU pool, BKL, page cache, RPC transport, NFS client) to the same
+// server over distinct network hosts, for the scale-out scenarios the
+// single-machine paper setup cannot express.
 package nfssim
 
 import (
@@ -60,12 +67,20 @@ type Options struct {
 	// Server selects the mounted server.
 	Server ServerKind
 	// Client is the NFS client configuration; its LockPolicy is applied
-	// to the RPC transport. Zero value means core.Stock244Config().
+	// to each machine's RPC transport. Zero value means
+	// core.Stock244Config(). Every client machine runs this
+	// configuration, with a per-machine FSID so file handles from
+	// different machines never collide at the server.
 	Client core.Config
-	// ClientCPUs is the client processor count (default 2, the paper's
-	// dual P-III; set 1 for the uniprocessor ablation).
+	// Clients is the number of client machines attached to the server
+	// (default 1). Machines are independent: each has its own CPU pool,
+	// BKL, page cache, and RPC transport, and its own network host
+	// (client0, client1, ...).
+	Clients int
+	// ClientCPUs is the per-machine processor count (default 2, the
+	// paper's dual P-III; set 1 for the uniprocessor ablation).
 	ClientCPUs int
-	// CacheLimit overrides the client page-cache budget (default
+	// CacheLimit overrides each machine's page-cache budget (default
 	// mm.DefaultDirtyLimit).
 	CacheLimit int64
 	// Jumbo enables 9000-byte MTU end to end (§3.5 future work).
@@ -78,26 +93,78 @@ type Options struct {
 	RPC *rpcsim.Config
 }
 
-// Testbed is an assembled simulation: client machine, network, server.
-type Testbed struct {
-	Sim   *sim.Sim
-	Net   *netsim.Network
+// ClientMachine is one complete client host: its processors, big kernel
+// lock, page cache, local disk, and — when a server is mounted — its RPC
+// transport and NFS client. Machines share nothing but the simulated
+// network and the server.
+type ClientMachine struct {
+	// Index is the machine's position in Testbed.Machines.
+	Index int
+	// Host is the machine's network host name (client0, client1, ...).
+	Host string
+
 	CPU   *sim.CPUPool
 	BKL   *sim.Mutex
 	Cache *mm.PageCache
 
-	// Client is the NFS client (nil for ServerNone).
+	// Client is the machine's NFS client (nil for ServerNone).
 	Client *core.Client
-	// Transport is the client's RPC transport (nil for ServerNone).
+	// Transport is the machine's RPC transport (nil for ServerNone).
 	Transport *rpcsim.Transport
+	// LocalDisk is the machine's EIDE disk for local ext2 runs.
+	LocalDisk *disksim.Disk
+
+	sim  *sim.Sim
+	kind ServerKind
+}
+
+// OpenNFS opens a fresh file on the machine's NFS mount.
+func (m *ClientMachine) OpenNFS() *core.File {
+	if m.Client == nil {
+		panic("nfssim: client machine has no NFS mount")
+	}
+	return m.Client.Open()
+}
+
+// OpenLocal opens a fresh file on the machine's local ext2 filesystem.
+func (m *ClientMachine) OpenLocal() vfs.File {
+	return ext2.NewFile(m.sim, m.CPU, m.Cache, m.LocalDisk)
+}
+
+// Open opens a file on the test bed's configured target: local ext2 for
+// ServerNone, NFS otherwise.
+func (m *ClientMachine) Open() vfs.File {
+	if m.kind == ServerNone {
+		return m.OpenLocal()
+	}
+	return m.OpenNFS()
+}
+
+// Testbed is an assembled simulation: client machines, network, server.
+type Testbed struct {
+	Sim *sim.Sim
+	Net *netsim.Network
+
+	// Machines are the client machines, in host order (client0, ...).
+	Machines []*ClientMachine
+
+	// CPU, BKL, Cache, Client, Transport, and LocalDisk alias
+	// Machines[0], the paper's single-client topology. Code that
+	// predates multi-client test beds (and every single-client caller)
+	// reads these directly.
+	CPU       *sim.CPUPool
+	BKL       *sim.Mutex
+	Cache     *mm.PageCache
+	Client    *core.Client
+	Transport *rpcsim.Transport
+	LocalDisk *disksim.Disk
+
 	// Server is the mounted server's front-end (nil for ServerNone).
 	Server *server.Server
 	// Filer is the filer backend when Server == ServerFiler.
 	Filer *server.Filer
 	// Linux is the knfsd backend for ServerLinux / ServerSlow100.
 	Linux *server.LinuxServer
-	// LocalDisk is the client's EIDE disk for local ext2 runs.
-	LocalDisk *disksim.Disk
 
 	opts Options
 }
@@ -106,6 +173,12 @@ type Testbed struct {
 func NewTestbed(opts Options) *Testbed {
 	if opts.Seed == 0 {
 		opts.Seed = 1
+	}
+	if opts.Clients == 0 {
+		opts.Clients = 1
+	}
+	if opts.Clients < 0 {
+		panic("nfssim: Clients must be positive")
 	}
 	if opts.ClientCPUs == 0 {
 		opts.ClientCPUs = 2
@@ -125,26 +198,35 @@ func NewTestbed(opts Options) *Testbed {
 
 	s := sim.New(opts.Seed)
 	net := netsim.New(s)
-	tb := &Testbed{
-		Sim:   s,
-		Net:   net,
-		CPU:   s.NewCPUPool("client-cpus", opts.ClientCPUs),
-		BKL:   s.NewMutex("kernel_flag"),
-		Cache: mm.New(s, opts.CacheLimit),
-		opts:  opts,
-	}
-	tb.CPU.Jitter = opts.Jitter
+	tb := &Testbed{Sim: s, Net: net, opts: opts}
 
 	mtu := netsim.MTUEthernet
 	if opts.Jumbo {
 		mtu = netsim.MTUJumbo
 	}
-	net.AddHost(server.HostClient, netsim.LinkConfig{
-		Bandwidth:   netsim.BandwidthGigabit,
-		Propagation: 20_000,
-		MTU:         mtu,
-	}, nil)
-	tb.LocalDisk = disksim.NewDeskstarEIDE(s)
+
+	// Client hosts attach to the switch before the server, so the
+	// single-client event schedule is identical to the historical
+	// one-machine assembly order.
+	for i := 0; i < opts.Clients; i++ {
+		m := &ClientMachine{
+			Index: i,
+			Host:  server.ClientHost(i),
+			CPU:   s.NewCPUPool(server.ClientHost(i)+"-cpus", opts.ClientCPUs),
+			BKL:   s.NewMutex("kernel_flag/" + server.ClientHost(i)),
+			Cache: mm.New(s, opts.CacheLimit),
+			sim:   s,
+			kind:  opts.Server,
+		}
+		m.CPU.Jitter = opts.Jitter
+		net.AddHost(m.Host, netsim.LinkConfig{
+			Bandwidth:   netsim.BandwidthGigabit,
+			Propagation: 20_000,
+			MTU:         mtu,
+		}, nil)
+		m.LocalDisk = disksim.NewDeskstarEIDE(s)
+		tb.Machines = append(tb.Machines, m)
+	}
 
 	var remote string
 	switch opts.Server {
@@ -158,38 +240,51 @@ func NewTestbed(opts Options) *Testbed {
 		tb.Server, tb.Linux = server.NewSlow100(s, net, mtu)
 		remote = server.HostSlow
 	case ServerNone:
+		tb.alias()
 		return tb
 	}
 
-	rpcCfg := rpcsim.DefaultConfig()
-	if opts.RPC != nil {
-		rpcCfg = *opts.RPC
+	for _, m := range tb.Machines {
+		rpcCfg := rpcsim.DefaultConfig()
+		if opts.RPC != nil {
+			rpcCfg = *opts.RPC
+		}
+		rpcCfg.LockPolicy = opts.Client.LockPolicy
+		rpcCfg.MTU = mtu
+		m.Transport = rpcsim.New(s, net, m.CPU, m.BKL, rpcCfg, m.Host, remote)
+		ccfg := opts.Client
+		if ccfg.FSID == 0 {
+			ccfg.FSID = 1
+		}
+		ccfg.FSID += uint64(m.Index) // distinct per machine; see core.Config.FSID
+		m.Client = core.NewClient(s, m.CPU, m.BKL, m.Cache, m.Transport, ccfg)
 	}
-	rpcCfg.LockPolicy = opts.Client.LockPolicy
-	rpcCfg.MTU = mtu
-	tb.Transport = rpcsim.New(s, net, tb.CPU, tb.BKL, rpcCfg, server.HostClient, remote)
-	tb.Client = core.NewClient(s, tb.CPU, tb.BKL, tb.Cache, tb.Transport, opts.Client)
+	tb.alias()
 	return tb
 }
 
-// OpenNFS opens a fresh file on the NFS mount.
+// alias points the single-machine convenience fields at Machines[0].
+func (tb *Testbed) alias() {
+	m := tb.Machines[0]
+	tb.CPU, tb.BKL, tb.Cache = m.CPU, m.BKL, m.Cache
+	tb.Client, tb.Transport, tb.LocalDisk = m.Client, m.Transport, m.LocalDisk
+}
+
+// Machine returns the i'th client machine.
+func (tb *Testbed) Machine(i int) *ClientMachine { return tb.Machines[i] }
+
+// OpenNFS opens a fresh file on machine 0's NFS mount.
 func (tb *Testbed) OpenNFS() *core.File {
 	if tb.Client == nil {
 		panic("nfssim: test bed has no NFS mount")
 	}
-	return tb.Client.Open()
+	return tb.Machines[0].OpenNFS()
 }
 
-// OpenLocal opens a fresh file on the client's local ext2 filesystem.
-func (tb *Testbed) OpenLocal() vfs.File {
-	return ext2.NewFile(tb.Sim, tb.CPU, tb.Cache, tb.LocalDisk)
-}
+// OpenLocal opens a fresh file on machine 0's local ext2 filesystem.
+func (tb *Testbed) OpenLocal() vfs.File { return tb.Machines[0].OpenLocal() }
 
 // Open opens a file on the test bed's configured target: local ext2 for
-// ServerNone, NFS otherwise.
-func (tb *Testbed) Open() vfs.File {
-	if tb.opts.Server == ServerNone {
-		return tb.OpenLocal()
-	}
-	return tb.OpenNFS()
-}
+// ServerNone, NFS otherwise. Multi-client workloads open on a specific
+// machine via Machine(i).Open instead.
+func (tb *Testbed) Open() vfs.File { return tb.Machines[0].Open() }

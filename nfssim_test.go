@@ -6,6 +6,7 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/netsim"
+	"repro/internal/nfsproto"
 	"repro/internal/server"
 	"repro/internal/sim"
 )
@@ -130,4 +131,61 @@ func TestMTUConsistency(t *testing.T) {
 		t.Fatalf("frames sent = %d, want jumbo single-fragment datagrams", stats.FramesSent)
 	}
 	_ = netsim.MTUJumbo
+}
+
+func TestMultiClientTestbed(t *testing.T) {
+	tb := NewTestbed(Options{Server: ServerFiler, Clients: 3})
+	if len(tb.Machines) != 3 {
+		t.Fatalf("machines = %d, want 3", len(tb.Machines))
+	}
+	hosts := map[string]bool{}
+	for i, m := range tb.Machines {
+		if m.Index != i {
+			t.Fatalf("machine %d has index %d", i, m.Index)
+		}
+		if m.Host != server.ClientHost(i) {
+			t.Fatalf("machine %d host = %q, want %q", i, m.Host, server.ClientHost(i))
+		}
+		if hosts[m.Host] {
+			t.Fatalf("duplicate host %q", m.Host)
+		}
+		hosts[m.Host] = true
+		if m.Client == nil || m.Transport == nil || m.Cache == nil || m.CPU == nil || m.BKL == nil {
+			t.Fatalf("machine %d incomplete", i)
+		}
+	}
+	// Machine 0 keeps the canonical host name, so single-client call
+	// sites (and HostStats(server.HostClient)) keep working.
+	if tb.Machines[0].Host != server.HostClient {
+		t.Fatalf("machine 0 host = %q, want %q", tb.Machines[0].Host, server.HostClient)
+	}
+	// The single-machine aliases point at machine 0.
+	m0 := tb.Machines[0]
+	if tb.CPU != m0.CPU || tb.BKL != m0.BKL || tb.Cache != m0.Cache ||
+		tb.Client != m0.Client || tb.Transport != m0.Transport {
+		t.Fatal("testbed aliases do not point at machine 0")
+	}
+	// Distinct FSIDs: files opened on different machines never share a
+	// handle, even at the same per-machine file index.
+	fhs := map[nfsproto.FileHandle]bool{}
+	for i := range tb.Machines {
+		fh := tb.Machine(i).OpenNFS().Inode().FH
+		if fhs[fh] {
+			t.Fatalf("machine %d produced a colliding file handle %v", i, fh)
+		}
+		fhs[fh] = true
+	}
+}
+
+func TestMultiClientDefaultsToOne(t *testing.T) {
+	tb := NewTestbed(Options{Server: ServerLinux})
+	if len(tb.Machines) != 1 {
+		t.Fatalf("machines = %d, want 1", len(tb.Machines))
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("negative Clients should panic")
+		}
+	}()
+	NewTestbed(Options{Server: ServerLinux, Clients: -2})
 }
