@@ -7,6 +7,7 @@ package nfssim_test
 // `go test -bench=.` prints the same rows/series the paper reports.
 
 import (
+	"fmt"
 	"testing"
 	"time"
 
@@ -219,6 +220,42 @@ func BenchmarkAblationSlotTable(b *testing.B) {
 func BenchmarkSimulatorEventRate(b *testing.B) {
 	for i := 0; i < b.N; i++ {
 		benchRun(nfssim.ServerFiler, core.EnhancedConfig(), 2)
+	}
+}
+
+// BenchmarkLossSweep regenerates the lossy-network table: UDP loss
+// amplification versus TCP segment recovery at 1% fragment loss.
+func BenchmarkLossSweep(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		r := experiments.LossSweep()
+		for _, row := range r.Rows {
+			if row.Config == "enhanced" && row.Loss == 0.01 {
+				b.ReportMetric(row.AggMBps, row.Transport+"-MB/s@1%loss")
+			}
+		}
+	}
+}
+
+// BenchmarkAblationTransport compares the two transports on a clean and
+// on a mildly lossy network, full 10 MB runs against the filer.
+func BenchmarkAblationTransport(b *testing.B) {
+	for _, tr := range []rpcsim.TransportKind{rpcsim.TransportUDP, rpcsim.TransportTCP} {
+		for _, loss := range []float64{0, 0.01} {
+			b.Run(fmt.Sprintf("%s/loss%g", tr, loss), func(b *testing.B) {
+				for i := 0; i < b.N; i++ {
+					tb := nfssim.NewTestbed(nfssim.Options{
+						Server:    nfssim.ServerFiler,
+						Client:    core.EnhancedConfig(),
+						Transport: tr,
+						Loss:      loss,
+					})
+					res := bonnie.Run(tb.Sim, "transport", tb.Open, bonnie.Config{
+						FileSize: 10 << 20, TimeLimit: 10 * time.Minute,
+					})
+					b.ReportMetric(res.CloseMBps(), "close-MB/s")
+				}
+			})
+		}
 	}
 }
 

@@ -1,0 +1,100 @@
+// Command benchjson converts `go test -bench` output on stdin into a
+// JSON array on stdout, one object per benchmark line:
+//
+//	go test -bench . -benchtime 1x -run '^$' ./... | benchjson > bench.json
+//
+// Each object carries the benchmark name, iteration count, ns/op, and
+// every custom metric the benchmark reported (our benches report the
+// paper's headline quantities — MB/s, spike periods, latencies — as
+// custom metrics). CI uploads the result as the per-PR benchmark
+// artifact, so the performance trajectory of the simulator is machine
+// readable from the first data point.
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"strconv"
+	"strings"
+)
+
+// Result is one parsed benchmark line.
+type Result struct {
+	Name    string             `json:"name"`
+	Runs    int64              `json:"runs"`
+	NsPerOp float64            `json:"ns_per_op"`
+	Metrics map[string]float64 `json:"metrics,omitempty"`
+}
+
+// Parse reads `go test -bench` output and returns the benchmark lines in
+// input order. Non-benchmark lines (headers, PASS/ok, failures) are
+// ignored.
+func Parse(r io.Reader) ([]Result, error) {
+	var out []Result
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		if !strings.HasPrefix(line, "Benchmark") {
+			continue
+		}
+		fields := strings.Fields(line)
+		// BenchmarkName-8  N  1234 ns/op  [value unit]...
+		if len(fields) < 4 {
+			continue
+		}
+		runs, err := strconv.ParseInt(fields[1], 10, 64)
+		if err != nil {
+			continue // e.g. "BenchmarkFoo    	--- FAIL"
+		}
+		res := Result{Name: trimProcSuffix(fields[0]), Runs: runs}
+		for i := 2; i+1 < len(fields); i += 2 {
+			val, err := strconv.ParseFloat(fields[i], 64)
+			if err != nil {
+				return nil, fmt.Errorf("benchjson: bad value %q in %q", fields[i], line)
+			}
+			unit := fields[i+1]
+			if unit == "ns/op" {
+				res.NsPerOp = val
+				continue
+			}
+			if res.Metrics == nil {
+				res.Metrics = make(map[string]float64)
+			}
+			res.Metrics[unit] = val
+		}
+		out = append(out, res)
+	}
+	return out, sc.Err()
+}
+
+func trimProcSuffix(name string) string {
+	// Strip the trailing -GOMAXPROCS so artifact diffs don't churn with
+	// the runner's core count.
+	if i := strings.LastIndex(name, "-"); i > 0 {
+		if _, err := strconv.Atoi(name[i+1:]); err == nil {
+			return name[:i]
+		}
+	}
+	return name
+}
+
+func main() {
+	results, err := Parse(os.Stdin)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	if results == nil {
+		results = []Result{}
+	}
+	enc := json.NewEncoder(os.Stdout)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(results); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+}

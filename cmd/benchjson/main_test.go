@@ -1,0 +1,64 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestParseBenchOutput(t *testing.T) {
+	in := `goos: linux
+goarch: amd64
+pkg: repro
+cpu: some CPU
+BenchmarkFig1LocalVsNFSStock-8   	       1	934712345 ns/op	       171.9 local-peak-MB/s	        12.6 filer-MB/s@100MB
+BenchmarkSimulatorEventRate-8    	       2	 51234567 ns/op
+PASS
+ok  	repro	3.456s
+`
+	got, err := Parse(strings.NewReader(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 2 {
+		t.Fatalf("parsed %d results, want 2", len(got))
+	}
+	r := got[0]
+	if r.Name != "BenchmarkFig1LocalVsNFSStock" {
+		t.Fatalf("name = %q (GOMAXPROCS suffix should be stripped)", r.Name)
+	}
+	if r.Runs != 1 || r.NsPerOp != 934712345 {
+		t.Fatalf("runs/ns = %d/%g", r.Runs, r.NsPerOp)
+	}
+	if r.Metrics["local-peak-MB/s"] != 171.9 || r.Metrics["filer-MB/s@100MB"] != 12.6 {
+		t.Fatalf("metrics = %v", r.Metrics)
+	}
+	if got[1].Name != "BenchmarkSimulatorEventRate" || got[1].Metrics != nil {
+		t.Fatalf("second result = %+v", got[1])
+	}
+}
+
+func TestParseSkipsSubBenchAndFailLines(t *testing.T) {
+	in := `BenchmarkAblationSoftLimit/192-8 	       1	 12345 ns/op	        30.5 write-MB/s
+BenchmarkBroken 	--- FAIL: BenchmarkBroken
+`
+	got, err := Parse(strings.NewReader(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 1 {
+		t.Fatalf("parsed %d results, want 1", len(got))
+	}
+	if got[0].Name != "BenchmarkAblationSoftLimit/192" {
+		t.Fatalf("name = %q", got[0].Name)
+	}
+	if got[0].Metrics["write-MB/s"] != 30.5 {
+		t.Fatalf("metrics = %v", got[0].Metrics)
+	}
+}
+
+func TestParseEmptyInput(t *testing.T) {
+	got, err := Parse(strings.NewReader("PASS\nok\n"))
+	if err != nil || got != nil {
+		t.Fatalf("got %v, %v", got, err)
+	}
+}

@@ -13,6 +13,7 @@
 //	nfsbench profile   §3.4/§3.5 kernel-profile findings
 //	nfsbench jumbo     §3.5 future work: jumbo-frame ablation
 //	nfsbench scaling   beyond the paper: N client machines, one server
+//	nfsbench loss      beyond the paper: UDP vs TCP under fragment loss
 //	nfsbench all       everything above, in order
 //
 // Sweeps accept -quick to use a reduced file-size grid.
@@ -72,6 +73,8 @@ func runners() []runner {
 			func() string { return experiments.Concurrency().Render() }},
 		{"scaling", "multi-client scale-out: per-client vs aggregate throughput + fairness",
 			func() string { return experiments.Scaling().Render() }},
+		{"loss", "lossy network: UDP loss amplification vs TCP segment recovery",
+			func() string { return experiments.LossSweep().Render() }},
 	}
 }
 

@@ -17,6 +17,8 @@
 //	    a sweep the paper never ran
 //	nfssweep -servers filer,linux -configs stock,enhanced -clients 1,2,4,8
 //	    multi-client scale-out: N client machines against one server
+//	nfssweep -transport udp,tcp -loss 0,0.01,0.05 -sizes 25
+//	    lossy network: UDP loss amplification vs TCP segment recovery
 //
 // See docs/experiments.md for the axis semantics and output schema.
 package main
@@ -41,6 +43,9 @@ var (
 	clients = flag.String("clients", "", "comma list of concurrent client machines per run, e.g. 1,2,4,8 (default 1)")
 	caches  = flag.String("cache", "", "comma list of page-cache limits in MB (default: the 2.4.4 budget)")
 	jumbo   = flag.String("jumbo", "off", "jumbo frames: off, on, or both (an axis)")
+	trans   = flag.String("transport", "udp", "comma list of RPC transports: udp, tcp")
+	loss    = flag.String("loss", "0", "comma list of per-fragment drop probabilities, e.g. 0,0.01,0.05")
+	jitter  = flag.Duration("netjitter", 0, "max extra random delivery delay per datagram (e.g. 200us; not an axis)")
 	seed    = flag.Int64("seed", 1, "base simulation seed")
 	repeats = flag.Int("repeats", 1, "repeats per cell with seeds seed, seed+1, ...")
 	workers = flag.Int("workers", 0, "worker-pool size (0 = one per CPU); does not change results")
@@ -112,6 +117,16 @@ func buildGrid() harness.Grid {
 	default:
 		fatalf("-jumbo must be off, on, or both")
 	}
+	if g.Transports, err = harness.ParseTransports(*trans); err != nil {
+		fatalf("-transport: %v", err)
+	}
+	if g.LossRates, err = harness.ParseLossRates(*loss); err != nil {
+		fatalf("-loss: %v", err)
+	}
+	if *jitter < 0 {
+		fatalf("-netjitter must be non-negative")
+	}
+	g.NetJitter = *jitter
 	if *seed <= 0 {
 		fatalf("-seed must be positive")
 	}

@@ -17,6 +17,7 @@
 //	Profile §3.4/§3.5 kernel-profile findings
 //	Jumbo   §3.5 future work: jumbo frames ablation
 //	Scaling beyond the paper: N client machines against one server
+//	Loss    beyond the paper: UDP vs TCP under fragment loss
 package experiments
 
 import (
@@ -28,6 +29,7 @@ import (
 	"repro/internal/bonnie"
 	"repro/internal/core"
 	"repro/internal/harness"
+	"repro/internal/rpcsim"
 	"repro/internal/sim"
 	"repro/internal/stats"
 	"repro/internal/vfs"
@@ -560,6 +562,115 @@ func Scaling() *ScalingResult {
 			Aggregate: res.AggMBps,
 			Fairness:  res.Fairness,
 			ServerNet: res.ServerNetMBps,
+		})
+	}
+	return r
+}
+
+// LossRow is one cell of the lossy-network table.
+type LossRow struct {
+	Config      string
+	Transport   string
+	Loss        float64 // per-fragment drop probability
+	WriteMBps   float64 // memory write throughput
+	AggMBps     float64 // end-to-end throughput through close
+	Retransmits int64   // whole-RPC resends (UDP) / segment resends (TCP)
+	DupReplies  int64   // suppressed duplicate replies (UDP only)
+}
+
+// LossResult is the lossy-network experiment the paper motivates but
+// never runs: the same full write+flush+close benchmark over UDP and a
+// TCP-style stream while the network drops IP fragments. Under UDP one
+// lost 1500-byte fragment discards a whole 8 KB WRITE and the client
+// stalls on its retransmit timer; the stream transport retransmits only
+// the lost MTU-sized segment after an RTT-adaptive timeout.
+type LossResult struct {
+	Server string
+	FileMB int
+	Rows   []LossRow
+}
+
+// Table renders the loss table.
+func (r *LossResult) Table() *stats.Table {
+	t := stats.NewTable(
+		fmt.Sprintf("Lossy network - %d MB full runs, %s, UDP vs TCP", r.FileMB, r.Server),
+		"config", "transport", "loss %", "write MBps", "end-to-end MBps", "rexmt", "dup replies")
+	for _, row := range r.Rows {
+		t.AddRow(row.Config, row.Transport, fmt.Sprintf("%g", row.Loss*100),
+			fmt.Sprintf("%.1f", row.WriteMBps), fmt.Sprintf("%.2f", row.AggMBps),
+			fmt.Sprint(row.Retransmits), fmt.Sprint(row.DupReplies))
+	}
+	return t
+}
+
+// degradation returns 1 - (throughput at loss)/(throughput at loss 0)
+// for one config/transport pair, or -1 if the baseline is missing.
+func (r *LossResult) degradation(config, transport string, loss float64) float64 {
+	var base, at float64
+	for _, row := range r.Rows {
+		if row.Config != config || row.Transport != transport {
+			continue
+		}
+		if row.Loss == 0 {
+			base = row.AggMBps
+		}
+		if row.Loss == loss {
+			at = row.AggMBps
+		}
+	}
+	if base <= 0 {
+		return -1
+	}
+	return 1 - at/base
+}
+
+// Render formats the table plus the headline comparison: at every loss
+// rate of 1% and above, TCP's end-to-end throughput degrades strictly
+// less than UDP's.
+func (r *LossResult) Render() string {
+	var b strings.Builder
+	b.WriteString(r.Table().String())
+	for _, cfg := range []string{"stock", "enhanced"} {
+		for _, loss := range []float64{0.01, 0.05} {
+			u, t := r.degradation(cfg, "udp", loss), r.degradation(cfg, "tcp", loss)
+			if u < 0 || t < 0 {
+				continue
+			}
+			fmt.Fprintf(&b, "%s @ %g%% fragment loss: UDP loses %.1f%% of its throughput, TCP %.1f%% (TCP strictly better: %v)\n",
+				cfg, loss*100, u*100, t*100, t < u)
+		}
+	}
+	b.WriteString("one lost fragment costs UDP the whole 8 KB WRITE plus a backed-off\n")
+	b.WriteString("retransmit timeout; TCP resends only the missing segment\n")
+	return b.String()
+}
+
+// LossSweep runs the lossy-network grid: stock and enhanced clients over
+// UDP and TCP at 0/0.1/1/5 % per-fragment loss, full runs against the
+// filer, all on the parallel harness.
+func LossSweep() *LossResult {
+	const fileMB = 5
+	results := runGrid(harness.Grid{
+		Servers: []nfssim.ServerKind{nfssim.ServerFiler},
+		Configs: []harness.ClientConfig{
+			{Name: "stock", Config: core.Stock244Config()},
+			{Name: "enhanced", Config: core.EnhancedConfig()},
+		},
+		FileSizesMB: []int{fileMB},
+		Transports:  []rpcsim.TransportKind{rpcsim.TransportUDP, rpcsim.TransportTCP},
+		LossRates:   []float64{0, 0.001, 0.01, 0.05},
+		TimeLimit:   10 * time.Minute,
+	})
+	r := &LossResult{Server: nfssim.ServerFiler.String(), FileMB: fileMB}
+	for _, res := range results {
+		r.Rows = append(r.Rows, LossRow{
+			Config:      res.Config,
+			Transport:   res.Transport,
+			Loss:        res.Loss,
+			WriteMBps:   res.WriteMBps,
+			AggMBps:     res.AggMBps,
+			Retransmits: res.Retransmits,
+			DupReplies:  res.DupReplies,
 		})
 	}
 	return r

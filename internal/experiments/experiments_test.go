@@ -342,3 +342,53 @@ func TestScalingShape(t *testing.T) {
 		}
 	}
 }
+
+// The lossy-network experiment enforces the transport claim end to end:
+// at 1% and 5% fragment loss, TCP's end-to-end throughput degrades
+// strictly less than UDP's, for both the stock and the enhanced client.
+func TestLossSweepShape(t *testing.T) {
+	r := LossSweep()
+	if len(r.Rows) != 16 { // 2 configs x 2 transports x 4 loss rates
+		t.Fatalf("rows = %d, want 16", len(r.Rows))
+	}
+	for _, row := range r.Rows {
+		if row.AggMBps <= 0 {
+			t.Fatalf("empty throughput in row %+v", row)
+		}
+		if row.Loss == 0 && row.Retransmits != 0 {
+			t.Fatalf("lossless row has retransmissions: %+v", row)
+		}
+		if row.Loss >= 0.01 && row.Retransmits == 0 {
+			t.Fatalf("lossy row repaired nothing: %+v", row)
+		}
+	}
+	for _, cfg := range []string{"stock", "enhanced"} {
+		for _, loss := range []float64{0.01, 0.05} {
+			udp := r.degradation(cfg, "udp", loss)
+			tcp := r.degradation(cfg, "tcp", loss)
+			if udp < 0 || tcp < 0 {
+				t.Fatalf("%s @ %g: missing baseline", cfg, loss)
+			}
+			// The acceptance criterion: TCP degrades strictly less.
+			if tcp >= udp {
+				t.Fatalf("%s @ %g%% loss: TCP degradation %.3f not strictly below UDP %.3f",
+					cfg, loss*100, tcp, udp)
+			}
+		}
+		// And UDP at >= 1% loss must show the paper's catastrophe: more
+		// than half the throughput gone to loss amplification + timer
+		// stalls.
+		if d := r.degradation(cfg, "udp", 0.01); d < 0.5 {
+			t.Fatalf("%s: UDP degradation at 1%% loss only %.3f; loss amplification missing", cfg, d)
+		}
+	}
+	out := r.Render()
+	for _, want := range []string{"Lossy network", "udp", "tcp", "strictly better: true"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("render missing %q:\n%s", want, out)
+		}
+	}
+	if strings.Contains(out, "strictly better: false") {
+		t.Fatalf("render reports a violated comparison:\n%s", out)
+	}
+}

@@ -34,6 +34,10 @@ type Aggregate struct {
 	AggMBpsStddev  float64 `json:"agg_mbps_stddev"`
 	FairnessMean   float64 `json:"fairness_mean"`
 	FairnessStddev float64 `json:"fairness_stddev"`
+
+	// Transport axes (JSON only; the CSV schema is frozen).
+	Transport string  `json:"transport"`
+	Loss      float64 `json:"loss"`
 }
 
 // AggregateResults folds per-run Results into one Aggregate per grid
@@ -70,6 +74,8 @@ func AggregateResults(results []Result) []Aggregate {
 			N:          len(rs),
 			Clients:    rs[0].Clients,
 			CacheBytes: rs[0].CacheBytes,
+			Transport:  rs[0].Transport,
+			Loss:       rs[0].Loss,
 		}
 		a.WriteMBpsMean, a.WriteMBpsStddev = pick(func(r Result) float64 { return r.WriteMBps })
 		a.FlushMBpsMean, a.FlushMBpsStddev = pick(func(r Result) float64 { return r.FlushMBps })

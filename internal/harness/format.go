@@ -73,17 +73,18 @@ func ResultsJSON(results []Result) string {
 // the high-signal columns.
 func ResultsTable(results []Result) string {
 	t := stats.NewTable("",
-		"server", "config", "MB", "wsize", "cpus", "cl", "cacheMB", "jumbo", "seed",
-		"write MB/s", "flush MB/s", "agg MB/s", "fair", "mean us", "p99 us", "soft", "rpcs")
+		"server", "config", "MB", "wsize", "cpus", "cl", "cacheMB", "jumbo", "tr", "loss", "seed",
+		"write MB/s", "flush MB/s", "agg MB/s", "fair", "mean us", "p99 us", "soft", "rpcs", "rexmt")
 	for _, r := range results {
 		t.AddRow(r.Server, r.Config,
 			fmt.Sprint(r.FileMB), fmt.Sprint(r.WSize), fmt.Sprint(r.CPUs),
 			fmt.Sprint(r.Clients), fmt.Sprint(r.CacheMB), fmt.Sprint(r.Jumbo),
+			r.Transport, fmt.Sprintf("%g", r.Loss),
 			fmt.Sprint(r.Seed),
 			fmt.Sprintf("%.1f", r.WriteMBps), fmt.Sprintf("%.1f", r.FlushMBps),
 			fmt.Sprintf("%.1f", r.AggMBps), fmt.Sprintf("%.3f", r.Fairness),
 			fmt.Sprintf("%.1f", r.MeanLatUs), fmt.Sprintf("%.1f", r.P99LatUs),
-			fmt.Sprint(r.SoftFlushes), fmt.Sprint(r.RPCsSent))
+			fmt.Sprint(r.SoftFlushes), fmt.Sprint(r.RPCsSent), fmt.Sprint(r.Retransmits))
 	}
 	return t.String()
 }
@@ -134,11 +135,12 @@ func AggregatesJSON(aggs []Aggregate) string {
 // AggregatesTable renders per-cell summaries as an aligned table.
 func AggregatesTable(aggs []Aggregate) string {
 	t := stats.NewTable("",
-		"server", "config", "MB", "cl", "cacheMB", "n",
+		"server", "config", "MB", "cl", "cacheMB", "tr", "loss", "n",
 		"write MB/s", "±", "agg MB/s", "±", "fair", "mean us", "±", "p99 us", "±")
 	for _, a := range aggs {
 		t.AddRow(a.Server, a.Config, fmt.Sprint(a.FileMB),
-			fmt.Sprint(a.Clients), fmt.Sprint(a.CacheMB), fmt.Sprint(a.N),
+			fmt.Sprint(a.Clients), fmt.Sprint(a.CacheMB),
+			a.Transport, fmt.Sprintf("%g", a.Loss), fmt.Sprint(a.N),
 			fmt.Sprintf("%.1f", a.WriteMBpsMean), fmt.Sprintf("%.2f", a.WriteMBpsStddev),
 			fmt.Sprintf("%.1f", a.AggMBpsMean), fmt.Sprintf("%.2f", a.AggMBpsStddev),
 			fmt.Sprintf("%.3f", a.FairnessMean),

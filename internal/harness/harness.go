@@ -20,6 +20,7 @@ import (
 	nfssim "repro"
 	"repro/internal/core"
 	"repro/internal/mm"
+	"repro/internal/rpcsim"
 	"repro/internal/sim"
 )
 
@@ -82,8 +83,14 @@ type Scenario struct {
 	Clients    int   // client machines writing concurrently (>= 1)
 	CacheLimit int64 // per-machine page-cache budget, bytes
 	Jumbo      bool
-	Seed       int64
-	Repeat     int // repeat index; Seed already includes the offset
+	// Transport selects the RPC wire protocol (default TransportUDP).
+	Transport rpcsim.TransportKind
+	// Loss is the per-fragment drop probability (default 0, lossless).
+	Loss float64
+	// NetJitter is the max extra random delivery delay per datagram.
+	NetJitter sim.Time
+	Seed      int64
+	Repeat    int // repeat index; Seed already includes the offset
 
 	// SkipFlushClose stops each run after the write phase (the Figure
 	// 1/7 memory-write comparison). When false the run flushes and
@@ -96,15 +103,29 @@ type Scenario struct {
 // Key identifies the scenario's grid cell — every axis except seed and
 // repeat — for grouping repeated runs. The cache limit appears in exact
 // bytes: keying on truncated megabytes used to fold two cache limits
-// differing by less than 1 MiB into one aggregation cell.
+// differing by less than 1 MiB into one aggregation cell. The transport,
+// loss, and jitter axes appear only at non-default values, so sweeps
+// over the pre-existing axes keep byte-identical keys (and hence
+// output) to the tree before the transport/loss change — pinned by the
+// golden-CSV test in harness_test.go.
 func (sc Scenario) Key() string {
 	clients := sc.Clients
 	if clients < 1 {
 		clients = 1 // hand-built pre-Clients scenarios; matches RunScenario
 	}
-	return fmt.Sprintf("%s/%s/%dMB/w%d/c%d/n%d/m%dB/j%v",
+	key := fmt.Sprintf("%s/%s/%dMB/w%d/c%d/n%d/m%dB/j%v",
 		sc.Server, sc.Config.Name, sc.FileMB, sc.WSize, sc.ClientCPUs,
 		clients, sc.CacheLimit, sc.Jumbo)
+	if sc.Transport != rpcsim.TransportUDP {
+		key += "/" + sc.Transport.String()
+	}
+	if sc.Loss > 0 {
+		key += fmt.Sprintf("/l%v", sc.Loss)
+	}
+	if sc.NetJitter > 0 {
+		key += fmt.Sprintf("/nj%v", sc.NetJitter)
+	}
+	return key
 }
 
 // Name is the scenario's full identity including seed and repeat.
@@ -115,15 +136,21 @@ func (sc Scenario) Name() string {
 // Grid declares the sweep axes. Expand produces the exact cross-product
 // of every non-empty axis; empty axes fall back to the listed default.
 type Grid struct {
-	Servers     []nfssim.ServerKind // default: filer
-	Configs     []ClientConfig      // default: stock
-	FileSizesMB []int               // default: 40 (per client)
-	WSizes      []int               // default: each config's own wsize
-	ClientCPUs  []int               // default: 2 (the paper's dual P-III)
-	Clients     []int               // default: 1 (client machines per run)
-	CacheLimits []int64             // default: mm.DefaultDirtyLimit
-	Jumbo       []bool              // default: false
-	Seeds       []int64             // default: 1
+	Servers     []nfssim.ServerKind    // default: filer
+	Configs     []ClientConfig         // default: stock
+	FileSizesMB []int                  // default: 40 (per client)
+	WSizes      []int                  // default: each config's own wsize
+	ClientCPUs  []int                  // default: 2 (the paper's dual P-III)
+	Clients     []int                  // default: 1 (client machines per run)
+	CacheLimits []int64                // default: mm.DefaultDirtyLimit
+	Jumbo       []bool                 // default: false
+	Transports  []rpcsim.TransportKind // default: udp
+	LossRates   []float64              // default: 0 (lossless)
+	Seeds       []int64                // default: 1
+
+	// NetJitter applies the same max delivery jitter to every scenario
+	// (a scalar, not an axis).
+	NetJitter sim.Time
 
 	// Repeats re-runs every cell Repeats times, offsetting each base
 	// seed per repeat by the span of the Seeds list (max-min+1, so a
@@ -146,9 +173,9 @@ func orInts(xs []int, def int) []int {
 
 // Expand returns the cross-product of all axes in a fixed nesting order
 // (config, server, file size, wsize, CPUs, clients, cache limit, jumbo,
-// seed, repeat — innermost last), with every Scenario field resolved to
-// its concrete value. The order is deterministic: the same Grid always
-// expands to the same slice.
+// transport, loss, seed, repeat — innermost last), with every Scenario
+// field resolved to its concrete value. The order is deterministic: the
+// same Grid always expands to the same slice.
 func (g Grid) Expand() []Scenario {
 	servers := g.Servers
 	if len(servers) == 0 {
@@ -168,6 +195,14 @@ func (g Grid) Expand() []Scenario {
 	jumbos := g.Jumbo
 	if len(jumbos) == 0 {
 		jumbos = []bool{false}
+	}
+	transports := g.Transports
+	if len(transports) == 0 {
+		transports = []rpcsim.TransportKind{rpcsim.TransportUDP}
+	}
+	losses := g.LossRates
+	if len(losses) == 0 {
+		losses = []float64{0}
 	}
 	seeds := g.Seeds
 	if len(seeds) == 0 {
@@ -204,22 +239,29 @@ func (g Grid) Expand() []Scenario {
 						for _, ncli := range clients {
 							for _, cache := range caches {
 								for _, jumbo := range jumbos {
-									for _, seed := range seeds {
-										for rep := 0; rep < repeats; rep++ {
-											out = append(out, Scenario{
-												Server:         srv,
-												Config:         cfg,
-												FileMB:         mb,
-												WSize:          ws,
-												ClientCPUs:     ncpu,
-												Clients:        ncli,
-												CacheLimit:     cache,
-												Jumbo:          jumbo,
-												Seed:           seed + int64(rep)*span,
-												Repeat:         rep,
-												SkipFlushClose: g.SkipFlushClose,
-												TimeLimit:      timeLimit,
-											})
+									for _, tr := range transports {
+										for _, loss := range losses {
+											for _, seed := range seeds {
+												for rep := 0; rep < repeats; rep++ {
+													out = append(out, Scenario{
+														Server:         srv,
+														Config:         cfg,
+														FileMB:         mb,
+														WSize:          ws,
+														ClientCPUs:     ncpu,
+														Clients:        ncli,
+														CacheLimit:     cache,
+														Jumbo:          jumbo,
+														Transport:      tr,
+														Loss:           loss,
+														NetJitter:      g.NetJitter,
+														Seed:           seed + int64(rep)*span,
+														Repeat:         rep,
+														SkipFlushClose: g.SkipFlushClose,
+														TimeLimit:      timeLimit,
+													})
+												}
+											}
 										}
 									}
 								}
@@ -299,6 +341,33 @@ func ParseConfigs(spec string) ([]ClientConfig, error) {
 			return nil, err
 		}
 		out = append(out, c)
+	}
+	return out, nil
+}
+
+// ParseTransports parses a comma list of transport names ("udp,tcp").
+func ParseTransports(spec string) ([]rpcsim.TransportKind, error) {
+	var out []rpcsim.TransportKind
+	for _, f := range strings.Split(spec, ",") {
+		k, err := rpcsim.ParseTransport(strings.TrimSpace(f))
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, k)
+	}
+	return out, nil
+}
+
+// ParseLossRates parses a comma list of per-fragment drop probabilities
+// ("0,0.01,0.05"), each in [0, 1).
+func ParseLossRates(spec string) ([]float64, error) {
+	var out []float64
+	for _, f := range strings.Split(spec, ",") {
+		v, err := strconv.ParseFloat(strings.TrimSpace(f), 64)
+		if err != nil || v < 0 || v >= 1 {
+			return nil, fmt.Errorf("harness: bad loss rate %q (want a probability in [0, 1))", f)
+		}
+		out = append(out, v)
 	}
 	return out, nil
 }

@@ -3,13 +3,17 @@ package harness
 import (
 	"fmt"
 	"math"
+	"os"
+	"path/filepath"
 	"reflect"
 	"strings"
 	"testing"
+	"time"
 
 	nfssim "repro"
 	"repro/internal/core"
 	"repro/internal/mm"
+	"repro/internal/rpcsim"
 )
 
 func TestGridExpandIsExactCrossProduct(t *testing.T) {
@@ -377,6 +381,117 @@ func TestMultiClientFairnessFields(t *testing.T) {
 	r1 := RunScenario(sc)
 	if r1.Fairness != 1 || len(r1.PerClientMBps) != 1 || r1.AggMBps != r1.PerClientMBps[0] {
 		t.Fatalf("single-client fleet fields wrong: %+v", r1)
+	}
+}
+
+// Golden regression: with the loss model disabled and the default UDP
+// transport, the sweep engine must reproduce the pre-loss-model CSV byte
+// for byte — adding the transport layer cannot perturb lossless runs.
+// testdata/golden_loss0.csv was captured from the tree before the
+// loss/TCP change with:
+//
+//	nfssweep -servers filer,linux -configs stock,enhanced -sizes 25 \
+//	    -clients 1,2 -format csv -quiet
+func TestLossZeroMatchesPreChangeGolden(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs four 25 MB and four 50 MB-aggregate sims")
+	}
+	want, err := os.ReadFile(filepath.Join("testdata", "golden_loss0.csv"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	g := Grid{
+		Servers:        []nfssim.ServerKind{nfssim.ServerFiler, nfssim.ServerLinux},
+		Configs:        []ClientConfig{{"stock", core.Stock244Config()}, {"enhanced", core.EnhancedConfig()}},
+		FileSizesMB:    []int{25},
+		Clients:        []int{1, 2},
+		LossRates:      []float64{0}, // explicit zero must equal "absent"
+		SkipFlushClose: true,
+	}
+	got := ResultsCSV((&Runner{Workers: 4}).Run(g.Expand()))
+	if got != string(want) {
+		t.Fatalf("loss=0 sweep diverged from pre-change golden CSV:\n--- want ---\n%s--- got ---\n%s", want, got)
+	}
+}
+
+// The transport/loss axes expand like any other axis and stay worker-
+// deterministic: the acceptance grid (-transport udp,tcp -loss 0,0.01)
+// must produce byte-identical CSV at any pool size.
+func TestTransportLossDeterministicAcrossWorkers(t *testing.T) {
+	g := Grid{
+		Servers:     []nfssim.ServerKind{nfssim.ServerFiler},
+		Configs:     []ClientConfig{{"stock", core.Stock244Config()}},
+		FileSizesMB: []int{1},
+		Transports:  []rpcsim.TransportKind{rpcsim.TransportUDP, rpcsim.TransportTCP},
+		LossRates:   []float64{0, 0.01},
+	}
+	scens := g.Expand()
+	if len(scens) != 4 {
+		t.Fatalf("expanded %d scenarios, want 4", len(scens))
+	}
+	r1 := (&Runner{Workers: 1}).Run(scens)
+	r8 := (&Runner{Workers: 8}).Run(scens)
+	if ResultsCSV(r1) != ResultsCSV(r8) {
+		t.Fatal("transport/loss CSV differs between 1 and 8 workers")
+	}
+	if ResultsJSON(r1) != ResultsJSON(r8) {
+		t.Fatal("transport/loss JSON differs between 1 and 8 workers")
+	}
+	if ResultsTable(r1) != ResultsTable(r8) {
+		t.Fatal("transport/loss table differs between 1 and 8 workers")
+	}
+}
+
+// Key back-compat: default transport and zero loss add nothing to the
+// scenario key (so historical names and goldens survive), while
+// non-default values land in distinct cells.
+func TestKeyBackCompatAndNewAxes(t *testing.T) {
+	base := Grid{FileSizesMB: []int{5}}.Expand()[0]
+	if s := base.Key(); strings.Contains(s, "udp") || strings.Contains(s, "/l") {
+		t.Fatalf("default key %q mentions the new axes", s)
+	}
+	tcp := base
+	tcp.Transport = rpcsim.TransportTCP
+	lossy := base
+	lossy.Loss = 0.01
+	jittery := base
+	jittery.NetJitter = 200 * time.Microsecond
+	keys := map[string]bool{}
+	for _, sc := range []Scenario{base, tcp, lossy, jittery} {
+		keys[sc.Key()] = true
+	}
+	if len(keys) != 4 {
+		t.Fatalf("axes collapsed into %d keys: %v", len(keys), keys)
+	}
+	if !strings.HasSuffix(tcp.Key(), "/tcp") {
+		t.Fatalf("tcp key = %q", tcp.Key())
+	}
+	if !strings.HasSuffix(lossy.Key(), "/l0.01") {
+		t.Fatalf("loss key = %q", lossy.Key())
+	}
+}
+
+// Lossy multi-client scenarios must stay worker-deterministic too: the
+// loss stream is per-testbed, so concurrent scenario execution cannot
+// perturb drop patterns.
+func TestLossyResultsReportRepairTraffic(t *testing.T) {
+	sc := Grid{
+		Servers:     []nfssim.ServerKind{nfssim.ServerFiler},
+		Configs:     []ClientConfig{{"stock", core.Stock244Config()}},
+		FileSizesMB: []int{1},
+		LossRates:   []float64{0.05},
+	}.Expand()[0]
+	r := RunScenario(sc)
+	if r.Loss != 0.05 || r.Transport != "udp" {
+		t.Fatalf("axes not recorded: %+v", r)
+	}
+	if r.Retransmits == 0 || r.LostFrames == 0 {
+		t.Fatalf("no repair traffic recorded at 5%% loss: retransmits=%d lost_frames=%d",
+			r.Retransmits, r.LostFrames)
+	}
+	again := RunScenario(sc)
+	if r.Retransmits != again.Retransmits || r.LostFrames != again.LostFrames {
+		t.Fatal("same scenario produced different loss pattern")
 	}
 }
 

@@ -46,6 +46,15 @@ type Result struct {
 	RPCsSent    int64 `json:"rpcs_sent"`
 	Retransmits int64 `json:"retransmits"`
 
+	// Transport axes (JSON only; the CSV schema is frozen, and these
+	// also appear in Name at non-default values). Retransmits above
+	// counts whole-RPC resends under UDP and stream segment resends
+	// under TCP; DupReplies counts suppressed duplicate replies.
+	Transport  string  `json:"transport"`
+	Loss       float64 `json:"loss"`
+	DupReplies int64   `json:"dup_replies"`
+	LostFrames int64   `json:"lost_frames"` // fragments the loss model dropped
+
 	ServerNetMBps float64 `json:"server_net_mbps"` // sustained server ingest
 	SendCPUUs     float64 `json:"send_cpu_us"`     // total sock_sendmsg CPU
 
@@ -98,6 +107,9 @@ func RunScenario(sc Scenario) Result {
 		ClientCPUs: sc.ClientCPUs,
 		CacheLimit: sc.CacheLimit,
 		Jumbo:      sc.Jumbo,
+		Transport:  sc.Transport,
+		Loss:       sc.Loss,
+		NetJitter:  sc.NetJitter,
 	}
 	if sc.WSize != 0 {
 		opts.Client.WSize = sc.WSize
@@ -123,6 +135,9 @@ func RunScenario(sc Scenario) Result {
 
 		Clients:    clients,
 		CacheBytes: sc.CacheLimit,
+
+		Transport: sc.Transport.String(),
+		Loss:      sc.Loss,
 
 		Scenario: sc,
 	}
@@ -183,9 +198,12 @@ func RunScenario(sc Scenario) Result {
 			out.RPCsSent += m.Client.RPCsSent
 		}
 		if m.Transport != nil {
-			out.Retransmits += m.Transport.Stats().Retransmits
+			st := m.Transport.Stats()
+			out.Retransmits += st.Retransmits
+			out.DupReplies += st.DuplicateReplies
 		}
 	}
+	out.LostFrames = tb.Net.Totals().FramesDropped
 	if tb.Server != nil {
 		out.ServerNetMBps = tb.Server.NetworkThroughputMBps()
 	}

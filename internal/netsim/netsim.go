@@ -13,6 +13,7 @@ package netsim
 
 import (
 	"fmt"
+	"math/rand"
 
 	"repro/internal/sim"
 )
@@ -78,23 +79,74 @@ type host struct {
 	txFreeAt sim.Time
 	rxFreeAt sim.Time
 
-	// Statistics.
+	// Statistics. FramesRecv counts every fragment that physically
+	// arrived — including fragments of datagrams later discarded at
+	// reassembly — so FramesSent = FramesRecv + FramesDropped across a
+	// path. BytesReceived counts only fully reassembled datagrams;
+	// LostDatagrams counts the discards.
 	BytesSent     int64
 	BytesReceived int64
 	FramesSent    int64
 	FramesRecv    int64
+	FramesDropped int64
+	LostDatagrams int64
 }
+
+// LossConfig degrades the network: every IP fragment is independently
+// dropped with probability Rate, and every delivered datagram picks up a
+// uniform extra delay in [0, DelayJitter]. Both draws come from a
+// dedicated random stream derived from the simulation seed, so the same
+// seed always produces the same drop pattern and enabling loss never
+// perturbs the draw sequence other components (e.g. CPU-cost jitter) see.
+//
+// Dropping at fragment granularity is what makes the transports diverge:
+// an NFS/UDP WRITE is one 8 KB datagram in six fragments, and losing any
+// one of them discards the whole datagram at reassembly (the paper's §1
+// pain point), while a TCP-style stream sends MTU-sized segments that
+// each fit in a single fragment and are retransmitted individually.
+type LossConfig struct {
+	// Rate is the per-fragment drop probability, in [0, 1).
+	Rate float64
+	// DelayJitter is the maximum extra delivery delay per datagram.
+	DelayJitter sim.Time
+}
+
+func (c LossConfig) enabled() bool { return c.Rate > 0 || c.DelayJitter > 0 }
 
 // Network is a star topology around one switch.
 type Network struct {
 	s     *sim.Sim
 	hosts map[string]*host
+	loss  LossConfig
+	lrng  *rand.Rand // loss/jitter stream; nil until SetLoss enables it
 }
 
 // New returns an empty network on the given simulator.
 func New(s *sim.Sim) *Network {
 	return &Network{s: s, hosts: make(map[string]*host)}
 }
+
+// SetLoss installs (or, with a zero config, removes) the network's loss
+// and delay-jitter model. The random stream is seeded from the simulation
+// seed, so loss patterns are deterministic per seed and independent of
+// every other random draw in the simulation.
+func (n *Network) SetLoss(cfg LossConfig) {
+	if cfg.Rate < 0 || cfg.Rate >= 1 {
+		panic("netsim: loss rate must be in [0, 1)")
+	}
+	if cfg.DelayJitter < 0 {
+		panic("netsim: delay jitter must be non-negative")
+	}
+	n.loss = cfg
+	if cfg.enabled() && n.lrng == nil {
+		// A fixed odd multiplier decorrelates this stream from sims whose
+		// seeds differ by small deltas (repeat seeds are seed, seed+1, ...).
+		n.lrng = rand.New(rand.NewSource(n.s.Seed()*0x9E3779B1 + 0x6C6F7373))
+	}
+}
+
+// Loss returns the network's current loss model.
+func (n *Network) Loss() LossConfig { return n.loss }
 
 // AddHost attaches a host to the switch. The handler receives datagrams
 // addressed to it.
@@ -159,8 +211,14 @@ type SendResult struct {
 	WireBytes int64
 	// TxTime is how long the sender's uplink was occupied.
 	TxTime sim.Time
-	// DeliverAt is when the datagram lands at the receiver.
+	// DeliverAt is when the datagram lands at the receiver (meaningless
+	// when Dropped).
 	DeliverAt sim.Time
+	// Dropped reports that the loss model discarded at least one fragment,
+	// so the datagram never reassembles and the handler never runs.
+	Dropped bool
+	// DroppedFragments is how many of the datagram's fragments were lost.
+	DroppedFragments int
 }
 
 // Send transmits a UDP datagram from one host to another. The sender's
@@ -168,6 +226,11 @@ type SendResult struct {
 // when the last fragment clears the receiver's link, at which point the
 // receiving host's handler runs. Send does not block the caller; the
 // caller models its own CPU cost (the sock_sendmsg time) separately.
+//
+// Under a LossConfig each fragment is independently dropped with the
+// configured probability; losing any fragment loses the whole datagram
+// (IP reassembly never completes), and the wire time the fragments
+// consumed is still charged to both links — lost traffic is not free.
 func (n *Network) Send(dg Datagram) SendResult {
 	src := n.mustHost(dg.From)
 	dst := n.mustHost(dg.To)
@@ -177,6 +240,15 @@ func (n *Network) Send(dg Datagram) SendResult {
 	}
 	frags := FragmentCount(len(dg.Payload), mtu)
 	wire := WireBytes(len(dg.Payload), mtu)
+
+	dropped := 0
+	if n.loss.Rate > 0 {
+		for i := 0; i < frags; i++ {
+			if n.lrng.Float64() < n.loss.Rate {
+				dropped++
+			}
+		}
+	}
 
 	now := n.s.Now()
 	txStart := now
@@ -199,6 +271,19 @@ func (n *Network) Send(dg Datagram) SendResult {
 
 	src.BytesSent += wire
 	src.FramesSent += int64(frags)
+
+	res := SendResult{Fragments: frags, WireBytes: wire, TxTime: txDone - txStart}
+	if dropped > 0 {
+		dst.FramesRecv += int64(frags - dropped)
+		dst.FramesDropped += int64(dropped)
+		dst.LostDatagrams++
+		res.Dropped = true
+		res.DroppedFragments = dropped
+		return res
+	}
+	if n.loss.DelayJitter > 0 {
+		deliverAt += sim.Time(n.lrng.Int63n(int64(n.loss.DelayJitter) + 1))
+	}
 	dst.BytesReceived += wire
 	dst.FramesRecv += int64(frags)
 
@@ -207,7 +292,8 @@ func (n *Network) Send(dg Datagram) SendResult {
 			dst.handler(dg)
 		}
 	})
-	return SendResult{Fragments: frags, WireBytes: wire, TxTime: txDone - txStart, DeliverAt: deliverAt}
+	res.DeliverAt = deliverAt
+	return res
 }
 
 // Stats describes a host's traffic counters.
@@ -216,12 +302,30 @@ type Stats struct {
 	BytesReceived int64
 	FramesSent    int64
 	FramesRecv    int64
+	FramesDropped int64
+	LostDatagrams int64
 }
 
 // HostStats returns the traffic counters for a host.
 func (n *Network) HostStats(name string) Stats {
 	h := n.mustHost(name)
-	return Stats{h.BytesSent, h.BytesReceived, h.FramesSent, h.FramesRecv}
+	return Stats{h.BytesSent, h.BytesReceived, h.FramesSent, h.FramesRecv,
+		h.FramesDropped, h.LostDatagrams}
+}
+
+// Totals returns the network-wide sums of every host's counters.
+// (Summation is order-independent, so map iteration is safe here.)
+func (n *Network) Totals() Stats {
+	var t Stats
+	for _, h := range n.hosts {
+		t.BytesSent += h.BytesSent
+		t.BytesReceived += h.BytesReceived
+		t.FramesSent += h.FramesSent
+		t.FramesRecv += h.FramesRecv
+		t.FramesDropped += h.FramesDropped
+		t.LostDatagrams += h.LostDatagrams
+	}
+	return t
 }
 
 func (s Stats) String() string {

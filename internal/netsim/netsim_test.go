@@ -235,6 +235,148 @@ func TestBadConfigPanics(t *testing.T) {
 	n.AddHost("x", LinkConfig{Bandwidth: 0, MTU: 1500}, nil)
 }
 
+// dropPattern sends count 8 KB datagrams through a lossy network and
+// returns which were delivered.
+func dropPattern(seed int64, rate float64, count int) []bool {
+	s := sim.New(seed)
+	n := New(s)
+	cfg := LinkConfig{Bandwidth: BandwidthGigabit, Propagation: 20 * time.Microsecond, MTU: MTUEthernet}
+	n.AddHost("client", cfg, nil)
+	n.AddHost("server", cfg, nil)
+	n.SetLoss(LossConfig{Rate: rate})
+	pattern := make([]bool, count)
+	payload := make([]byte, nfsproto.WriteCallSize(8192))
+	for i := 0; i < count; i++ {
+		pattern[i] = !n.Send(Datagram{From: "client", To: "server", Payload: payload}).Dropped
+	}
+	s.Run(0)
+	return pattern
+}
+
+// Loss determinism: the same seed must reproduce the exact drop pattern;
+// different seeds must produce different ones.
+func TestLossDeterministicPerSeed(t *testing.T) {
+	const n = 400
+	a := dropPattern(3, 0.05, n)
+	b := dropPattern(3, 0.05, n)
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("same seed diverged at datagram %d", i)
+		}
+	}
+	c := dropPattern(4, 0.05, n)
+	same := true
+	for i := range a {
+		if a[i] != c[i] {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Fatal("seeds 3 and 4 produced identical drop patterns")
+	}
+	dropped := 0
+	for _, ok := range a {
+		if !ok {
+			dropped++
+		}
+	}
+	// 6 fragments at 5%: P(datagram lost) = 1-0.95^6 ~ 26%.
+	if dropped == 0 || dropped == n {
+		t.Fatalf("dropped %d of %d, expected a lossy-but-not-dead pattern", dropped, n)
+	}
+}
+
+func TestLossZeroIsLossless(t *testing.T) {
+	for _, ok := range dropPattern(1, 0, 200) {
+		if !ok {
+			t.Fatal("datagram dropped with loss disabled")
+		}
+	}
+}
+
+// A dropped datagram must never reach the handler, and the drop counters
+// must record it.
+func TestLossDropsNeverDeliver(t *testing.T) {
+	s := sim.New(9)
+	n := New(s)
+	cfg := LinkConfig{Bandwidth: BandwidthGigabit, Propagation: 0, MTU: MTUEthernet}
+	delivered := 0
+	n.AddHost("client", cfg, nil)
+	n.AddHost("server", cfg, func(Datagram) { delivered++ })
+	n.SetLoss(LossConfig{Rate: 0.2})
+	payload := make([]byte, nfsproto.WriteCallSize(8192))
+	sent, droppedDgrams := 200, 0
+	for i := 0; i < sent; i++ {
+		if n.Send(Datagram{From: "client", To: "server", Payload: payload}).Dropped {
+			droppedDgrams++
+		}
+	}
+	s.Run(0)
+	if delivered+droppedDgrams != sent {
+		t.Fatalf("delivered %d + dropped %d != sent %d", delivered, droppedDgrams, sent)
+	}
+	if droppedDgrams == 0 {
+		t.Fatal("expected drops at 20% fragment loss")
+	}
+	ss := n.HostStats("server")
+	if ss.LostDatagrams != int64(droppedDgrams) || ss.FramesDropped == 0 {
+		t.Fatalf("server stats %+v, want %d lost datagrams", ss, droppedDgrams)
+	}
+	if tot := n.Totals(); tot.FramesDropped != ss.FramesDropped {
+		t.Fatalf("totals %+v disagree with server stats %+v", tot, ss)
+	}
+}
+
+// Delay jitter must spread deliveries without dropping anything, and be
+// reproducible per seed.
+func TestDelayJitterDeterministic(t *testing.T) {
+	run := func(seed int64) []sim.Time {
+		s := sim.New(seed)
+		n := New(s)
+		cfg := LinkConfig{Bandwidth: BandwidthGigabit, Propagation: 0, MTU: MTUEthernet}
+		n.AddHost("client", cfg, nil)
+		n.AddHost("server", cfg, nil)
+		n.SetLoss(LossConfig{DelayJitter: 500 * time.Microsecond})
+		var at []sim.Time
+		for i := 0; i < 50; i++ {
+			res := n.Send(Datagram{From: "client", To: "server", Payload: make([]byte, 100)})
+			if res.Dropped {
+				t.Fatal("jitter-only config dropped a datagram")
+			}
+			at = append(at, res.DeliverAt)
+		}
+		s.Run(0)
+		return at
+	}
+	a, b := run(5), run(5)
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("same seed produced different delivery time at %d: %v vs %v", i, a[i], b[i])
+		}
+	}
+	varied := false
+	for i := 1; i < len(a); i++ {
+		if a[i]-a[i-1] != a[1]-a[0] {
+			varied = true
+		}
+	}
+	if !varied {
+		t.Fatal("jitter did not vary delivery spacing")
+	}
+}
+
+func TestBadLossConfigPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	s := sim.New(1)
+	n := New(s)
+	n.SetLoss(LossConfig{Rate: 1.5})
+}
+
 func TestGigabitThroughputCeiling(t *testing.T) {
 	// Blasting 1000 8 KB writes back to back should take at least
 	// payload/bandwidth and approach wire saturation, never exceed it.

@@ -18,8 +18,48 @@ import (
 	"repro/internal/netsim"
 	"repro/internal/nfsproto"
 	"repro/internal/sim"
+	"repro/internal/streamsim"
 	"repro/internal/xdr"
 )
+
+// TransportKind selects the wire protocol under the RPC layer.
+type TransportKind int
+
+const (
+	// TransportUDP is the classic NFSv3/UDP transport: one datagram per
+	// RPC message, fragmented by IP, with whole-message retransmission on
+	// an exponentially backed-off timer. Losing one fragment loses the
+	// whole message.
+	TransportUDP TransportKind = iota
+	// TransportTCP runs RPC over a streamsim reliable byte stream:
+	// record-marked messages in MTU-sized segments, per-segment
+	// retransmission with an adaptive (Karn/Jacobson) RTO, and no
+	// loss amplification.
+	TransportTCP
+)
+
+func (k TransportKind) String() string {
+	if k == TransportTCP {
+		return "tcp"
+	}
+	return "udp"
+}
+
+// ParseTransport resolves a transport name as printed by String.
+func ParseTransport(name string) (TransportKind, error) {
+	switch name {
+	case "udp":
+		return TransportUDP, nil
+	case "tcp":
+		return TransportTCP, nil
+	}
+	return 0, fmt.Errorf("rpcsim: unknown transport %q (have udp, tcp)", name)
+}
+
+// defaultMaxRetransmitTimeout caps UDP retransmit backoff (the 2.4
+// xprt's to_maxval): applied by DefaultConfig and by New when the
+// config leaves MaxRetransmitTimeout zero.
+const defaultMaxRetransmitTimeout sim.Time = 60_000_000_000
 
 // LockPolicy selects the BKL discipline around sock_sendmsg.
 type LockPolicy int
@@ -61,10 +101,17 @@ type Config struct {
 	// ReplyBKLHold is the time the reply path holds the BKL to update RPC
 	// state (not removed by the paper's fix).
 	ReplyBKLHold sim.Time
-	// RetransmitTimeout resends an unanswered call (classic UDP NFS).
+	// RetransmitTimeout is the initial timeout for resending an
+	// unanswered call (classic UDP NFS). Each retransmission doubles it,
+	// Karn-style, up to MaxRetransmitTimeout.
 	RetransmitTimeout sim.Time
+	// MaxRetransmitTimeout caps the exponential backoff (the 2.4 xprt's
+	// to_maxval; 0 means the New default of 60 s).
+	MaxRetransmitTimeout sim.Time
 	// LockPolicy selects the send-path BKL discipline.
 	LockPolicy LockPolicy
+	// Transport selects UDP datagrams or the TCP-style stream.
+	Transport TransportKind
 	// MTU is the path MTU used to compute fragment counts for CPU
 	// charging (must match the network's).
 	MTU int
@@ -75,26 +122,37 @@ type Config struct {
 // retransmit.
 func DefaultConfig() Config {
 	return Config{
-		MaxSlots:            16,
-		SendCPUBase:         8_000, // 8 µs
-		SendCPUPerFragment:  7_000, // 7 µs × 6 frags + 8 = 50 µs per 8 KB WRITE
-		RPCPrepCPU:          5_000, // 5 µs
-		ReplyCPUBase:        6_000, // 6 µs
-		ReplyCPUPerFragment: 1_500, // small replies are one fragment
-		ReplyBKLHold:        4_000, // 4 µs
-		RetransmitTimeout:   1_100_000_000,
-		LockPolicy:          HoldBKLAcrossSend,
-		MTU:                 netsim.MTUEthernet,
+		MaxSlots:             16,
+		SendCPUBase:          8_000, // 8 µs
+		SendCPUPerFragment:   7_000, // 7 µs × 6 frags + 8 = 50 µs per 8 KB WRITE
+		RPCPrepCPU:           5_000, // 5 µs
+		ReplyCPUBase:         6_000, // 6 µs
+		ReplyCPUPerFragment:  1_500, // small replies are one fragment
+		ReplyBKLHold:         4_000, // 4 µs
+		RetransmitTimeout:    1_100_000_000,
+		MaxRetransmitTimeout: defaultMaxRetransmitTimeout,
+		LockPolicy:           HoldBKLAcrossSend,
+		Transport:            TransportUDP,
+		MTU:                  netsim.MTUEthernet,
 	}
 }
 
-// Stats counts transport activity.
+// Stats counts transport activity. For TransportTCP, Retransmits counts
+// stream segment retransmissions and BytesSent counts the stream's wire
+// bytes, so the column means "repair traffic" under both transports.
 type Stats struct {
 	Calls       int64
 	Replies     int64
 	Retransmits int64
-	BytesSent   int64
-	TotalRTT    sim.Time
+	// DuplicateReplies counts replies that arrived for an already
+	// completed xid (the reply raced a retransmission) and were
+	// suppressed.
+	DuplicateReplies int64
+	BytesSent        int64
+	TotalRTT         sim.Time
+	// RTTSamples is how many calls contributed to TotalRTT. Calls that
+	// were retransmitted are excluded, Karn-style: their RTT is ambiguous.
+	RTTSamples int64
 }
 
 type pendingCall struct {
@@ -103,6 +161,8 @@ type pendingCall struct {
 	onReply func(body *xdr.Decoder)
 	timer   *sim.Event
 	sentAt  sim.Time
+	rto     sim.Time
+	retrans int
 }
 
 // Transport is a client-side RPC transport bound to one server.
@@ -123,15 +183,22 @@ type Transport struct {
 	rxWait  *sim.WaitQueue
 	softirq *sim.Proc
 
+	// stream is the TCP-style connection (nil under TransportUDP).
+	stream *streamsim.Endpoint
+
 	stats Stats
 }
 
 // New creates a transport between local and remote hosts. It installs
 // itself as the local host's datagram handler and starts a softirq
-// process that drains received replies.
+// process that drains received replies. Under TransportTCP the handler
+// feeds a streamsim endpoint whose reassembled records become replies.
 func New(s *sim.Sim, net *netsim.Network, cpu *sim.CPUPool, bkl *sim.Mutex, cfg Config, local, remote string) *Transport {
 	if cfg.MaxSlots < 1 {
 		panic("rpcsim: MaxSlots must be >= 1")
+	}
+	if cfg.MaxRetransmitTimeout == 0 {
+		cfg.MaxRetransmitTimeout = defaultMaxRetransmitTimeout
 	}
 	t := &Transport{
 		s: s, net: net, cpu: cpu, bkl: bkl, cfg: cfg,
@@ -140,16 +207,37 @@ func New(s *sim.Sim, net *netsim.Network, cpu *sim.CPUPool, bkl *sim.Mutex, cfg 
 		slotWait: s.NewWaitQueue("rpc-slots"),
 		rxWait:   s.NewWaitQueue("rpc-rx"),
 	}
-	net.SetHandler(local, func(dg netsim.Datagram) {
-		t.rxq = append(t.rxq, dg.Payload)
-		t.rxWait.Signal()
-	})
+	if cfg.Transport == TransportTCP {
+		t.stream = streamsim.NewEndpoint(s, net, streamsim.DefaultConfig(cfg.MTU), local, remote,
+			func(rec []byte) {
+				t.rxq = append(t.rxq, rec)
+				t.rxWait.Signal()
+			})
+		net.SetHandler(local, func(dg netsim.Datagram) { t.stream.HandleDatagram(dg.Payload) })
+	} else {
+		net.SetHandler(local, func(dg netsim.Datagram) {
+			t.rxq = append(t.rxq, dg.Payload)
+			t.rxWait.Signal()
+		})
+	}
 	t.softirq = s.Go("softirq/"+local, t.softirqLoop)
 	return t
 }
 
-// Stats returns a copy of the transport's counters.
-func (t *Transport) Stats() Stats { return t.stats }
+// Stats returns a copy of the transport's counters, folding in the
+// stream's repair traffic under TransportTCP.
+func (t *Transport) Stats() Stats {
+	st := t.stats
+	if t.stream != nil {
+		ss := t.stream.Stats()
+		st.Retransmits += ss.Retransmits
+		st.BytesSent += ss.WireBytes
+	}
+	return st
+}
+
+// Stream returns the TCP-style endpoint (nil under TransportUDP).
+func (t *Transport) Stream() *streamsim.Endpoint { return t.stream }
 
 // InFlight returns the number of outstanding calls.
 func (t *Transport) InFlight() int { return len(t.pending) }
@@ -189,10 +277,20 @@ func (t *Transport) Call(p *sim.Proc, proc uint32, encodeArgs func(*xdr.Encoder)
 	t.bkl.Unlock(p)
 }
 
+// msgUnits returns how many wire units an RPC message costs the CPU:
+// IP fragments under UDP, stream segments (record mark included) under
+// TCP. Both feed the same per-fragment cost model — segmentation work is
+// what the paper's per-fragment sock_sendmsg cost measures.
+func (t *Transport) msgUnits(msgLen int) int {
+	if t.cfg.Transport == TransportTCP {
+		return streamsim.SegmentCount(msgLen+4, streamsim.MSSForMTU(t.cfg.MTU))
+	}
+	return netsim.FragmentCount(msgLen, t.cfg.MTU)
+}
+
 // transmit performs the sock_sendmsg portion; caller holds the BKL.
 func (t *Transport) transmit(p *sim.Proc, pc *pendingCall) {
-	frags := netsim.FragmentCount(len(pc.payload), t.cfg.MTU)
-	sendCPU := t.cfg.SendCPUBase + sim.Time(frags)*t.cfg.SendCPUPerFragment
+	sendCPU := t.cfg.SendCPUBase + sim.Time(t.msgUnits(len(pc.payload)))*t.cfg.SendCPUPerFragment
 
 	switch t.cfg.LockPolicy {
 	case HoldBKLAcrossSend:
@@ -208,24 +306,37 @@ func (t *Transport) transmit(p *sim.Proc, pc *pendingCall) {
 		t.bkl.Lock(p, "xprt_transmit")
 	}
 
+	if t.cfg.Transport == TransportTCP {
+		// The stream owns reliability: per-segment retransmission with an
+		// adaptive RTO. No whole-message timer, no duplicate replies.
+		t.stream.SendRecord(pc.payload)
+		return
+	}
 	res := t.net.Send(netsim.Datagram{From: t.local, To: t.remote, Payload: pc.payload})
 	t.stats.BytesSent += res.WireBytes
 	xid := pc.xid
-	pc.timer = t.s.After(t.cfg.RetransmitTimeout, func() { t.retransmit(xid) })
+	pc.rto = t.cfg.RetransmitTimeout
+	pc.timer = t.s.After(pc.rto, func() { t.retransmit(xid) })
 }
 
-// retransmit resends an unanswered call (event context; models the RPC
-// timer firing — cost charged to the softirq path on next send is
-// ignored, as retransmits never occur in the paper's experiments).
+// retransmit resends an unanswered call and doubles its timeout,
+// Karn-style, up to MaxRetransmitTimeout (event context; models the RPC
+// timer firing. The resend's CPU cost is not charged — under loss the
+// stall, not the CPU, dominates).
 func (t *Transport) retransmit(xid uint32) {
 	pc, ok := t.pending[xid]
 	if !ok {
 		return
 	}
 	t.stats.Retransmits++
+	pc.retrans++
 	res := t.net.Send(netsim.Datagram{From: t.local, To: t.remote, Payload: pc.payload})
 	t.stats.BytesSent += res.WireBytes
-	pc.timer = t.s.After(t.cfg.RetransmitTimeout, func() { t.retransmit(xid) })
+	pc.rto *= 2
+	if pc.rto > t.cfg.MaxRetransmitTimeout {
+		pc.rto = t.cfg.MaxRetransmitTimeout
+	}
+	pc.timer = t.s.After(pc.rto, func() { t.retransmit(xid) })
 }
 
 // softirqLoop drains received datagrams: IP reassembly + UDP receive CPU,
@@ -239,8 +350,8 @@ func (t *Transport) softirqLoop(p *sim.Proc) {
 		payload := t.rxq[0]
 		t.rxq = t.rxq[1:]
 
-		frags := netsim.FragmentCount(len(payload), t.cfg.MTU)
-		t.cpu.Use(p, "udp_rcv", t.cfg.ReplyCPUBase+sim.Time(frags)*t.cfg.ReplyCPUPerFragment)
+		t.cpu.Use(p, "udp_rcv",
+			t.cfg.ReplyCPUBase+sim.Time(t.msgUnits(len(payload)))*t.cfg.ReplyCPUPerFragment)
 
 		d := xdr.NewDecoder(payload)
 		hdr, err := nfsproto.DecodeReply(d)
@@ -249,7 +360,9 @@ func (t *Transport) softirqLoop(p *sim.Proc) {
 		}
 		pc, ok := t.pending[hdr.XID]
 		if !ok {
-			continue // duplicate reply after retransmit; drop
+			// Duplicate reply: the original answer raced a retransmission.
+			t.stats.DuplicateReplies++
+			continue
 		}
 
 		// rpc reply state update holds the BKL briefly in both policies.
@@ -258,7 +371,13 @@ func (t *Transport) softirqLoop(p *sim.Proc) {
 		pc.timer.Cancel()
 		delete(t.pending, hdr.XID)
 		t.stats.Replies++
-		t.stats.TotalRTT += t.s.Now() - pc.sentAt
+		if pc.retrans == 0 {
+			// Karn: a retransmitted call's RTT is ambiguous — the reply
+			// could answer either transmission — so it contributes no
+			// sample.
+			t.stats.TotalRTT += t.s.Now() - pc.sentAt
+			t.stats.RTTSamples++
+		}
 		t.bkl.Unlock(p)
 
 		t.slotWait.Signal()

@@ -7,6 +7,7 @@ import (
 	"repro/internal/netsim"
 	"repro/internal/nfsproto"
 	"repro/internal/sim"
+	"repro/internal/streamsim"
 	"repro/internal/xdr"
 )
 
@@ -287,6 +288,201 @@ func TestBadConfigPanics(t *testing.T) {
 func TestLockPolicyString(t *testing.T) {
 	if HoldBKLAcrossSend.String() != "bkl" || ReleaseBKLForSend.String() != "no-lock" {
 		t.Fatal("LockPolicy strings wrong")
+	}
+}
+
+// The retransmit timer must back off exponentially: a server that
+// swallows the first four transmissions answers the fifth, and the gaps
+// between retransmissions double.
+func TestRetransmitExponentialBackoff(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.RetransmitTimeout = 10 * time.Millisecond
+	s := sim.New(7)
+	net := netsim.New(s)
+	link := netsim.LinkConfig{Bandwidth: netsim.BandwidthGigabit, Propagation: 10 * time.Microsecond, MTU: netsim.MTUEthernet}
+	net.AddHost("c", link, nil)
+	var arrivals []sim.Time
+	net.AddHost("srv", link, func(dg netsim.Datagram) {
+		arrivals = append(arrivals, s.Now())
+		if len(arrivals) < 5 {
+			return // swallow
+		}
+		d := xdr.NewDecoder(dg.Payload)
+		hdr, _ := nfsproto.DecodeCall(d)
+		e := xdr.NewEncoder(64)
+		nfsproto.ReplyHeader{XID: hdr.XID}.Encode(e)
+		net.Send(netsim.Datagram{From: "srv", To: "c", Payload: e.Bytes()})
+	})
+	tr := New(s, net, s.NewCPUPool("cpus", 2), s.NewMutex("bkl"), cfg, "c", "srv")
+	done := false
+	s.Go("caller", func(p *sim.Proc) {
+		tr.CallSync(p, nfsproto.ProcNull, nullArgs)
+		done = true
+	})
+	s.Run(time.Minute)
+	if !done {
+		t.Fatal("call never completed")
+	}
+	if len(arrivals) != 5 {
+		t.Fatalf("server saw %d transmissions, want 5", len(arrivals))
+	}
+	for i := 2; i < len(arrivals); i++ {
+		prev := arrivals[i-1] - arrivals[i-2]
+		cur := arrivals[i] - arrivals[i-1]
+		// Doubling, modulo sub-millisecond wire-time noise.
+		if cur < prev*3/2 {
+			t.Fatalf("gap %d = %v after %v; retransmit timer did not back off", i, cur, prev)
+		}
+	}
+	st := tr.Stats()
+	if st.Retransmits != 4 {
+		t.Fatalf("retransmits = %d, want 4", st.Retransmits)
+	}
+	// Karn: the retransmitted call contributes no RTT sample.
+	if st.RTTSamples != 0 || st.TotalRTT != 0 {
+		t.Fatalf("retransmitted call sampled RTT: %+v", st)
+	}
+}
+
+// Backoff must clamp at MaxRetransmitTimeout.
+func TestRetransmitBackoffClamped(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.RetransmitTimeout = 10 * time.Millisecond
+	cfg.MaxRetransmitTimeout = 40 * time.Millisecond
+	rig := newRig(t, cfg, 100*time.Microsecond, 1000) // server never answers
+	rig.s.Go("caller", func(p *sim.Proc) {
+		rig.tr.Call(p, nfsproto.ProcNull, nullArgs, nil)
+	})
+	rig.s.Run(time.Second)
+	// 1 s with timeouts 10+20+40+40+... -> about (1000-70)/40 + 3 ~ 26.
+	n := rig.tr.Stats().Retransmits
+	if n < 20 || n > 30 {
+		t.Fatalf("retransmits = %d, want ~26 with a 40 ms clamp", n)
+	}
+}
+
+func TestDuplicateReplyCounted(t *testing.T) {
+	// Server answers twice; the duplicate must be suppressed AND counted.
+	s := sim.New(7)
+	net := netsim.New(s)
+	link := netsim.LinkConfig{Bandwidth: netsim.BandwidthGigabit, Propagation: 10 * time.Microsecond, MTU: netsim.MTUEthernet}
+	net.AddHost("c", link, nil)
+	net.AddHost("srv", link, func(dg netsim.Datagram) {
+		d := xdr.NewDecoder(dg.Payload)
+		hdr, _ := nfsproto.DecodeCall(d)
+		for i := 0; i < 2; i++ {
+			e := xdr.NewEncoder(64)
+			nfsproto.ReplyHeader{XID: hdr.XID}.Encode(e)
+			net.Send(netsim.Datagram{From: "srv", To: "c", Payload: e.Bytes()})
+		}
+	})
+	tr := New(s, net, s.NewCPUPool("cpus", 2), s.NewMutex("bkl"), DefaultConfig(), "c", "srv")
+	s.Go("caller", func(p *sim.Proc) {
+		tr.Call(p, nfsproto.ProcNull, nullArgs, nil)
+	})
+	s.Run(time.Second)
+	st := tr.Stats()
+	if st.Replies != 1 || st.DuplicateReplies != 1 {
+		t.Fatalf("stats = %+v, want 1 reply + 1 suppressed duplicate", st)
+	}
+}
+
+func TestTransportKindStringAndParse(t *testing.T) {
+	if TransportUDP.String() != "udp" || TransportTCP.String() != "tcp" {
+		t.Fatal("TransportKind strings wrong")
+	}
+	for _, name := range []string{"udp", "tcp"} {
+		k, err := ParseTransport(name)
+		if err != nil || k.String() != name {
+			t.Fatalf("ParseTransport(%q) = %v, %v", name, k, err)
+		}
+	}
+	if _, err := ParseTransport("sctp"); err == nil {
+		t.Fatal("bad transport name should fail")
+	}
+}
+
+// tcpRig wires a TransportTCP client to a scripted stream responder.
+func tcpRig(t *testing.T, seed int64, loss float64, delay sim.Time) (*sim.Sim, *Transport) {
+	t.Helper()
+	s := sim.New(seed)
+	net := netsim.New(s)
+	link := netsim.LinkConfig{Bandwidth: netsim.BandwidthGigabit, Propagation: 10 * time.Microsecond, MTU: netsim.MTUEthernet}
+	net.AddHost("c", link, nil)
+	net.AddHost("srv", link, nil)
+	if loss > 0 {
+		net.SetLoss(netsim.LossConfig{Rate: loss})
+	}
+	var srvEp *streamsim.Endpoint
+	srvEp = streamsim.NewEndpoint(s, net, streamsim.DefaultConfig(netsim.MTUEthernet), "srv", "c",
+		func(rec []byte) {
+			d := xdr.NewDecoder(rec)
+			hdr, err := nfsproto.DecodeCall(d)
+			if err != nil {
+				t.Fatalf("responder: %v", err)
+			}
+			s.After(delay, func() {
+				e := xdr.NewEncoder(64)
+				nfsproto.ReplyHeader{XID: hdr.XID}.Encode(e)
+				srvEp.SendRecord(e.Bytes())
+			})
+		})
+	net.SetHandler("srv", func(dg netsim.Datagram) { srvEp.HandleDatagram(dg.Payload) })
+	cfg := DefaultConfig()
+	cfg.Transport = TransportTCP
+	tr := New(s, net, s.NewCPUPool("cpus", 2), s.NewMutex("bkl"), cfg, "c", "srv")
+	return s, tr
+}
+
+func TestTCPCallRoundTrip(t *testing.T) {
+	s, tr := tcpRig(t, 7, 0, 100*time.Microsecond)
+	done := false
+	s.Go("caller", func(p *sim.Proc) {
+		if d := tr.CallSync(p, nfsproto.ProcNull, nullArgs); d == nil {
+			t.Error("nil reply decoder")
+		}
+		done = true
+	})
+	s.Run(time.Second)
+	if !done {
+		t.Fatal("call never completed")
+	}
+	st := tr.Stats()
+	if st.Calls != 1 || st.Replies != 1 || st.Retransmits != 0 {
+		t.Fatalf("stats = %+v", st)
+	}
+}
+
+// Over a lossy network the stream transport must complete every call with
+// no whole-RPC retransmissions and no duplicate replies — the stream
+// repairs segment loss below the RPC layer.
+func TestTCPLossyCallsAllComplete(t *testing.T) {
+	s, tr := tcpRig(t, 3, 0.05, 100*time.Microsecond)
+	const calls = 40
+	completed := 0
+	body := make([]byte, 8192)
+	writeArgs := func(e *xdr.Encoder) {
+		a := nfsproto.WriteArgs{File: nfsproto.MakeFileHandle(1, 1), Count: 8192, Data: body}
+		a.Encode(e)
+	}
+	s.Go("caller", func(p *sim.Proc) {
+		for i := 0; i < calls; i++ {
+			tr.Call(p, nfsproto.ProcWrite, writeArgs, func(*xdr.Decoder) { completed++ })
+		}
+	})
+	s.Run(10 * time.Minute)
+	if completed != calls {
+		t.Fatalf("completed %d of %d calls at 5%% loss", completed, calls)
+	}
+	st := tr.Stats()
+	if st.DuplicateReplies != 0 {
+		t.Fatalf("stream transport produced duplicate replies: %+v", st)
+	}
+	if st.Retransmits == 0 {
+		t.Fatal("no segment retransmissions at 5% loss")
+	}
+	if tr.InFlight() != 0 {
+		t.Fatalf("%d calls still pending", tr.InFlight())
 	}
 }
 

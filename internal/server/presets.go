@@ -5,6 +5,7 @@ import (
 
 	"repro/internal/disksim"
 	"repro/internal/netsim"
+	"repro/internal/rpcsim"
 	"repro/internal/sim"
 )
 
@@ -28,7 +29,7 @@ func ClientHost(i int) string { return fmt.Sprintf("client%d", i) }
 // lands in NVRAM — "the filer's NVRAM acts as an extension of the
 // client's page cache" (§3.6) in the sense that nothing waits for disk
 // until a consistency point.
-func NewF85(s *sim.Sim, net *netsim.Network, mtu int) (*Server, *Filer) {
+func NewF85(s *sim.Sim, net *netsim.Network, mtu int, transport rpcsim.TransportKind) (*Server, *Filer) {
 	if mtu <= 0 {
 		mtu = netsim.MTUEthernet
 	}
@@ -47,6 +48,7 @@ func NewF85(s *sim.Sim, net *netsim.Network, mtu int) (*Server, *Filer) {
 		ServiceCPU:         170_000, // ONTAP WRITE path + NVRAM log copy
 		SendCPU:            5_000,
 		MTU:                mtu,
+		Transport:          transport,
 	}
 	return New(s, net, link, cfg, backend), backend
 }
@@ -55,7 +57,7 @@ func NewF85(s *sim.Sim, net *netsim.Network, mtu int) (*Server, *Filer) {
 // its Netgear NIC sits in a 32-bit/33 MHz PCI slot (§3.1), capping the
 // network path well below gigabit — the reason the paper measures only
 // ~26 MB/s of network throughput against it.
-func NewLinuxNFS(s *sim.Sim, net *netsim.Network, mtu int) (*Server, *LinuxServer) {
+func NewLinuxNFS(s *sim.Sim, net *netsim.Network, mtu int, transport rpcsim.TransportKind) (*Server, *LinuxServer) {
 	if mtu <= 0 {
 		mtu = netsim.MTUEthernet
 	}
@@ -74,6 +76,7 @@ func NewLinuxNFS(s *sim.Sim, net *netsim.Network, mtu int) (*Server, *LinuxServe
 		ServiceCPU:         60_000, // knfsd WRITE path per request
 		SendCPU:            6_000,
 		MTU:                mtu,
+		Transport:          transport,
 	}
 	return New(s, net, link, cfg, backend), backend
 }
@@ -81,7 +84,7 @@ func NewLinuxNFS(s *sim.Sim, net *netsim.Network, mtu int) (*Server, *LinuxServe
 // NewSlow100 builds the §3.5 verification server: the same knfsd stack
 // behind a 100 Mb/s link ("The benchmark writes to memory even faster
 // with this server, which sustains less than 10 MBps").
-func NewSlow100(s *sim.Sim, net *netsim.Network, mtu int) (*Server, *LinuxServer) {
+func NewSlow100(s *sim.Sim, net *netsim.Network, mtu int, transport rpcsim.TransportKind) (*Server, *LinuxServer) {
 	if mtu <= 0 {
 		mtu = netsim.MTUEthernet
 	}
@@ -103,6 +106,7 @@ func NewSlow100(s *sim.Sim, net *netsim.Network, mtu int) (*Server, *LinuxServer
 		ServiceCPU:         60_000,
 		SendCPU:            6_000,
 		MTU:                mtu,
+		Transport:          transport,
 	}
 	return New(s, net, link, cfg, backend), backend
 }

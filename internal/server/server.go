@@ -19,7 +19,9 @@ import (
 	"repro/internal/netsim"
 	"repro/internal/nfsproto"
 	"repro/internal/rangeset"
+	"repro/internal/rpcsim"
 	"repro/internal/sim"
+	"repro/internal/streamsim"
 	"repro/internal/xdr"
 )
 
@@ -51,6 +53,9 @@ type Config struct {
 	SendCPU sim.Time
 	// MTU for fragment-count computation; must match the network's.
 	MTU int
+	// Transport selects how RPC messages reach this server: UDP datagrams
+	// (default) or one streamsim connection per client host.
+	Transport rpcsim.TransportKind
 }
 
 // Server is the RPC service front-end: NIC handler, request queue, worker
@@ -64,6 +69,9 @@ type Server struct {
 
 	rxq    []rxItem
 	rxWait *sim.WaitQueue
+
+	// conns holds one stream endpoint per client host (TransportTCP).
+	conns map[string]*streamsim.Endpoint
 
 	coverage map[nfsproto.FileHandle]*rangeset.Set
 
@@ -96,20 +104,50 @@ func New(s *sim.Sim, net *netsim.Network, link netsim.LinkConfig, cfg Config, ba
 		cfg:      cfg,
 		backend:  backend,
 		rxWait:   s.NewWaitQueue(cfg.Host + "-rxq"),
+		conns:    make(map[string]*streamsim.Endpoint),
 		coverage: make(map[nfsproto.FileHandle]*rangeset.Set),
 	}
-	net.AddHost(cfg.Host, link, func(dg netsim.Datagram) {
-		srv.rxq = append(srv.rxq, rxItem{
-			from:    dg.From,
-			payload: dg.Payload,
-			frags:   netsim.FragmentCount(len(dg.Payload), cfg.MTU),
+	if cfg.Transport == rpcsim.TransportTCP {
+		// Demultiplex by source host: one stream connection per client.
+		net.AddHost(cfg.Host, link, func(dg netsim.Datagram) {
+			srv.conn(dg.From).HandleDatagram(dg.Payload)
 		})
-		srv.rxWait.Signal()
-	})
+	} else {
+		net.AddHost(cfg.Host, link, func(dg netsim.Datagram) {
+			srv.rxq = append(srv.rxq, rxItem{
+				from:    dg.From,
+				payload: dg.Payload,
+				frags:   netsim.FragmentCount(len(dg.Payload), cfg.MTU),
+			})
+			srv.rxWait.Signal()
+		})
+	}
 	for i := 0; i < cfg.Workers; i++ {
 		s.Go(fmt.Sprintf("nfsd/%s/%d", cfg.Host, i), srv.worker)
 	}
 	return srv
+}
+
+// conn returns (creating on first contact) the stream endpoint for one
+// client host. Reassembled records enter the same request queue the UDP
+// path uses, with the receive cost expressed in stream segments instead
+// of IP fragments.
+func (srv *Server) conn(from string) *streamsim.Endpoint {
+	ep, ok := srv.conns[from]
+	if !ok {
+		scfg := streamsim.DefaultConfig(srv.cfg.MTU)
+		ep = streamsim.NewEndpoint(srv.s, srv.net, scfg, srv.cfg.Host, from,
+			func(rec []byte) {
+				srv.rxq = append(srv.rxq, rxItem{
+					from:    from,
+					payload: rec,
+					frags:   streamsim.SegmentCount(len(rec)+4, scfg.MSS),
+				})
+				srv.rxWait.Signal()
+			})
+		srv.conns[from] = ep
+	}
+	return ep
 }
 
 // Coverage returns the set of byte ranges received for a file handle.
@@ -204,5 +242,9 @@ func (srv *Server) serve(p *sim.Proc, item rxItem) {
 	}
 
 	srv.cpu.Use(p, "nfsd_send", srv.cfg.SendCPU)
-	srv.net.Send(netsim.Datagram{From: srv.cfg.Host, To: item.from, Payload: reply.Bytes()})
+	if srv.cfg.Transport == rpcsim.TransportTCP {
+		srv.conn(item.from).SendRecord(reply.Bytes())
+	} else {
+		srv.net.Send(netsim.Datagram{From: srv.cfg.Host, To: item.from, Payload: reply.Bytes()})
+	}
 }

@@ -30,13 +30,13 @@ func newRig(t *testing.T, kind string) (*rig, any) {
 	var host string
 	switch kind {
 	case "filer":
-		srv, backend = asAny(NewF85(s, net, 0))
+		srv, backend = asAny(NewF85(s, net, 0, rpcsim.TransportUDP))
 		host = HostFiler
 	case "linux":
-		srv, backend = asAny(NewLinuxNFS(s, net, 0))
+		srv, backend = asAny(NewLinuxNFS(s, net, 0, rpcsim.TransportUDP))
 		host = HostLinux
 	case "slow":
-		srv, backend = asAny(NewSlow100(s, net, 0))
+		srv, backend = asAny(NewSlow100(s, net, 0, rpcsim.TransportUDP))
 		host = HostSlow
 	default:
 		t.Fatalf("unknown kind %q", kind)

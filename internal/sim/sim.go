@@ -77,6 +77,7 @@ func (h *eventHeap) Pop() any {
 type Sim struct {
 	now    Time
 	seq    uint64
+	seed   int64
 	events eventHeap
 	done   chan struct{} // process -> scheduler control handoff
 	rng    *rand.Rand
@@ -91,6 +92,7 @@ type Sim struct {
 func New(seed int64) *Sim {
 	return &Sim{
 		done: make(chan struct{}),
+		seed: seed,
 		rng:  rand.New(rand.NewSource(seed)),
 		prof: NewProfiler(),
 	}
@@ -98,6 +100,12 @@ func New(seed int64) *Sim {
 
 // Now returns the current virtual time.
 func (s *Sim) Now() Time { return s.now }
+
+// Seed returns the seed the simulator was created with. Subsystems that
+// need their own random stream (e.g. the network's loss model) derive it
+// from this value instead of drawing from Rand, so enabling them never
+// perturbs the draw sequence other components see.
+func (s *Sim) Seed() int64 { return s.seed }
 
 // Rand returns the simulation's deterministic random source.
 func (s *Sim) Rand() *rand.Rand { return s.rng }

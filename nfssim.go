@@ -85,6 +85,18 @@ type Options struct {
 	CacheLimit int64
 	// Jumbo enables 9000-byte MTU end to end (§3.5 future work).
 	Jumbo bool
+	// Transport selects the RPC wire protocol: rpcsim.TransportUDP
+	// (default, the paper's setup) or rpcsim.TransportTCP (a reliable
+	// byte stream with per-segment retransmission and adaptive RTO).
+	Transport rpcsim.TransportKind
+	// Loss is the network's per-IP-fragment drop probability, in [0, 1).
+	// Losing any fragment of a UDP datagram loses the whole datagram —
+	// the paper's §1 motivation for examining the transport. 0 disables
+	// the loss model entirely (bit-identical to a lossless network).
+	Loss float64
+	// NetJitter is the maximum extra random delivery delay per datagram
+	// (uniform in [0, NetJitter], deterministic per seed). 0 disables it.
+	NetJitter sim.Time
 	// Jitter is the per-execution CPU-cost noise factor on the client
 	// (default 0.04; set negative for none). Deterministic per seed.
 	Jitter float64
@@ -196,8 +208,18 @@ func NewTestbed(opts Options) *Testbed {
 		opts.Jitter = 0
 	}
 
+	if opts.Loss < 0 || opts.Loss >= 1 {
+		panic("nfssim: Loss must be in [0, 1)")
+	}
+	if opts.NetJitter < 0 {
+		panic("nfssim: NetJitter must be non-negative")
+	}
+
 	s := sim.New(opts.Seed)
 	net := netsim.New(s)
+	if opts.Loss > 0 || opts.NetJitter > 0 {
+		net.SetLoss(netsim.LossConfig{Rate: opts.Loss, DelayJitter: opts.NetJitter})
+	}
 	tb := &Testbed{Sim: s, Net: net, opts: opts}
 
 	mtu := netsim.MTUEthernet
@@ -231,13 +253,13 @@ func NewTestbed(opts Options) *Testbed {
 	var remote string
 	switch opts.Server {
 	case ServerFiler:
-		tb.Server, tb.Filer = server.NewF85(s, net, mtu)
+		tb.Server, tb.Filer = server.NewF85(s, net, mtu, opts.Transport)
 		remote = server.HostFiler
 	case ServerLinux:
-		tb.Server, tb.Linux = server.NewLinuxNFS(s, net, mtu)
+		tb.Server, tb.Linux = server.NewLinuxNFS(s, net, mtu, opts.Transport)
 		remote = server.HostLinux
 	case ServerSlow100:
-		tb.Server, tb.Linux = server.NewSlow100(s, net, mtu)
+		tb.Server, tb.Linux = server.NewSlow100(s, net, mtu, opts.Transport)
 		remote = server.HostSlow
 	case ServerNone:
 		tb.alias()
@@ -250,6 +272,7 @@ func NewTestbed(opts Options) *Testbed {
 			rpcCfg = *opts.RPC
 		}
 		rpcCfg.LockPolicy = opts.Client.LockPolicy
+		rpcCfg.Transport = opts.Transport
 		rpcCfg.MTU = mtu
 		m.Transport = rpcsim.New(s, net, m.CPU, m.BKL, rpcCfg, m.Host, remote)
 		ccfg := opts.Client

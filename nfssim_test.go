@@ -4,9 +4,11 @@ import (
 	"testing"
 	"time"
 
+	"repro/internal/bonnie"
 	"repro/internal/core"
 	"repro/internal/netsim"
 	"repro/internal/nfsproto"
+	"repro/internal/rpcsim"
 	"repro/internal/server"
 	"repro/internal/sim"
 )
@@ -188,4 +190,41 @@ func TestMultiClientDefaultsToOne(t *testing.T) {
 		}
 	}()
 	NewTestbed(Options{Server: ServerLinux, Clients: -2})
+}
+
+// A TCP test bed must run the benchmark end to end, and a lossy one must
+// reject bad probabilities.
+func TestTransportAndLossOptions(t *testing.T) {
+	tb := NewTestbed(Options{
+		Server:    ServerFiler,
+		Client:    core.EnhancedConfig(),
+		Transport: rpcsim.TransportTCP,
+		Loss:      0.02,
+		NetJitter: 50 * time.Microsecond,
+	})
+	if tb.Transport.Stream() == nil {
+		t.Fatal("TCP test bed has no stream endpoint")
+	}
+	if tb.Net.Loss().Rate != 0.02 {
+		t.Fatalf("loss = %v, want 0.02", tb.Net.Loss().Rate)
+	}
+	res := bonnie.Run(tb.Sim, "tcp-lossy", tb.Open, bonnie.Config{
+		FileSize: 1 << 20, TimeLimit: 10 * time.Minute,
+	})
+	if res.Calls != 128 {
+		t.Fatalf("calls = %d, want 128", res.Calls)
+	}
+	if tb.Net.Totals().FramesDropped == 0 {
+		t.Fatal("lossy run dropped nothing")
+	}
+
+	if NewTestbed(Options{Server: ServerFiler}).Transport.Stream() != nil {
+		t.Fatal("default test bed should be UDP")
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Loss >= 1 should panic")
+		}
+	}()
+	NewTestbed(Options{Server: ServerFiler, Loss: 1.5})
 }
