@@ -259,6 +259,39 @@ func BenchmarkAblationTransport(b *testing.B) {
 	}
 }
 
+// BenchmarkReadSweep regenerates the read-path table: sequential read,
+// rewrite and mixed workloads with the readahead ablation.
+func BenchmarkReadSweep(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		r := experiments.ReadSweep()
+		b.ReportMetric(r.Throughput("enhanced", "read"), "enhanced-read-MB/s")
+		b.ReportMetric(r.Throughput("ra-off", "read"), "ra-off-read-MB/s")
+		b.ReportMetric(r.Throughput("enhanced", "mixed"), "enhanced-mixed-MB/s")
+	}
+}
+
+// BenchmarkAblationReadahead sweeps the readahead window cap on a
+// sequential cold-file read against the filer.
+func BenchmarkAblationReadahead(b *testing.B) {
+	for _, maxPages := range []int{core.ReadaheadOff, core.StockReadaheadMaxPages, core.EnhancedReadaheadMaxPages, 256} {
+		name := itoa(maxPages)
+		if maxPages == core.ReadaheadOff {
+			name = "off"
+		}
+		b.Run(name, func(b *testing.B) {
+			cfg := core.EnhancedConfig()
+			cfg.ReadaheadMaxPages = maxPages
+			for i := 0; i < b.N; i++ {
+				tb := nfssim.NewTestbed(nfssim.Options{Server: nfssim.ServerFiler, Client: cfg})
+				res := bonnie.RunWorkload(tb.Sim, "ra", tb.OpenSet(), bonnie.Config{
+					FileSize: 10 << 20, Workload: bonnie.WorkloadRead, TimeLimit: 10 * time.Minute,
+				})
+				b.ReportMetric(res.WriteMBps(), "read-MB/s")
+			}
+		})
+	}
+}
+
 func itoa(n int) string {
 	if n == 0 {
 		return "0"

@@ -14,6 +14,8 @@
 //	nfsbench jumbo     §3.5 future work: jumbo-frame ablation
 //	nfsbench scaling   beyond the paper: N client machines, one server
 //	nfsbench loss      beyond the paper: UDP vs TCP under fragment loss
+//	nfsbench read      beyond the paper: read/rewrite/mixed workloads
+//	                   with a client readahead ablation
 //	nfsbench all       everything above, in order
 //
 // Sweeps accept -quick to use a reduced file-size grid.
@@ -75,6 +77,8 @@ func runners() []runner {
 			func() string { return experiments.Scaling().Render() }},
 		{"loss", "lossy network: UDP loss amplification vs TCP segment recovery",
 			func() string { return experiments.LossSweep().Render() }},
+		{"read", "read path: sequential read/rewrite/mixed with readahead ablation",
+			func() string { return experiments.ReadSweep().Render() }},
 	}
 }
 

@@ -19,6 +19,8 @@
 //	    multi-client scale-out: N client machines against one server
 //	nfssweep -transport udp,tcp -loss 0,0.01,0.05 -sizes 25
 //	    lossy network: UDP loss amplification vs TCP segment recovery
+//	nfssweep -workload write,rewrite,read,mixed -servers filer,linux -sizes 25
+//	    the full I/O space: write-behind, readahead, and mixed pressure
 //
 // See docs/experiments.md for the axis semantics and output schema.
 package main
@@ -45,6 +47,7 @@ var (
 	jumbo   = flag.String("jumbo", "off", "jumbo frames: off, on, or both (an axis)")
 	trans   = flag.String("transport", "udp", "comma list of RPC transports: udp, tcp")
 	loss    = flag.String("loss", "0", "comma list of per-fragment drop probabilities, e.g. 0,0.01,0.05")
+	workld  = flag.String("workload", "write", "comma list of workloads: write, rewrite, read, mixed")
 	jitter  = flag.Duration("netjitter", 0, "max extra random delivery delay per datagram (e.g. 200us; not an axis)")
 	seed    = flag.Int64("seed", 1, "base simulation seed")
 	repeats = flag.Int("repeats", 1, "repeats per cell with seeds seed, seed+1, ...")
@@ -122,6 +125,9 @@ func buildGrid() harness.Grid {
 	}
 	if g.LossRates, err = harness.ParseLossRates(*loss); err != nil {
 		fatalf("-loss: %v", err)
+	}
+	if g.Workloads, err = harness.ParseWorkloads(*workld); err != nil {
+		fatalf("-workload: %v", err)
 	}
 	if *jitter < 0 {
 		fatalf("-netjitter must be non-negative")

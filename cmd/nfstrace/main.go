@@ -1,20 +1,29 @@
-// Command nfstrace dumps the raw per-call write() latency traces behind
-// Figures 2, 3 and 4 as CSV (call index, latency in µs), suitable for
-// feeding straight into a plotting tool:
+// Command nfstrace dumps the raw per-call latency traces behind Figures
+// 2, 3 and 4 as CSV (call index, latency in µs), suitable for feeding
+// straight into a plotting tool:
 //
 //	nfstrace fig2 > fig2.csv
 //	nfstrace fig3 > fig3.csv
 //	nfstrace fig4 > fig4.csv
 //
-// A custom run can be assembled with flags:
+// A custom run can be assembled with flags, driving any workload the
+// benchmark supports (write, rewrite, read, mixed):
 //
 //	nfstrace -server linux -client stock -mb 40 custom
+//	nfstrace -client enhanced -workload read -mb 40 custom
+//
+// The read shorthand traces the sequential-read workload on the
+// enhanced client (per-call read() latency, readahead visible as the
+// flat stretches between batch-boundary stalls):
+//
+//	nfstrace read > read.csv
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"strings"
 	"time"
 
 	nfssim "repro"
@@ -24,36 +33,72 @@ import (
 )
 
 var (
-	serverFlag = flag.String("server", "filer", "server: filer, linux, slow100")
-	clientFlag = flag.String("client", "stock", "client: stock, nolimits, hash, enhanced")
-	mbFlag     = flag.Int("mb", 40, "file size in MB")
+	serverFlag   = flag.String("server", "filer", "server: filer, linux, slow100")
+	clientFlag   = flag.String("client", "stock", "client: stock, nolimits, hash, enhanced")
+	mbFlag       = flag.Int("mb", 40, "file size in MB")
+	workloadFlag = flag.String("workload", "write", "workload for custom runs: write, rewrite, read, mixed")
 )
 
-func main() {
-	flag.Parse()
-	if flag.NArg() != 1 {
-		fmt.Fprintln(os.Stderr, "usage: nfstrace [flags] {fig2|fig3|fig4|custom}")
-		flag.PrintDefaults()
-		os.Exit(2)
-	}
-	switch flag.Arg(0) {
+// subcommands lists every trace this command can emit, in display order.
+var subcommands = []string{"fig2", "fig3", "fig4", "custom", "read"}
+
+// traceCSV produces the named trace's two-column CSV, or an error for an
+// unknown name. Separated from main so tests can drive it directly.
+func traceCSV(name string) (string, error) {
+	switch name {
 	case "fig2":
-		fmt.Print(experiments.Fig2().Result.Trace.CSV())
+		return experiments.Fig2().Result.Trace.CSV(), nil
 	case "fig3":
-		fmt.Print(experiments.Fig3().Result.Trace.CSV())
+		return experiments.Fig3().Result.Trace.CSV(), nil
 	case "fig4":
-		fmt.Print(experiments.Fig4().Result.Trace.CSV())
+		return experiments.Fig4().Result.Trace.CSV(), nil
 	case "custom":
-		fmt.Print(custom().Trace.CSV())
-	default:
-		fmt.Fprintf(os.Stderr, "nfstrace: unknown trace %q\n", flag.Arg(0))
-		os.Exit(2)
+		res, err := custom(*serverFlag, *clientFlag, *workloadFlag, *mbFlag)
+		if err != nil {
+			return "", err
+		}
+		return res.Trace.CSV(), nil
+	case "read":
+		res, err := custom("filer", "enhanced", "read", *mbFlag)
+		if err != nil {
+			return "", err
+		}
+		return res.Trace.CSV(), nil
 	}
+	return "", fmt.Errorf("unknown trace %q", name)
 }
 
-func custom() *bonnie.Result {
+// usageLine names every subcommand, so -h and bad invocations always
+// show the full set.
+func usageLine() string {
+	return "usage: nfstrace [flags] {" + strings.Join(subcommands, "|") + "}"
+}
+
+func usage() {
+	fmt.Fprintln(os.Stderr, usageLine())
+	flag.PrintDefaults()
+}
+
+func main() {
+	flag.Usage = usage
+	flag.Parse()
+	if flag.NArg() != 1 {
+		usage()
+		os.Exit(2)
+	}
+	out, err := traceCSV(flag.Arg(0))
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "nfstrace: %v\n", err)
+		os.Exit(2)
+	}
+	fmt.Print(out)
+}
+
+// custom assembles a test bed from names and runs one benchmark,
+// returning its per-call latency trace.
+func custom(server, client, workload string, mb int) (*bonnie.Result, error) {
 	var srv nfssim.ServerKind
-	switch *serverFlag {
+	switch server {
 	case "filer":
 		srv = nfssim.ServerFiler
 	case "linux":
@@ -61,11 +106,10 @@ func custom() *bonnie.Result {
 	case "slow100":
 		srv = nfssim.ServerSlow100
 	default:
-		fmt.Fprintf(os.Stderr, "nfstrace: unknown server %q\n", *serverFlag)
-		os.Exit(2)
+		return nil, fmt.Errorf("unknown server %q", server)
 	}
 	var cfg core.Config
-	switch *clientFlag {
+	switch client {
 	case "stock":
 		cfg = core.Stock244Config()
 	case "nolimits":
@@ -75,13 +119,17 @@ func custom() *bonnie.Result {
 	case "enhanced":
 		cfg = core.EnhancedConfig()
 	default:
-		fmt.Fprintf(os.Stderr, "nfstrace: unknown client %q\n", *clientFlag)
-		os.Exit(2)
+		return nil, fmt.Errorf("unknown client %q", client)
+	}
+	wl, err := bonnie.ParseWorkload(workload)
+	if err != nil {
+		return nil, err
 	}
 	tb := nfssim.NewTestbed(nfssim.Options{Server: srv, Client: cfg})
-	return bonnie.Run(tb.Sim, "custom", tb.Open, bonnie.Config{
-		FileSize:       int64(*mbFlag) << 20,
+	return bonnie.RunWorkload(tb.Sim, "custom", tb.OpenSet(), bonnie.Config{
+		FileSize:       int64(mb) << 20,
+		Workload:       wl,
 		TimeLimit:      time.Hour,
 		SkipFlushClose: true,
-	})
+	}), nil
 }

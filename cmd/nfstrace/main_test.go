@@ -1,0 +1,91 @@
+package main
+
+import (
+	"strconv"
+	"strings"
+	"testing"
+)
+
+// checkTraceCSV asserts the output is well-formed two-column CSV
+// (call,latency_us header plus numeric rows) and returns the row count.
+func checkTraceCSV(t *testing.T, out string) int {
+	t.Helper()
+	lines := strings.Split(strings.TrimSuffix(out, "\n"), "\n")
+	if len(lines) < 2 {
+		t.Fatalf("trace has %d lines, want header + rows", len(lines))
+	}
+	if lines[0] != "call,latency_us" {
+		t.Fatalf("header = %q", lines[0])
+	}
+	for i, line := range lines[1:] {
+		fields := strings.Split(line, ",")
+		if len(fields) != 2 {
+			t.Fatalf("row %d has %d columns: %q", i, len(fields), line)
+		}
+		call, err := strconv.Atoi(fields[0])
+		if err != nil || call != i {
+			t.Fatalf("row %d call index = %q", i, fields[0])
+		}
+		if lat, err := strconv.ParseFloat(fields[1], 64); err != nil || lat < 0 {
+			t.Fatalf("row %d latency = %q", i, fields[1])
+		}
+	}
+	return len(lines) - 1
+}
+
+// fig2 must emit the stock client's full 40 MB trace: one row per 8 KB
+// write() call.
+func TestFig2EmitsWellFormedCSV(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs the full 40 MB Figure 2 simulation")
+	}
+	out, err := traceCSV("fig2")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rows := checkTraceCSV(t, out); rows != 40<<20/8192 {
+		t.Fatalf("fig2 rows = %d, want %d", rows, 40<<20/8192)
+	}
+}
+
+// custom must honor the flags, including the workload selector.
+func TestCustomEmitsWellFormedCSV(t *testing.T) {
+	*mbFlag = 2
+	defer func() { *mbFlag = 40 }()
+	for _, wl := range []string{"write", "read"} {
+		*workloadFlag = wl
+		out, err := traceCSV("custom")
+		if err != nil {
+			t.Fatalf("%s: %v", wl, err)
+		}
+		if rows := checkTraceCSV(t, out); rows != 2<<20/8192 {
+			t.Fatalf("%s rows = %d, want %d", wl, rows, 2<<20/8192)
+		}
+	}
+	*workloadFlag = "write"
+}
+
+func TestUnknownInputsError(t *testing.T) {
+	if _, err := traceCSV("fig9"); err == nil {
+		t.Fatal("unknown trace should error")
+	}
+	if _, err := custom("netapp", "stock", "write", 1); err == nil {
+		t.Fatal("unknown server should error")
+	}
+	if _, err := custom("filer", "turbo", "write", 1); err == nil {
+		t.Fatal("unknown client should error")
+	}
+	if _, err := custom("filer", "stock", "scan", 1); err == nil {
+		t.Fatal("unknown workload should error")
+	}
+}
+
+// The usage string must mention every supported subcommand.
+func TestUsageMentionsAllSubcommands(t *testing.T) {
+	line := usageLine()
+	for _, sub := range []string{"fig2", "fig3", "fig4", "custom", "read"} {
+		if !strings.Contains(line, sub) {
+			t.Fatalf("usage %q missing subcommand %q", line, sub)
+		}
+	}
+}

@@ -1,14 +1,16 @@
-// Package bonnie implements the paper's benchmark (§2.3): the block
+// Package bonnie implements the paper's benchmark (§2.3) — the block
 // sequential write portion of Bonnie, refined to report what the paper
-// needs. It writes fixed-size chunks into a fresh file and reports:
+// needs — plus the Bonnie passes the paper never ran: rewrite, block
+// sequential read, and a mixed read/write mode. Each run drives
+// fixed-size chunks through one I/O pattern (Workload) and reports:
 //
-//   - three cumulative throughputs — after the last write(), after
+//   - three cumulative throughputs — after the last I/O call, after
 //     flush(), and after close() — each computed as total bytes divided
 //     by the time from the start of the benchmark to just after that
 //     operation ("to make fair comparisons between NFS (which always
 //     flushes completely before last close) and local file systems");
-//   - actual per-call write() latency, "and not average latency", because
-//     jitter is invisible in means (Figures 2–4 are these traces).
+//   - actual per-call latency, "and not average latency", because jitter
+//     is invisible in means (Figures 2–4 are these traces).
 package bonnie
 
 import (
@@ -24,15 +26,69 @@ import (
 // can write 8 KB chunks into a fresh file" (§2.3).
 const DefaultChunk = 8192
 
+// Workload selects the I/O pattern a run performs.
+type Workload int
+
+const (
+	// WorkloadWrite is the paper's benchmark: sequential chunks written
+	// into a fresh file.
+	WorkloadWrite Workload = iota
+	// WorkloadRewrite is Bonnie's rewrite pass: read each chunk of an
+	// existing file and write it back in place.
+	WorkloadRewrite
+	// WorkloadRead is Bonnie's block read pass: sequentially read an
+	// existing file front to back.
+	WorkloadRead
+	// WorkloadMixed alternates chunk reads of an existing file with
+	// chunk writes appended to a fresh file, half the total each — the
+	// pressure pattern that exercises readahead and write-behind at once.
+	WorkloadMixed
+)
+
+func (w Workload) String() string {
+	switch w {
+	case WorkloadRewrite:
+		return "rewrite"
+	case WorkloadRead:
+		return "read"
+	case WorkloadMixed:
+		return "mixed"
+	default:
+		return "write"
+	}
+}
+
+// ParseWorkload resolves a workload name as printed by String.
+func ParseWorkload(name string) (Workload, error) {
+	switch name {
+	case "write":
+		return WorkloadWrite, nil
+	case "rewrite":
+		return WorkloadRewrite, nil
+	case "read":
+		return WorkloadRead, nil
+	case "mixed":
+		return WorkloadMixed, nil
+	}
+	return 0, fmt.Errorf("bonnie: unknown workload %q (have write, rewrite, read, mixed)", name)
+}
+
+// NeedsExisting reports whether the workload opens a pre-populated file.
+func (w Workload) NeedsExisting() bool { return w != WorkloadWrite }
+
 // Config parameterizes one benchmark run.
 type Config struct {
-	// FileSize is the total bytes to write.
+	// FileSize is the total bytes of I/O to perform. For write, rewrite
+	// and read it is also the file's size; for mixed it splits evenly
+	// between the read stream and the write stream.
 	FileSize int64
-	// ChunkSize is the per-write() size (default 8 KB).
+	// ChunkSize is the per-call size (default 8 KB).
 	ChunkSize int
+	// Workload is the I/O pattern (default WorkloadWrite).
+	Workload Workload
 	// TimeLimit aborts a runaway simulation (default 30 virtual minutes).
 	TimeLimit sim.Time
-	// SkipFlushClose stops after the write phase (local-vs-NFS comparison
+	// SkipFlushClose stops after the I/O phase (local-vs-NFS comparison
 	// in Figure 1 uses write-only throughput).
 	SkipFlushClose bool
 }
@@ -40,16 +96,20 @@ type Config struct {
 // Result is one benchmark run's measurements.
 type Result struct {
 	Target    string
+	Workload  Workload
 	FileSize  int64
 	ChunkSize int
 	Calls     int
 
-	// Elapsed virtual time from benchmark start to just after each phase.
+	// Elapsed virtual time from benchmark start to just after each
+	// phase. WriteElapsed is the I/O phase (named for the paper's
+	// write-only benchmark; for read workloads it is the read phase).
 	WriteElapsed sim.Time
 	FlushElapsed sim.Time
 	CloseElapsed sim.Time
 
-	// Trace holds actual per-call write() latencies.
+	// Trace holds actual per-call latencies: one sample per write() or
+	// read() (rewrite records one sample per read-modify-write pair).
 	Trace *stats.Trace
 }
 
@@ -67,13 +127,13 @@ func (r *Result) WriteKBps() float64 { return stats.KBps(r.FileSize, r.WriteElap
 
 func (r *Result) String() string {
 	s := r.Trace.Summary()
-	out := fmt.Sprintf("%s: %d MB in %d x %d B writes\n", r.Target, r.FileSize>>20, r.Calls, r.ChunkSize)
+	out := fmt.Sprintf("%s: %d MB in %d x %d B %s calls\n", r.Target, r.FileSize>>20, r.Calls, r.ChunkSize, r.Workload)
 	out += fmt.Sprintf("  write:  %7.1f MB/s  (elapsed %v)\n", r.WriteMBps(), r.WriteElapsed)
 	if r.FlushElapsed > 0 {
 		out += fmt.Sprintf("  flush:  %7.1f MB/s  (elapsed %v)\n", r.FlushMBps(), r.FlushElapsed)
 		out += fmt.Sprintf("  close:  %7.1f MB/s  (elapsed %v)\n", r.CloseMBps(), r.CloseElapsed)
 	}
-	out += fmt.Sprintf("  write() latency: mean %v  median %v  max %v\n", s.Mean, s.Median, s.Max)
+	out += fmt.Sprintf("  per-call latency: mean %v  median %v  max %v\n", s.Mean, s.Median, s.Max)
 	return out
 }
 
@@ -94,13 +154,127 @@ func (r *ConcurrentResult) AggregateMBps() float64 {
 	return stats.MBps(r.TotalBytes, r.Elapsed)
 }
 
-// RunConcurrent drives n writers into n distinct files simultaneously
-// (§3.5: removing the BKL from the RPC layer should "allow concurrent
-// writes to separate files ... from separate client CPUs"). open
-// receives the writer index, so writers can land on distinct files of
-// one machine or on distinct client machines of a multi-client test bed.
-// Each writer runs the full write/flush/close sequence.
-func RunConcurrent(s *sim.Sim, target string, open func(writer int) vfs.File, n int, cfg Config) *ConcurrentResult {
+// ioFiles are one writer's open files: the workload's primary stream
+// (the existing file for rewrite/read/mixed, the fresh file for write)
+// and, for mixed, the fresh write-side file.
+type ioFiles struct {
+	main vfs.File
+	aux  vfs.File
+}
+
+// openFiles opens what the configured workload needs.
+func openFiles(open vfs.OpenSet, cfg Config) ioFiles {
+	if cfg.Workload.NeedsExisting() && open.Existing == nil {
+		panic(fmt.Sprintf("bonnie: %s workload needs an Existing opener", cfg.Workload))
+	}
+	switch cfg.Workload {
+	case WorkloadRewrite, WorkloadRead:
+		return ioFiles{main: open.Existing(cfg.FileSize)}
+	case WorkloadMixed:
+		return ioFiles{main: open.Existing(cfg.FileSize / 2), aux: open.Fresh()}
+	default:
+		return ioFiles{main: open.Fresh()}
+	}
+}
+
+func chunkFor(cfg Config, rem int64) int {
+	n := cfg.ChunkSize
+	if rem < int64(n) {
+		n = int(rem)
+	}
+	return n
+}
+
+// runIO performs the workload's I/O phase, recording per-call latencies
+// and the call count.
+func runIO(p *sim.Proc, s *sim.Sim, fs ioFiles, cfg Config, res *Result) {
+	switch cfg.Workload {
+	case WorkloadRead:
+		var done int64
+		for done < cfg.FileSize {
+			n := chunkFor(cfg, cfg.FileSize-done)
+			t0 := s.Now()
+			got := fs.main.Read(p, n)
+			res.Trace.Add(s.Now() - t0)
+			res.Calls++
+			if got != n {
+				panic(fmt.Sprintf("bonnie: short read %d of %d at %d", got, n, done))
+			}
+			done += int64(got)
+		}
+	case WorkloadRewrite:
+		var pos int64
+		for pos < cfg.FileSize {
+			n := chunkFor(cfg, cfg.FileSize-pos)
+			t0 := s.Now()
+			if got := fs.main.Read(p, n); got != n {
+				panic(fmt.Sprintf("bonnie: short read %d of %d at %d", got, n, pos))
+			}
+			fs.main.WriteAt(p, pos, n)
+			res.Trace.Add(s.Now() - t0)
+			pos += int64(n)
+			res.Calls++
+		}
+	case WorkloadMixed:
+		readRem := cfg.FileSize / 2
+		writeRem := cfg.FileSize - readRem
+		for i := 0; readRem > 0 || writeRem > 0; i++ {
+			t0 := s.Now()
+			if readRem > 0 && (i%2 == 0 || writeRem == 0) {
+				n := chunkFor(cfg, readRem)
+				if got := fs.main.Read(p, n); got != n {
+					panic(fmt.Sprintf("bonnie: short read %d of %d", got, n))
+				}
+				readRem -= int64(n)
+			} else {
+				n := chunkFor(cfg, writeRem)
+				fs.aux.Write(p, n)
+				writeRem -= int64(n)
+			}
+			res.Trace.Add(s.Now() - t0)
+			res.Calls++
+		}
+	default: // WorkloadWrite
+		var written int64
+		for written < cfg.FileSize {
+			n := chunkFor(cfg, cfg.FileSize-written)
+			t0 := s.Now()
+			fs.main.Write(p, n)
+			res.Trace.Add(s.Now() - t0)
+			written += int64(n)
+			res.Calls++
+		}
+	}
+}
+
+// finishPhases stamps the I/O phase time and, unless skipped, runs the
+// flush/close sequence (the fresh write-side file first for mixed, so
+// the dirty data the workload created is what flush measures).
+func finishPhases(p *sim.Proc, s *sim.Sim, fs ioFiles, cfg Config, res *Result, start sim.Time) {
+	res.WriteElapsed = s.Now() - start
+	if cfg.SkipFlushClose {
+		return
+	}
+	if fs.aux != nil {
+		fs.aux.Flush(p)
+	}
+	fs.main.Flush(p)
+	res.FlushElapsed = s.Now() - start
+	if fs.aux != nil {
+		fs.aux.Close(p)
+	}
+	fs.main.Close(p)
+	res.CloseElapsed = s.Now() - start
+}
+
+// RunConcurrentWorkload drives n workers simultaneously, each performing
+// the configured workload against its own files (§3.5: removing the BKL
+// from the RPC layer should "allow concurrent writes to separate files
+// ... from separate client CPUs"). open receives the worker index, so
+// workers can land on distinct files of one machine or on distinct
+// client machines of a multi-client test bed. Each worker runs the full
+// I/O/flush/close sequence.
+func RunConcurrentWorkload(s *sim.Sim, target string, open func(worker int) vfs.OpenSet, n int, cfg Config) *ConcurrentResult {
 	if n < 1 {
 		panic("bonnie: need at least one writer")
 	}
@@ -117,33 +291,17 @@ func RunConcurrent(s *sim.Sim, target string, open func(writer int) vfs.File, n 
 		i := i
 		res := &Result{
 			Target:    fmt.Sprintf("%s#%d", target, i),
+			Workload:  cfg.Workload,
 			FileSize:  cfg.FileSize,
 			ChunkSize: cfg.ChunkSize,
 			Trace:     stats.NewTrace(target),
 		}
 		out.PerWriter[i] = res
 		s.Go(res.Target, func(p *sim.Proc) {
-			f := open(i)
-			var written int64
-			for written < cfg.FileSize {
-				nb := cfg.ChunkSize
-				if rem := cfg.FileSize - written; rem < int64(nb) {
-					nb = int(rem)
-				}
-				t0 := s.Now()
-				f.Write(p, nb)
-				res.Trace.Add(s.Now() - t0)
-				written += int64(nb)
-				res.Calls++
-			}
-			res.WriteElapsed = s.Now() - start
-			if !cfg.SkipFlushClose {
-				f.Flush(p)
-				res.FlushElapsed = s.Now() - start
-				f.Close(p)
-				res.CloseElapsed = s.Now() - start
-			}
-			out.TotalBytes += written
+			fs := openFiles(open(i), cfg)
+			runIO(p, s, fs, cfg, res)
+			finishPhases(p, s, fs, cfg, res, start)
+			out.TotalBytes += cfg.FileSize
 			if t := s.Now() - start; t > out.Elapsed {
 				out.Elapsed = t
 			}
@@ -152,14 +310,23 @@ func RunConcurrent(s *sim.Sim, target string, open func(writer int) vfs.File, n 
 	}
 	s.Run(cfg.TimeLimit)
 	if finished != n {
-		panic(fmt.Sprintf("bonnie: %d of %d concurrent writers finished within %v", finished, n, cfg.TimeLimit))
+		panic(fmt.Sprintf("bonnie: %d of %d concurrent workers finished within %v", finished, n, cfg.TimeLimit))
 	}
 	return out
 }
 
-// Run executes the benchmark on the given simulator against a file opened
-// by open, driving the virtual clock until the run completes.
-func Run(s *sim.Sim, target string, open func() vfs.File, cfg Config) *Result {
+// RunConcurrent drives n writers into n distinct fresh files (the
+// write-only form RunConcurrentWorkload generalizes).
+func RunConcurrent(s *sim.Sim, target string, open func(writer int) vfs.File, n int, cfg Config) *ConcurrentResult {
+	return RunConcurrentWorkload(s, target, func(i int) vfs.OpenSet {
+		return vfs.OpenSet{Fresh: func() vfs.File { return open(i) }}
+	}, n, cfg)
+}
+
+// RunWorkload executes the configured workload on the given simulator
+// against files opened from open, driving the virtual clock until the
+// run completes.
+func RunWorkload(s *sim.Sim, target string, open vfs.OpenSet, cfg Config) *Result {
 	if cfg.FileSize <= 0 {
 		panic("bonnie: FileSize must be positive")
 	}
@@ -171,33 +338,17 @@ func Run(s *sim.Sim, target string, open func() vfs.File, cfg Config) *Result {
 	}
 	res := &Result{
 		Target:    target,
+		Workload:  cfg.Workload,
 		FileSize:  cfg.FileSize,
 		ChunkSize: cfg.ChunkSize,
 		Trace:     stats.NewTrace(target),
 	}
 	finished := false
 	s.Go("bonnie", func(p *sim.Proc) {
-		f := open()
+		fs := openFiles(open, cfg)
 		start := s.Now()
-		var written int64
-		for written < cfg.FileSize {
-			n := cfg.ChunkSize
-			if rem := cfg.FileSize - written; rem < int64(n) {
-				n = int(rem)
-			}
-			t0 := s.Now()
-			f.Write(p, n)
-			res.Trace.Add(s.Now() - t0)
-			written += int64(n)
-			res.Calls++
-		}
-		res.WriteElapsed = s.Now() - start
-		if !cfg.SkipFlushClose {
-			f.Flush(p)
-			res.FlushElapsed = s.Now() - start
-			f.Close(p)
-			res.CloseElapsed = s.Now() - start
-		}
+		runIO(p, s, fs, cfg, res)
+		finishPhases(p, s, fs, cfg, res, start)
 		finished = true
 	})
 	s.Run(cfg.TimeLimit)
@@ -205,4 +356,10 @@ func Run(s *sim.Sim, target string, open func() vfs.File, cfg Config) *Result {
 		panic(fmt.Sprintf("bonnie: %s run did not finish within %v (virtual)", target, cfg.TimeLimit))
 	}
 	return res
+}
+
+// Run executes the write benchmark against a fresh file opened by open
+// (the write-only form RunWorkload generalizes).
+func Run(s *sim.Sim, target string, open func() vfs.File, cfg Config) *Result {
+	return RunWorkload(s, target, vfs.OpenSet{Fresh: open}, cfg)
 }

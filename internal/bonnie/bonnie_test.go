@@ -9,14 +9,18 @@ import (
 	"repro/internal/vfs"
 )
 
-// fakeFile is a deterministic vfs.File: each write costs a fixed latency,
-// flush and close cost fixed extras.
+// fakeFile is a deterministic vfs.File: each operation costs a fixed
+// latency, flush and close cost fixed extras.
 type fakeFile struct {
 	s          *sim.Sim
 	perWrite   sim.Time
+	perRead    sim.Time
 	flushCost  sim.Time
 	closeCost  sim.Time
 	size       int64
+	readPos    int64
+	reads      int
+	rewrites   int
 	flushed    bool
 	closedOnce bool
 }
@@ -25,9 +29,42 @@ func (f *fakeFile) Write(p *sim.Proc, n int) {
 	p.Sleep(f.perWrite)
 	f.size += int64(n)
 }
+func (f *fakeFile) WriteAt(p *sim.Proc, off int64, n int) {
+	p.Sleep(f.perWrite)
+	f.rewrites++
+	if end := off + int64(n); end > f.size {
+		f.size = end
+	}
+}
+func (f *fakeFile) Read(p *sim.Proc, n int) int {
+	p.Sleep(f.perRead)
+	f.reads++
+	if rem := f.size - f.readPos; rem < int64(n) {
+		n = int(rem)
+	}
+	if n < 0 {
+		n = 0
+	}
+	f.readPos += int64(n)
+	return n
+}
 func (f *fakeFile) Flush(p *sim.Proc) { p.Sleep(f.flushCost); f.flushed = true }
 func (f *fakeFile) Close(p *sim.Proc) { p.Sleep(f.closeCost); f.closedOnce = true }
 func (f *fakeFile) Size() int64       { return f.size }
+
+// fakeOpenSet returns an OpenSet over fakeFiles, recording the files it
+// opened.
+func fakeOpenSet(s *sim.Sim, perWrite, perRead sim.Time, opened *[]*fakeFile) vfs.OpenSet {
+	newFile := func(size int64) *fakeFile {
+		ff := &fakeFile{s: s, perWrite: perWrite, perRead: perRead, size: size}
+		*opened = append(*opened, ff)
+		return ff
+	}
+	return vfs.OpenSet{
+		Fresh:    func() vfs.File { return newFile(0) },
+		Existing: func(size int64) vfs.File { return newFile(size) },
+	}
+}
 
 func TestRunMeasuresPhases(t *testing.T) {
 	s := sim.New(1)
@@ -147,6 +184,125 @@ func TestRunConcurrent(t *testing.T) {
 	}
 	if res.Elapsed <= 0 {
 		t.Fatal("no elapsed time")
+	}
+}
+
+func TestWorkloadStringsRoundTrip(t *testing.T) {
+	for _, w := range []Workload{WorkloadWrite, WorkloadRewrite, WorkloadRead, WorkloadMixed} {
+		got, err := ParseWorkload(w.String())
+		if err != nil || got != w {
+			t.Fatalf("ParseWorkload(%q) = %v, %v", w.String(), got, err)
+		}
+	}
+	if _, err := ParseWorkload("scan"); err == nil {
+		t.Fatal("bad workload name should fail")
+	}
+	if WorkloadWrite.NeedsExisting() {
+		t.Fatal("write workload should not need an existing file")
+	}
+	for _, w := range []Workload{WorkloadRewrite, WorkloadRead, WorkloadMixed} {
+		if !w.NeedsExisting() {
+			t.Fatalf("%s workload should need an existing file", w)
+		}
+	}
+}
+
+func TestReadWorkload(t *testing.T) {
+	s := sim.New(1)
+	var opened []*fakeFile
+	open := fakeOpenSet(s, 0, 50*time.Microsecond, &opened)
+	res := RunWorkload(s, "rd", open, Config{FileSize: 1 << 20, Workload: WorkloadRead})
+	if len(opened) != 1 || opened[0].size != 1<<20 {
+		t.Fatalf("opened = %+v", opened)
+	}
+	if res.Calls != 128 || opened[0].reads != 128 {
+		t.Fatalf("calls = %d, reads = %d, want 128", res.Calls, opened[0].reads)
+	}
+	if res.WriteElapsed != 128*50*time.Microsecond {
+		t.Fatalf("read phase elapsed = %v", res.WriteElapsed)
+	}
+	if !opened[0].flushed || !opened[0].closedOnce {
+		t.Fatal("flush/close not invoked")
+	}
+	if res.Workload != WorkloadRead {
+		t.Fatalf("workload = %v", res.Workload)
+	}
+}
+
+func TestRewriteWorkload(t *testing.T) {
+	s := sim.New(1)
+	var opened []*fakeFile
+	open := fakeOpenSet(s, 30*time.Microsecond, 20*time.Microsecond, &opened)
+	res := RunWorkload(s, "rw", open, Config{FileSize: 1 << 20, Workload: WorkloadRewrite})
+	if res.Calls != 128 {
+		t.Fatalf("calls = %d", res.Calls)
+	}
+	ff := opened[0]
+	if ff.reads != 128 || ff.rewrites != 128 {
+		t.Fatalf("reads = %d rewrites = %d, want 128 each", ff.reads, ff.rewrites)
+	}
+	// Each rewrite call is one read + one in-place write.
+	if res.WriteElapsed != 128*50*time.Microsecond {
+		t.Fatalf("rewrite phase elapsed = %v", res.WriteElapsed)
+	}
+	if ff.size != 1<<20 {
+		t.Fatalf("rewrite grew the file to %d", ff.size)
+	}
+}
+
+func TestMixedWorkload(t *testing.T) {
+	s := sim.New(1)
+	var opened []*fakeFile
+	open := fakeOpenSet(s, 30*time.Microsecond, 30*time.Microsecond, &opened)
+	res := RunWorkload(s, "mx", open, Config{FileSize: 1 << 20, Workload: WorkloadMixed})
+	if len(opened) != 2 {
+		t.Fatalf("mixed opened %d files, want 2", len(opened))
+	}
+	rd, wr := opened[0], opened[1]
+	if rd.size != 512<<10 {
+		t.Fatalf("read file size = %d, want half the total", rd.size)
+	}
+	// Half the bytes read from the existing file, half written fresh.
+	if rd.reads != 64 || wr.size != 512<<10 {
+		t.Fatalf("reads = %d, written = %d", rd.reads, wr.size)
+	}
+	if res.Calls != 128 {
+		t.Fatalf("calls = %d", res.Calls)
+	}
+	// Both files flush and close.
+	if !rd.flushed || !wr.flushed || !rd.closedOnce || !wr.closedOnce {
+		t.Fatal("flush/close not invoked on both files")
+	}
+}
+
+func TestWorkloadWithoutExistingOpenerPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	s := sim.New(1)
+	ff := &fakeFile{s: s}
+	RunWorkload(s, "rd", vfs.OpenSet{Fresh: func() vfs.File { return ff }},
+		Config{FileSize: 1 << 20, Workload: WorkloadRead})
+}
+
+func TestRunConcurrentWorkloadRead(t *testing.T) {
+	s := sim.New(1)
+	var opened []*fakeFile
+	res := RunConcurrentWorkload(s, "multi",
+		func(int) vfs.OpenSet { return fakeOpenSet(s, 0, 10*time.Microsecond, &opened) },
+		3, Config{FileSize: 1 << 20, Workload: WorkloadRead})
+	if len(res.PerWriter) != 3 || len(opened) != 3 {
+		t.Fatalf("writers = %d, opened = %d", len(res.PerWriter), len(opened))
+	}
+	if res.TotalBytes != 3<<20 {
+		t.Fatalf("total = %d", res.TotalBytes)
+	}
+	for _, w := range res.PerWriter {
+		if w.Calls != 128 {
+			t.Fatalf("worker calls = %d", w.Calls)
+		}
 	}
 }
 

@@ -32,11 +32,16 @@ type Client struct {
 
 	flushWork *sim.WaitQueue
 
-	// Statistics.
+	// Statistics. RPCsSent/PagesSent count the write path; the read path
+	// has its own counters.
 	SoftFlushes int64 // writer-forced whole-inode flushes (soft limit)
 	HardBlocks  int64 // writer sleeps on the per-mount hard limit
 	RPCsSent    int64
 	PagesSent   int64
+	// ReadRPCs counts READ calls issued (demand and readahead);
+	// PagesReadRPC counts the pages they fetched.
+	ReadRPCs     int64
+	PagesReadRPC int64
 }
 
 // Inode is one file's client-side write state (struct inode + nfs_inode).
@@ -57,6 +62,16 @@ type Inode struct {
 	unstable bool
 	verf     nfsproto.WriteVerf
 	hasVerf  bool
+
+	// Read-side state. cached is the resident-page set: pages filled by
+	// READ replies or dirtied by the write path (read-after-write
+	// coherence). The rest — in-flight READ set, reply waiters, and the
+	// sequential readahead window — is allocated lazily on first read,
+	// so write-only workloads carry none of it.
+	cached       map[int64]bool
+	pendingReads map[int64]bool
+	readWait     *sim.WaitQueue
+	ra           mm.Readahead
 }
 
 // NewClient builds a client on the given simulator resources. cpu and bkl
@@ -65,6 +80,24 @@ type Inode struct {
 func NewClient(s *sim.Sim, cpu *sim.CPUPool, bkl *sim.Mutex, cache *mm.PageCache, tr *rpcsim.Transport, cfg Config) *Client {
 	if cfg.WSize < pageSize || cfg.WSize%pageSize != 0 {
 		panic("core: wsize must be a positive multiple of the page size")
+	}
+	if cfg.RSize == 0 {
+		cfg.RSize = cfg.WSize // the paper mounts with rsize=wsize
+	}
+	if cfg.RSize < pageSize || cfg.RSize%pageSize != 0 {
+		panic("core: rsize must be a positive multiple of the page size")
+	}
+	if cfg.ReadaheadMinPages == 0 && cfg.ReadaheadMaxPages == 0 {
+		cfg.ReadaheadMinPages = StockReadaheadMinPages
+		cfg.ReadaheadMaxPages = StockReadaheadMaxPages
+	}
+	// A half-specified window defaults the other bound instead of
+	// silently disabling readahead (Max <= 0 means "off" to the window).
+	if cfg.ReadaheadMaxPages == 0 {
+		cfg.ReadaheadMaxPages = max(cfg.ReadaheadMinPages, StockReadaheadMaxPages)
+	}
+	if cfg.ReadaheadMinPages == 0 {
+		cfg.ReadaheadMinPages = min(StockReadaheadMinPages, cfg.ReadaheadMaxPages)
 	}
 	if cfg.FSID == 0 {
 		cfg.FSID = 1
@@ -101,6 +134,19 @@ func (c *Client) Open() *File {
 	}
 	c.inodes = append(c.inodes, ino)
 	return &File{c: c, ino: ino}
+}
+
+// OpenExisting opens a file that already holds size bytes on the server
+// with no pages resident client-side — the read workloads' cold target,
+// standing in for a file written by another client or evicted from this
+// one's memory.
+func (c *Client) OpenExisting(size int64) *File {
+	if size < 0 {
+		panic("core: negative file size")
+	}
+	f := c.Open()
+	f.ino.size = size
+	return f
 }
 
 // Outstanding returns an inode's queued plus in-flight page requests —
@@ -141,8 +187,10 @@ func (c *Client) commitPage(p *sim.Proc, ino *Inode, page int64, offset, count i
 		// First search: incompatible requests that would need flushing.
 		existing := c.lookup(p, ino, page)
 
-		// Second search + update/insert: nfs_update_request.
+		// Second search + update/insert: nfs_update_request. Either way
+		// the page ends up in the page cache, readable without an RPC.
 		c.cpu.Use(p, "nfs_update_request", c.cfg.Costs.UpdateRequestBase)
+		ino.markResident(page)
 		if existing == nil {
 			r := &Request{Page: page, Offset: offset, Count: count, CreatedAt: c.s.Now()}
 			if c.cfg.IndexPolicy == IndexHashTable {
@@ -351,8 +399,10 @@ func (c *Client) flushInodeSync(p *sim.Proc, ino *Inode) {
 }
 
 // writeSyncSpan is nfs_writepage_sync: an O_SYNC page write, sent as a
-// stable WRITE that blocks until the server has made it durable.
+// stable WRITE that blocks until the server has made it durable. The
+// page stays resident afterwards like any other written page.
 func (c *Client) writeSyncSpan(p *sim.Proc, ino *Inode, span vfs.PageSpan) {
+	ino.markResident(span.Page)
 	args := nfsproto.WriteArgs{
 		File:   ino.FH,
 		Offset: uint64(span.Page)*uint64(pageSize) + uint64(span.Offset),

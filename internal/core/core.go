@@ -77,6 +77,23 @@ const (
 	DefaultWSize = 8192
 )
 
+// Readahead sizing (pages). The stock 2.4 client's NFS readahead rides
+// the generic file readahead with a modest cap; the enhanced client uses
+// a larger window — the read-side analog of replacing the write-path
+// request limits with cache-until-memory-pressure.
+const (
+	StockReadaheadMinPages = 2
+	StockReadaheadMaxPages = 16
+
+	EnhancedReadaheadMinPages = 4
+	EnhancedReadaheadMaxPages = 64
+
+	// ReadaheadOff, assigned to Config.ReadaheadMaxPages, disables
+	// readahead entirely: every miss fetches one demand rsize chunk and
+	// the reader waits for it (the ablation baseline).
+	ReadaheadOff = -1
+)
+
 // Costs is the client-side CPU model for the NFS-specific write path,
 // calibrated (together with vfs.DefaultCosts and rpcsim.DefaultConfig) to
 // the paper's 933 MHz P-III client. Per-byte figures match the paper;
@@ -94,6 +111,9 @@ type Costs struct {
 	HashLookup sim.Time
 	// CoalesceBase is the fixed cost of gathering requests into one RPC.
 	CoalesceBase sim.Time
+	// ReadPageBase is nfs_readpage's bookkeeping per page (cache lookup,
+	// readahead state update), held under the BKL.
+	ReadPageBase sim.Time
 }
 
 // DefaultCosts returns the calibrated cost model.
@@ -104,18 +124,31 @@ func DefaultCosts() Costs {
 		ListScanPerEntry:  15,    // 15 ns per entry
 		HashLookup:        500,   // 0.5 µs
 		CoalesceBase:      10_000,
+		ReadPageBase:      2_000, // 2 µs
 	}
 }
 
 // Config selects the client's policies and parameters.
 type Config struct {
-	WSize          int
+	WSize int
+	// RSize is the mount's read transfer size (rsize). Zero means "track
+	// WSize", which keeps rsize=wsize through wsize-axis sweeps the way
+	// the paper's mounts were configured.
+	RSize          int
 	MaxRequestSoft int
 	MaxRequestHard int
 	FlushPolicy    FlushPolicy
 	IndexPolicy    IndexPolicy
 	// LockPolicy is applied to the RPC transport (fix 3).
 	LockPolicy rpcsim.LockPolicy
+
+	// ReadaheadMinPages/MaxPages size the per-inode sequential readahead
+	// window (see mm.Readahead): misses on a sequential run double the
+	// window from min to max; a seek resets it. A zero field takes the
+	// stock sizing (so setting only one bound never disables the
+	// window); ReadaheadMaxPages = ReadaheadOff disables readahead.
+	ReadaheadMinPages int
+	ReadaheadMaxPages int
 
 	// FSID identifies this mount in the file handles the client builds
 	// (default 1). Multi-client test beds offset it by the machine index
@@ -149,6 +182,8 @@ func Stock244Config() Config {
 		FlushPolicy:          FlushLimits24,
 		IndexPolicy:          IndexLinearList,
 		LockPolicy:           rpcsim.HoldBKLAcrossSend,
+		ReadaheadMinPages:    StockReadaheadMinPages,
+		ReadaheadMaxPages:    StockReadaheadMaxPages,
 		FlushdWatermarkPages: 8,
 		FlushdAge:            1_000_000_000, // 1 s
 		MemoryPressureWindow: 16,
@@ -174,9 +209,12 @@ func HashConfig() Config {
 }
 
 // EnhancedConfig returns the fully patched client (Figures 6 and 7,
-// Table 1 "No lock"): all three fixes.
+// Table 1 "No lock"): all three fixes, plus the enhanced readahead
+// sizing on the read side.
 func EnhancedConfig() Config {
 	c := HashConfig()
 	c.LockPolicy = rpcsim.ReleaseBKLForSend
+	c.ReadaheadMinPages = EnhancedReadaheadMinPages
+	c.ReadaheadMaxPages = EnhancedReadaheadMaxPages
 	return c
 }

@@ -6,14 +6,16 @@ import (
 )
 
 // File is an open NFS file; it implements vfs.File. Writes are sequential
-// appends (the paper's benchmark writes fresh files front to back); Flush
-// is fsync; Close flushes and commits, because "NFS ... always flushes
-// completely before last close" (§2.3).
+// appends (the paper's benchmark writes fresh files front to back); Reads
+// advance an independent read position and pull cold pages from the
+// server with readahead; Flush is fsync; Close flushes and commits,
+// because "NFS ... always flushes completely before last close" (§2.3).
 type File struct {
-	c      *Client
-	ino    *Inode
-	sync   bool
-	closed bool
+	c       *Client
+	ino     *Inode
+	readPos int64
+	sync    bool
+	closed  bool
 }
 
 // SetSync switches the file to O_SYNC semantics: every write() is sent to
@@ -57,6 +59,40 @@ func (f *File) WriteAt(p *sim.Proc, off int64, n int) {
 	if end := off + int64(n); end > f.ino.size {
 		f.ino.size = end
 	}
+}
+
+// Read implements vfs.File: the sys_read -> generic_file_read ->
+// nfs_readpage path at the file's current read position. Returns the
+// bytes read (0 at end of file).
+func (f *File) Read(p *sim.Proc, n int) int {
+	got := f.ReadAt(p, f.readPos, n)
+	f.readPos += int64(got)
+	return got
+}
+
+// ReadAt reads up to n bytes at an arbitrary offset (pread), for
+// database-style workloads; it does not move the read position. Returns
+// the bytes read, clamped at end of file.
+func (f *File) ReadAt(p *sim.Proc, off int64, n int) int {
+	if f.closed {
+		panic("core: read after close")
+	}
+	if off < 0 || n < 0 {
+		panic("core: negative read offset or length")
+	}
+	if off >= f.ino.size {
+		return 0
+	}
+	if rem := f.ino.size - off; int64(n) > rem {
+		n = int(rem)
+	}
+	if n == 0 {
+		return 0
+	}
+	vfs.ReadSyscall(p, f.c.cpu, f.c.cfg.VFS, off, n, func(span vfs.PageSpan) {
+		f.c.readPage(p, f.ino, span.Page)
+	})
+	return n
 }
 
 // Flush implements vfs.File: fsync — push every cached request to the

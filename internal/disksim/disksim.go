@@ -32,6 +32,7 @@ type Disk struct {
 
 	// Statistics.
 	BytesWritten int64
+	BytesRead    int64
 	Requests     int64
 	Seeks        int64
 	BusyTime     sim.Time
@@ -57,7 +58,9 @@ func (d *Disk) Bandwidth() int64 { return d.bandwidth }
 // serialized FIFO behind earlier requests. It charges a positioning cost
 // when off does not continue the previous request.
 func (d *Disk) Write(p *sim.Proc, off, n int64) {
-	d.waitFor(p, d.service(off, n))
+	at := d.service(off, n)
+	d.BytesWritten += n
+	d.waitFor(p, at)
 }
 
 // WriteAsync schedules a write and invokes done (in event context) when it
@@ -65,6 +68,7 @@ func (d *Disk) Write(p *sim.Proc, off, n int64) {
 // filer's NVRAM drain that are modeled as callbacks.
 func (d *Disk) WriteAsync(off, n int64, done func()) {
 	at := d.service(off, n)
+	d.BytesWritten += n
 	d.s.At(at, func() {
 		if done != nil {
 			done()
@@ -72,11 +76,21 @@ func (d *Disk) WriteAsync(off, n int64, done func()) {
 	})
 }
 
+// Read performs a blocking read of n bytes at byte offset off, sharing
+// the same FIFO queue, head position, and sequential bandwidth as writes
+// (the model has no zone or direction asymmetry). Sequential reads stream
+// at media rate; any jump charges the positioning cost.
+func (d *Disk) Read(p *sim.Proc, off, n int64) {
+	at := d.service(off, n)
+	d.BytesRead += n
+	d.waitFor(p, at)
+}
+
 // service books a request into the FIFO queue and returns its completion
-// time.
+// time. Callers account the bytes as read or written.
 func (d *Disk) service(off, n int64) sim.Time {
 	if n < 0 {
-		panic("disksim: negative write size")
+		panic("disksim: negative request size")
 	}
 	start := d.s.Now()
 	if d.freeAt > start {
@@ -89,7 +103,6 @@ func (d *Disk) service(off, n int64) sim.Time {
 	}
 	d.nextPos = off + n
 	d.freeAt = start + cost
-	d.BytesWritten += n
 	d.Requests++
 	d.BusyTime += cost
 	return d.freeAt

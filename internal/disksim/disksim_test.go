@@ -28,6 +28,43 @@ func TestSequentialWriteNoSeek(t *testing.T) {
 	}
 }
 
+func TestSequentialReadStreamsAfterOneSeek(t *testing.T) {
+	s := sim.New(1)
+	d := New(s, "d", 10*time.Millisecond, 10_000_000)
+	var elapsed sim.Time
+	s.Go("r", func(p *sim.Proc) {
+		d.Read(p, 0, 1_000_000) // first read positions the head
+		d.Read(p, 1_000_000, 1_000_000)
+		elapsed = s.Now()
+	})
+	s.Run(0)
+	want := 210 * time.Millisecond // 2 MB at 10 MB/s + one 10ms seek
+	if elapsed != want {
+		t.Fatalf("elapsed = %v, want %v", elapsed, want)
+	}
+	if d.Seeks != 1 || d.BytesRead != 2_000_000 || d.BytesWritten != 0 {
+		t.Fatalf("seeks=%d read=%d written=%d", d.Seeks, d.BytesRead, d.BytesWritten)
+	}
+}
+
+func TestReadsAndWritesShareTheHead(t *testing.T) {
+	s := sim.New(1)
+	d := New(s, "d", 5*time.Millisecond, 10_000_000)
+	s.Go("rw", func(p *sim.Proc) {
+		d.Write(p, 0, 4096)
+		d.Read(p, 4096, 4096) // sequential with the write: no seek
+		d.Read(p, 1_000_000, 4096)
+		d.Write(p, 1_000_000+4096, 4096) // sequential with the read
+	})
+	s.Run(0)
+	if d.Seeks != 2 {
+		t.Fatalf("seeks = %d, want 2 (initial position + the jump)", d.Seeks)
+	}
+	if d.BytesRead != 8192 || d.BytesWritten != 8192 {
+		t.Fatalf("read=%d written=%d", d.BytesRead, d.BytesWritten)
+	}
+}
+
 func TestRandomWriteSeeks(t *testing.T) {
 	s := sim.New(1)
 	d := New(s, "d", 5*time.Millisecond, 10_000_000)

@@ -392,3 +392,48 @@ func TestLossSweepShape(t *testing.T) {
 		t.Fatalf("render reports a violated comparison:\n%s", out)
 	}
 }
+
+func TestReadSweepShape(t *testing.T) {
+	r := ReadSweep()
+	if len(r.Rows) != 9 { // 3 configs x 3 workloads
+		t.Fatalf("rows = %d, want 9", len(r.Rows))
+	}
+	for _, row := range r.Rows {
+		if row.MBps <= 0 || row.AggMBps <= 0 {
+			t.Fatalf("empty throughput in row %+v", row)
+		}
+		if row.ReadRPCs == 0 {
+			t.Fatalf("row fetched nothing over READ RPCs: %+v", row)
+		}
+		if row.HitRate <= 0 || row.HitRate >= 1 {
+			t.Fatalf("hit rate %.3f outside (0, 1): %+v", row.HitRate, row)
+		}
+	}
+	// The acceptance criterion: on sequential reads, enhanced readahead
+	// strictly outperforms readahead-off.
+	on, off := r.Throughput("enhanced", "read"), r.Throughput("ra-off", "read")
+	if on <= off {
+		t.Fatalf("enhanced readahead %.2f MBps not strictly above readahead-off %.2f", on, off)
+	}
+	// And by a wide margin: the whole point of the window is hiding the
+	// per-chunk round trip, which costs demand paging most of its rate.
+	if on < 2*off {
+		t.Fatalf("readahead speedup only %.2fx, want >= 2x", on/off)
+	}
+	// The enhanced window must also turn most lookups into hits, while
+	// readahead-off misses on every chunk's first page.
+	for _, row := range r.Rows {
+		switch {
+		case row.Config == "enhanced" && row.HitRate < 0.9:
+			t.Fatalf("enhanced hit rate %.3f, want >= 0.9: %+v", row.HitRate, row)
+		case row.Config == "ra-off" && row.HitRate > 0.6:
+			t.Fatalf("ra-off hit rate %.3f, want <= 0.6: %+v", row.HitRate, row)
+		}
+	}
+	out := r.Render()
+	for _, want := range []string{"Read path", "readahead", "strictly better: true"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("render missing %q:\n%s", want, out)
+		}
+	}
+}

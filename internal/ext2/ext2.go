@@ -10,6 +10,7 @@ package ext2
 import (
 	"repro/internal/disksim"
 	"repro/internal/mm"
+	"repro/internal/rangeset"
 	"repro/internal/sim"
 	"repro/internal/vfs"
 )
@@ -29,6 +30,12 @@ type File struct {
 	work    *sim.WaitQueue
 	clean   *sim.WaitQueue
 	closed  bool
+
+	readPos int64
+	// resident tracks the byte ranges present in the page cache, at
+	// page granularity: everything written through this handle plus
+	// everything pulled in by reads. Clean pages are never reclaimed.
+	resident rangeset.Set
 }
 
 // ext2CommitCPU is ext2_commit_write + block allocation per page.
@@ -36,6 +43,10 @@ const ext2CommitCPU = 1_000 // 1 µs
 
 // flushChunk is the writeback granularity.
 const flushChunk = 512 << 10
+
+// readChunk is the cluster size the kernel's readahead pulls from disk
+// per miss on a sequential scan.
+const readChunk = 128 << 10
 
 // NewFile creates an ext2 file backed by the given disk, charging memory
 // to cache and CPU to cpu, and starts its writeback daemon.
@@ -50,23 +61,90 @@ func NewFile(s *sim.Sim, cpu *sim.CPUPool, cache *mm.PageCache, disk *disksim.Di
 	return f
 }
 
+// OpenExisting returns an ext2 file already holding size bytes on disk
+// with nothing resident in the page cache — the read workloads' cold
+// local target.
+func OpenExisting(s *sim.Sim, cpu *sim.CPUPool, cache *mm.PageCache, disk *disksim.Disk, size int64) *File {
+	if size < 0 {
+		panic("ext2: negative file size")
+	}
+	f := NewFile(s, cpu, cache, disk)
+	f.size = size
+	return f
+}
+
 // Write implements vfs.File: page-cache writes at memory speed, blocking
-// only under memory pressure.
+// only under memory pressure. Appends at the current end of file.
 func (f *File) Write(p *sim.Proc, n int) {
+	f.WriteAt(p, f.size, n)
+}
+
+// WriteAt implements vfs.File: dirty n bytes in place at offset off
+// (pwrite), extending the file if the write passes its end. The page
+// cache charge and commit cost match Write; only the offset bookkeeping
+// differs. The touched pages become resident for read-back.
+func (f *File) WriteAt(p *sim.Proc, off int64, n int) {
 	if f.closed {
 		panic("ext2: write after close")
 	}
-	vfs.WriteSyscall(p, f.cpu, f.costs, f.size, n, func(span vfs.PageSpan) {
+	if off < 0 || n < 0 {
+		panic("ext2: negative write offset or length")
+	}
+	vfs.WriteSyscall(p, f.cpu, f.costs, off, n, func(span vfs.PageSpan) {
 		f.cpu.Use(p, "ext2_commit_write", ext2CommitCPU)
 		f.cache.ChargeDirty(p, int64(span.Count))
 		f.dirty += int64(span.Count)
 	})
-	f.size += int64(n)
-	// Kick background writeback once a reasonable batch exists, like
-	// bdflush waking on dirty ratio.
+	if n > 0 {
+		f.resident.Add(pageFloor(off), pageCeil(off+int64(n)))
+	}
+	if end := off + int64(n); end > f.size {
+		f.size = end
+	}
 	if f.dirty >= flushChunk {
 		f.work.Signal()
 	}
+}
+
+func pageFloor(off int64) int64 { return off &^ (vfs.PageSize - 1) }
+func pageCeil(off int64) int64  { return (off + vfs.PageSize - 1) &^ (vfs.PageSize - 1) }
+
+// Read implements vfs.File: page-cache reads at memory speed for
+// resident data (anything written through this handle, or pulled in by
+// an earlier read); cold pages are fetched from the disk in readahead
+// clusters, so a sequential scan streams at media rate after one
+// positioning cost.
+func (f *File) Read(p *sim.Proc, n int) int {
+	if f.closed {
+		panic("ext2: read after close")
+	}
+	if f.readPos >= f.size {
+		return 0
+	}
+	if rem := f.size - f.readPos; int64(n) > rem {
+		n = int(rem)
+	}
+	if n <= 0 {
+		return 0
+	}
+	vfs.ReadSyscall(p, f.cpu, f.costs, f.readPos, n, func(span vfs.PageSpan) {
+		start := span.Page*vfs.PageSize + int64(span.Offset)
+		end := start + int64(span.Count)
+		if f.resident.Contains(pageFloor(start), pageCeil(end)) {
+			f.cache.NoteRead(true)
+			return
+		}
+		f.cache.NoteRead(false)
+		off := pageFloor(start)
+		chunk := int64(readChunk)
+		if rem := f.size - off; rem < chunk {
+			chunk = rem
+		}
+		f.disk.Read(p, off, chunk)
+		f.resident.Add(off, pageCeil(off+chunk))
+	})
+	f.readPos += int64(n)
+	return n
 }
 
 // Flush implements vfs.File: fsync — force out all dirty data and wait.

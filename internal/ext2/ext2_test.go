@@ -106,3 +106,77 @@ func TestWriteAfterClosePanics(t *testing.T) {
 		t.Fatal("no panic on write after close")
 	}
 }
+
+// A cold OpenExisting file must pull reads from the local disk, while a
+// re-read and a read-back of written bytes hit the cache.
+func TestColdReadsHitDiskThenCache(t *testing.T) {
+	s := sim.New(1)
+	cpu := s.NewCPUPool("cpu", 2)
+	cache := mm.New(s, 64<<20)
+	disk := disksim.NewDeskstarEIDE(s)
+	const size = 1 << 20
+	f := OpenExisting(s, cpu, cache, disk, size)
+	s.Go("r", func(p *sim.Proc) {
+		var total int
+		for {
+			got := f.Read(p, 8192)
+			if got == 0 {
+				break
+			}
+			total += got
+		}
+		if total != size {
+			t.Errorf("read %d bytes, want %d", total, size)
+		}
+		if disk.BytesRead != size {
+			t.Errorf("disk read %d bytes, want %d", disk.BytesRead, size)
+		}
+		if cache.ReadMisses == 0 {
+			t.Error("cold reads recorded no misses")
+		}
+		// Second pass: everything resident, no further disk traffic.
+		f.readPos = 0
+		misses := cache.ReadMisses
+		for f.Read(p, 8192) > 0 {
+		}
+		if disk.BytesRead != size || cache.ReadMisses != misses {
+			t.Errorf("re-read went to disk: bytes=%d misses=%d", disk.BytesRead, cache.ReadMisses-misses)
+		}
+	})
+	s.Run(time.Minute)
+}
+
+// Appending to a cold existing file must not mark its unread prefix
+// resident: only the written pages skip the disk.
+func TestAppendDoesNotMarkColdPrefixResident(t *testing.T) {
+	s := sim.New(1)
+	cpu := s.NewCPUPool("cpu", 2)
+	cache := mm.New(s, 64<<20)
+	disk := disksim.NewDeskstarEIDE(s)
+	const size = 1 << 20
+	f := OpenExisting(s, cpu, cache, disk, size)
+	s.Go("rw", func(p *sim.Proc) {
+		f.Write(p, 8192) // append at offset size
+		if f.Size() != size+8192 {
+			t.Errorf("size = %d", f.Size())
+		}
+		// The cold prefix still reads from disk...
+		if f.Read(p, 8192) != 8192 {
+			t.Error("prefix read failed")
+		}
+		if disk.BytesRead == 0 || cache.ReadMisses == 0 {
+			t.Errorf("cold prefix served from nowhere: diskRead=%d misses=%d",
+				disk.BytesRead, cache.ReadMisses)
+		}
+		// ...while the appended bytes are resident.
+		before := disk.BytesRead
+		f.readPos = size
+		if f.Read(p, 8192) != 8192 {
+			t.Error("append read failed")
+		}
+		if disk.BytesRead != before {
+			t.Errorf("reading back the append went to disk (%d bytes)", disk.BytesRead-before)
+		}
+	})
+	s.Run(time.Minute)
+}

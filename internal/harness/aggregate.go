@@ -35,9 +35,10 @@ type Aggregate struct {
 	FairnessMean   float64 `json:"fairness_mean"`
 	FairnessStddev float64 `json:"fairness_stddev"`
 
-	// Transport axes (JSON only; the CSV schema is frozen).
+	// Transport and workload axes (JSON only; the CSV schema is frozen).
 	Transport string  `json:"transport"`
 	Loss      float64 `json:"loss"`
+	Workload  string  `json:"workload"`
 }
 
 // AggregateResults folds per-run Results into one Aggregate per grid
@@ -76,6 +77,7 @@ func AggregateResults(results []Result) []Aggregate {
 			CacheBytes: rs[0].CacheBytes,
 			Transport:  rs[0].Transport,
 			Loss:       rs[0].Loss,
+			Workload:   rs[0].Workload,
 		}
 		a.WriteMBpsMean, a.WriteMBpsStddev = pick(func(r Result) float64 { return r.WriteMBps })
 		a.FlushMBpsMean, a.FlushMBpsStddev = pick(func(r Result) float64 { return r.FlushMBps })

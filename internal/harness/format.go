@@ -73,10 +73,10 @@ func ResultsJSON(results []Result) string {
 // the high-signal columns.
 func ResultsTable(results []Result) string {
 	t := stats.NewTable("",
-		"server", "config", "MB", "wsize", "cpus", "cl", "cacheMB", "jumbo", "tr", "loss", "seed",
+		"server", "config", "wl", "MB", "wsize", "cpus", "cl", "cacheMB", "jumbo", "tr", "loss", "seed",
 		"write MB/s", "flush MB/s", "agg MB/s", "fair", "mean us", "p99 us", "soft", "rpcs", "rexmt")
 	for _, r := range results {
-		t.AddRow(r.Server, r.Config,
+		t.AddRow(r.Server, r.Config, r.Workload,
 			fmt.Sprint(r.FileMB), fmt.Sprint(r.WSize), fmt.Sprint(r.CPUs),
 			fmt.Sprint(r.Clients), fmt.Sprint(r.CacheMB), fmt.Sprint(r.Jumbo),
 			r.Transport, fmt.Sprintf("%g", r.Loss),
@@ -135,10 +135,10 @@ func AggregatesJSON(aggs []Aggregate) string {
 // AggregatesTable renders per-cell summaries as an aligned table.
 func AggregatesTable(aggs []Aggregate) string {
 	t := stats.NewTable("",
-		"server", "config", "MB", "cl", "cacheMB", "tr", "loss", "n",
+		"server", "config", "wl", "MB", "cl", "cacheMB", "tr", "loss", "n",
 		"write MB/s", "±", "agg MB/s", "±", "fair", "mean us", "±", "p99 us", "±")
 	for _, a := range aggs {
-		t.AddRow(a.Server, a.Config, fmt.Sprint(a.FileMB),
+		t.AddRow(a.Server, a.Config, a.Workload, fmt.Sprint(a.FileMB),
 			fmt.Sprint(a.Clients), fmt.Sprint(a.CacheMB),
 			a.Transport, fmt.Sprintf("%g", a.Loss), fmt.Sprint(a.N),
 			fmt.Sprintf("%.1f", a.WriteMBpsMean), fmt.Sprintf("%.2f", a.WriteMBpsStddev),

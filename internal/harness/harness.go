@@ -18,6 +18,7 @@ import (
 	"time"
 
 	nfssim "repro"
+	"repro/internal/bonnie"
 	"repro/internal/core"
 	"repro/internal/mm"
 	"repro/internal/rpcsim"
@@ -89,8 +90,13 @@ type Scenario struct {
 	Loss float64
 	// NetJitter is the max extra random delivery delay per datagram.
 	NetJitter sim.Time
-	Seed      int64
-	Repeat    int // repeat index; Seed already includes the offset
+	// Workload is the I/O pattern each client drives (default
+	// bonnie.WorkloadWrite, the paper's benchmark). FileMB sizes the
+	// workload's total I/O; read-family workloads open pre-populated
+	// cold files of that size.
+	Workload bonnie.Workload
+	Seed     int64
+	Repeat   int // repeat index; Seed already includes the offset
 
 	// SkipFlushClose stops each run after the write phase (the Figure
 	// 1/7 memory-write comparison). When false the run flushes and
@@ -104,10 +110,10 @@ type Scenario struct {
 // repeat — for grouping repeated runs. The cache limit appears in exact
 // bytes: keying on truncated megabytes used to fold two cache limits
 // differing by less than 1 MiB into one aggregation cell. The transport,
-// loss, and jitter axes appear only at non-default values, so sweeps
-// over the pre-existing axes keep byte-identical keys (and hence
-// output) to the tree before the transport/loss change — pinned by the
-// golden-CSV test in harness_test.go.
+// loss, jitter, and workload axes appear only at non-default values, so
+// sweeps over the pre-existing axes keep byte-identical keys (and hence
+// output) to the tree before those axes existed — pinned by the
+// golden-CSV tests in harness_test.go.
 func (sc Scenario) Key() string {
 	clients := sc.Clients
 	if clients < 1 {
@@ -124,6 +130,9 @@ func (sc Scenario) Key() string {
 	}
 	if sc.NetJitter > 0 {
 		key += fmt.Sprintf("/nj%v", sc.NetJitter)
+	}
+	if sc.Workload != bonnie.WorkloadWrite {
+		key += "/" + sc.Workload.String()
 	}
 	return key
 }
@@ -146,6 +155,7 @@ type Grid struct {
 	Jumbo       []bool                 // default: false
 	Transports  []rpcsim.TransportKind // default: udp
 	LossRates   []float64              // default: 0 (lossless)
+	Workloads   []bonnie.Workload      // default: write
 	Seeds       []int64                // default: 1
 
 	// NetJitter applies the same max delivery jitter to every scenario
@@ -173,9 +183,9 @@ func orInts(xs []int, def int) []int {
 
 // Expand returns the cross-product of all axes in a fixed nesting order
 // (config, server, file size, wsize, CPUs, clients, cache limit, jumbo,
-// transport, loss, seed, repeat — innermost last), with every Scenario
-// field resolved to its concrete value. The order is deterministic: the
-// same Grid always expands to the same slice.
+// transport, loss, workload, seed, repeat — innermost last), with every
+// Scenario field resolved to its concrete value. The order is
+// deterministic: the same Grid always expands to the same slice.
 func (g Grid) Expand() []Scenario {
 	servers := g.Servers
 	if len(servers) == 0 {
@@ -203,6 +213,10 @@ func (g Grid) Expand() []Scenario {
 	losses := g.LossRates
 	if len(losses) == 0 {
 		losses = []float64{0}
+	}
+	workloads := g.Workloads
+	if len(workloads) == 0 {
+		workloads = []bonnie.Workload{bonnie.WorkloadWrite}
 	}
 	seeds := g.Seeds
 	if len(seeds) == 0 {
@@ -241,25 +255,28 @@ func (g Grid) Expand() []Scenario {
 								for _, jumbo := range jumbos {
 									for _, tr := range transports {
 										for _, loss := range losses {
-											for _, seed := range seeds {
-												for rep := 0; rep < repeats; rep++ {
-													out = append(out, Scenario{
-														Server:         srv,
-														Config:         cfg,
-														FileMB:         mb,
-														WSize:          ws,
-														ClientCPUs:     ncpu,
-														Clients:        ncli,
-														CacheLimit:     cache,
-														Jumbo:          jumbo,
-														Transport:      tr,
-														Loss:           loss,
-														NetJitter:      g.NetJitter,
-														Seed:           seed + int64(rep)*span,
-														Repeat:         rep,
-														SkipFlushClose: g.SkipFlushClose,
-														TimeLimit:      timeLimit,
-													})
+											for _, wl := range workloads {
+												for _, seed := range seeds {
+													for rep := 0; rep < repeats; rep++ {
+														out = append(out, Scenario{
+															Server:         srv,
+															Config:         cfg,
+															FileMB:         mb,
+															WSize:          ws,
+															ClientCPUs:     ncpu,
+															Clients:        ncli,
+															CacheLimit:     cache,
+															Jumbo:          jumbo,
+															Transport:      tr,
+															Loss:           loss,
+															NetJitter:      g.NetJitter,
+															Workload:       wl,
+															Seed:           seed + int64(rep)*span,
+															Repeat:         rep,
+															SkipFlushClose: g.SkipFlushClose,
+															TimeLimit:      timeLimit,
+														})
+													}
 												}
 											}
 										}
@@ -368,6 +385,20 @@ func ParseLossRates(spec string) ([]float64, error) {
 			return nil, fmt.Errorf("harness: bad loss rate %q (want a probability in [0, 1))", f)
 		}
 		out = append(out, v)
+	}
+	return out, nil
+}
+
+// ParseWorkloads parses a comma list of workload names
+// ("write,rewrite,read,mixed").
+func ParseWorkloads(spec string) ([]bonnie.Workload, error) {
+	var out []bonnie.Workload
+	for _, f := range strings.Split(spec, ",") {
+		w, err := bonnie.ParseWorkload(strings.TrimSpace(f))
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, w)
 	}
 	return out, nil
 }

@@ -11,6 +11,7 @@ import (
 	"time"
 
 	nfssim "repro"
+	"repro/internal/bonnie"
 	"repro/internal/core"
 	"repro/internal/mm"
 	"repro/internal/rpcsim"
@@ -492,6 +493,127 @@ func TestLossyResultsReportRepairTraffic(t *testing.T) {
 	again := RunScenario(sc)
 	if r.Retransmits != again.Retransmits || r.LostFrames != again.LostFrames {
 		t.Fatal("same scenario produced different loss pattern")
+	}
+}
+
+// Golden regression: a pure-write sweep (the default Workload) must
+// reproduce the pre-read-path CSV byte for byte, at any worker count —
+// adding READ/readahead machinery cannot perturb write-only runs.
+// testdata/golden_write_only.csv was captured from the tree before the
+// read-path change by running this exact grid (full write+flush+close
+// runs, 12 scenarios over filer/linux/local x stock/enhanced x 1,2
+// clients at 10 MB).
+func TestWriteOnlySweepMatchesPreReadPathGolden(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs twelve full 10 MB sims twice")
+	}
+	want, err := os.ReadFile(filepath.Join("testdata", "golden_write_only.csv"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	g := Grid{
+		Servers:     []nfssim.ServerKind{nfssim.ServerFiler, nfssim.ServerLinux, nfssim.ServerNone},
+		Configs:     []ClientConfig{{"stock", core.Stock244Config()}, {"enhanced", core.EnhancedConfig()}},
+		FileSizesMB: []int{10},
+		Clients:     []int{1, 2},
+		Workloads:   []bonnie.Workload{bonnie.WorkloadWrite}, // explicit default must equal "absent"
+	}
+	for _, workers := range []int{1, 8} {
+		got := ResultsCSV((&Runner{Workers: workers}).Run(g.Expand()))
+		if got != string(want) {
+			t.Fatalf("write-only sweep (workers=%d) diverged from pre-read-path golden CSV:\n--- want ---\n%s--- got ---\n%s",
+				workers, want, got)
+		}
+	}
+}
+
+// The workload axis expands like any other axis, lands in distinct cells
+// at non-default values, and keeps the default key byte-identical.
+func TestWorkloadAxisExpandAndKey(t *testing.T) {
+	g := Grid{
+		FileSizesMB: []int{5},
+		Workloads: []bonnie.Workload{bonnie.WorkloadWrite, bonnie.WorkloadRewrite,
+			bonnie.WorkloadRead, bonnie.WorkloadMixed},
+	}
+	scens := g.Expand()
+	if len(scens) != 4 {
+		t.Fatalf("expanded %d scenarios, want 4", len(scens))
+	}
+	keys := map[string]bool{}
+	for _, sc := range scens {
+		keys[sc.Key()] = true
+	}
+	if len(keys) != 4 {
+		t.Fatalf("workloads collapsed into %d keys: %v", len(keys), keys)
+	}
+	if k := scens[0].Key(); strings.Contains(k, "write") {
+		t.Fatalf("default workload key %q mentions the axis", k)
+	}
+	if !strings.HasSuffix(scens[2].Key(), "/read") {
+		t.Fatalf("read key = %q", scens[2].Key())
+	}
+	if !strings.HasSuffix(scens[3].Key(), "/mixed") {
+		t.Fatalf("mixed key = %q", scens[3].Key())
+	}
+}
+
+// Read and mixed workloads must stay worker-deterministic like every
+// other axis (the CI determinism job diffs this grid at -workers 1 vs 8).
+func TestReadMixedDeterministicAcrossWorkers(t *testing.T) {
+	g := Grid{
+		Servers:     []nfssim.ServerKind{nfssim.ServerFiler},
+		Configs:     []ClientConfig{{"stock", core.Stock244Config()}, {"enhanced", core.EnhancedConfig()}},
+		FileSizesMB: []int{1},
+		Clients:     []int{1, 2},
+		Workloads:   []bonnie.Workload{bonnie.WorkloadRead, bonnie.WorkloadMixed},
+	}
+	scens := g.Expand()
+	if len(scens) != 8 {
+		t.Fatalf("expanded %d scenarios, want 8", len(scens))
+	}
+	r1 := (&Runner{Workers: 1}).Run(scens)
+	r8 := (&Runner{Workers: 8}).Run(scens)
+	if ResultsCSV(r1) != ResultsCSV(r8) {
+		t.Fatal("read/mixed CSV differs between 1 and 8 workers")
+	}
+	if ResultsJSON(r1) != ResultsJSON(r8) {
+		t.Fatal("read/mixed JSON differs between 1 and 8 workers")
+	}
+}
+
+// Read-workload results must carry the read-path fields: read RPCs on
+// NFS targets, hit/miss accounting, and the workload name in JSON.
+func TestReadWorkloadResultFields(t *testing.T) {
+	sc := Grid{
+		Servers:     []nfssim.ServerKind{nfssim.ServerFiler},
+		Configs:     []ClientConfig{{"enhanced", core.EnhancedConfig()}},
+		FileSizesMB: []int{1},
+		Workloads:   []bonnie.Workload{bonnie.WorkloadRead},
+	}.Expand()[0]
+	r := RunScenario(sc)
+	if r.Workload != "read" {
+		t.Fatalf("workload = %q", r.Workload)
+	}
+	if r.Calls != 128 {
+		t.Fatalf("calls = %d, want 128", r.Calls)
+	}
+	if r.ReadRPCs == 0 {
+		t.Fatal("no READ RPCs recorded")
+	}
+	if r.ReadHits+r.ReadMisses != 256 { // 1 MB = 256 page lookups
+		t.Fatalf("read lookups = %d + %d, want 256", r.ReadHits, r.ReadMisses)
+	}
+	if r.WriteMBps <= 0 {
+		t.Fatal("read throughput not recorded")
+	}
+	if !strings.Contains(ResultsJSON([]Result{r}), `"read_rpcs"`) {
+		t.Fatal("JSON schema missing read fields")
+	}
+	// Write-only runs keep zero read counters.
+	sc.Workload = bonnie.WorkloadWrite
+	rw := RunScenario(sc)
+	if rw.ReadRPCs != 0 || rw.ReadHits != 0 || rw.ReadMisses != 0 {
+		t.Fatalf("write-only run recorded read activity: %+v", rw)
 	}
 }
 

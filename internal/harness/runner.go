@@ -55,6 +55,17 @@ type Result struct {
 	DupReplies int64   `json:"dup_replies"`
 	LostFrames int64   `json:"lost_frames"` // fragments the loss model dropped
 
+	// Read-path results (JSON only; the CSV schema is frozen, and the
+	// workload also appears in Name at non-default values). For read
+	// workloads the write_* throughput columns carry the I/O phase —
+	// i.e. read throughput — as documented in docs/experiments.md.
+	// ReadHits/ReadMisses are page-cache read lookups across all client
+	// machines; a miss includes pages whose fetch was already in flight.
+	Workload   string `json:"workload"`
+	ReadRPCs   int64  `json:"read_rpcs"`
+	ReadHits   int64  `json:"read_hits"`
+	ReadMisses int64  `json:"read_misses"`
+
 	ServerNetMBps float64 `json:"server_net_mbps"` // sustained server ingest
 	SendCPUUs     float64 `json:"send_cpu_us"`     // total sock_sendmsg CPU
 
@@ -117,6 +128,7 @@ func RunScenario(sc Scenario) Result {
 	tb := nfssim.NewTestbed(opts)
 	bcfg := bonnie.Config{
 		FileSize:       int64(sc.FileMB) << 20,
+		Workload:       sc.Workload,
 		TimeLimit:      sc.TimeLimit,
 		SkipFlushClose: sc.SkipFlushClose,
 	}
@@ -138,12 +150,13 @@ func RunScenario(sc Scenario) Result {
 
 		Transport: sc.Transport.String(),
 		Loss:      sc.Loss,
+		Workload:  sc.Workload.String(),
 
 		Scenario: sc,
 	}
 
 	if clients == 1 {
-		res := bonnie.Run(tb.Sim, sc.Name(), tb.Open, bcfg)
+		res := bonnie.RunWorkload(tb.Sim, sc.Name(), tb.OpenSet(), bcfg)
 		out.Calls = res.Calls
 		out.WriteMBps = res.WriteMBps()
 		out.WriteKBps = res.WriteKBps()
@@ -155,8 +168,8 @@ func RunScenario(sc Scenario) Result {
 		out.MinClientMBps, out.MaxClientMBps = out.AggMBps, out.AggMBps
 		out.Fairness = 1
 	} else {
-		res := bonnie.RunConcurrent(tb.Sim, sc.Name(),
-			func(i int) vfs.File { return tb.Machine(i).Open() }, clients, bcfg)
+		res := bonnie.RunConcurrentWorkload(tb.Sim, sc.Name(),
+			func(i int) vfs.OpenSet { return tb.Machine(i).OpenSet() }, clients, bcfg)
 		trace := stats.NewTrace(sc.Name())
 		var writeSum, kbSum, flushSum, closeSum float64
 		for _, w := range res.PerWriter {
@@ -196,7 +209,10 @@ func RunScenario(sc Scenario) Result {
 			out.SoftFlushes += m.Client.SoftFlushes
 			out.HardBlocks += m.Client.HardBlocks
 			out.RPCsSent += m.Client.RPCsSent
+			out.ReadRPCs += m.Client.ReadRPCs
 		}
+		out.ReadHits += m.Cache.ReadHits
+		out.ReadMisses += m.Cache.ReadMisses
 		if m.Transport != nil {
 			st := m.Transport.Stats()
 			out.Retransmits += st.Retransmits

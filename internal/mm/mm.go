@@ -13,7 +13,10 @@ import (
 	"repro/internal/sim"
 )
 
-// PageCache tracks dirty and in-writeback bytes against a budget.
+// PageCache tracks dirty and in-writeback bytes against a budget, plus
+// read-side lookup accounting: every page read is either a hit (the page
+// was resident — written earlier, or filled by a previous READ) or a miss
+// that had to go to the server or disk.
 type PageCache struct {
 	s *sim.Sim
 	// limit is the maximum of dirty+writeback bytes before writers block
@@ -30,6 +33,13 @@ type PageCache struct {
 	ThrottledTime sim.Time
 	// PeakUsage is the high-water mark of dirty+writeback.
 	PeakUsage int64
+
+	// ReadHits counts page reads served from resident pages; ReadMisses
+	// counts reads that had to fetch. Clean resident pages are not charged
+	// against the dirty budget (the kernel reclaims them for free under
+	// pressure), so these are counters, not bytes in Usage.
+	ReadHits   int64
+	ReadMisses int64
 }
 
 // ClientRAM is the paper's client memory size (256 MB of PC133 SDRAM).
@@ -115,4 +125,55 @@ func (c *PageCache) EndWriteback(n int64) {
 	}
 	c.writeback -= n
 	c.wait.Broadcast()
+}
+
+// NoteRead records one page-read lookup: a hit when the page was
+// resident, a miss otherwise.
+func (c *PageCache) NoteRead(hit bool) {
+	if hit {
+		c.ReadHits++
+	} else {
+		c.ReadMisses++
+	}
+}
+
+// Readahead is one inode's sequential read window, the read-side dual of
+// the paper's write-behind: misses on a sequential run grow the window so
+// fetches stay ahead of the reader, and any non-sequential access (a
+// seek) collapses it back to the minimum, like the 2.4 generic file
+// readahead state machine.
+type Readahead struct {
+	// Min is the window a fresh or just-seeked stream starts with; Max
+	// caps growth. Max <= 0 disables readahead entirely (Access always
+	// returns 0).
+	Min, Max int
+
+	window int
+	next   int64 // page a sequential access would touch next
+}
+
+// Window returns the current window size in pages.
+func (r *Readahead) Window() int { return r.window }
+
+// Access notes a read of page pg and returns the number of pages to read
+// ahead beyond the demand fetch. Sequential accesses double the window
+// from Min up to Max; the first access and every seek reset it to Min.
+func (r *Readahead) Access(pg int64) int {
+	if r.Max <= 0 {
+		return 0
+	}
+	switch {
+	case r.window == 0 || pg != r.next:
+		r.window = r.Min
+	default:
+		r.window *= 2
+	}
+	if r.window > r.Max {
+		r.window = r.Max
+	}
+	if r.window < 1 {
+		r.window = 1
+	}
+	r.next = pg + 1
+	return r.window
 }

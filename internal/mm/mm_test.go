@@ -103,6 +103,92 @@ func TestPanics(t *testing.T) {
 	s.Run(time.Second)
 }
 
+func TestNoteReadAccounting(t *testing.T) {
+	s := sim.New(1)
+	c := New(s, 1<<20)
+	for _, tc := range []struct {
+		hits, misses int
+	}{
+		{0, 0}, {3, 0}, {3, 2}, {10, 7},
+	} {
+		c.ReadHits, c.ReadMisses = 0, 0
+		for i := 0; i < tc.hits; i++ {
+			c.NoteRead(true)
+		}
+		for i := 0; i < tc.misses; i++ {
+			c.NoteRead(false)
+		}
+		if c.ReadHits != int64(tc.hits) || c.ReadMisses != int64(tc.misses) {
+			t.Fatalf("hits/misses = %d/%d, want %d/%d",
+				c.ReadHits, c.ReadMisses, tc.hits, tc.misses)
+		}
+	}
+	// Read accounting never touches the dirty budget.
+	if c.Usage() != 0 {
+		t.Fatalf("usage = %d after read accounting", c.Usage())
+	}
+}
+
+func TestReadaheadWindow(t *testing.T) {
+	for _, tc := range []struct {
+		name     string
+		min, max int
+		accesses []int64
+		want     []int // Access return per access
+	}{
+		{
+			// A fresh stream starts at Min and doubles per sequential
+			// access until capped at Max.
+			name: "sequential grows and caps",
+			min:  2, max: 16,
+			accesses: []int64{0, 1, 2, 3, 4, 5},
+			want:     []int{2, 4, 8, 16, 16, 16},
+		},
+		{
+			// A seek (non-sequential access) resets the window to Min.
+			name: "seek resets",
+			min:  2, max: 16,
+			accesses: []int64{0, 1, 2, 100, 101, 102},
+			want:     []int{2, 4, 8, 2, 4, 8},
+		},
+		{
+			// Re-reading the same page is a seek too (next expected was
+			// pg+1).
+			name: "re-read resets",
+			min:  4, max: 8,
+			accesses: []int64{0, 1, 1, 2},
+			want:     []int{4, 8, 4, 8},
+		},
+		{
+			// Max <= 0 disables readahead entirely.
+			name: "disabled",
+			min:  2, max: 0,
+			accesses: []int64{0, 1, 2, 3},
+			want:     []int{0, 0, 0, 0},
+		},
+		{
+			// Min above Max still respects the cap.
+			name: "min clamped to max",
+			min:  32, max: 8,
+			accesses: []int64{0, 1},
+			want:     []int{8, 8},
+		},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			ra := Readahead{Min: tc.min, Max: tc.max}
+			for i, pg := range tc.accesses {
+				if got := ra.Access(pg); got != tc.want[i] {
+					t.Fatalf("access %d (page %d): window %d, want %d",
+						i, pg, got, tc.want[i])
+				}
+				if ra.Window() != tc.want[i] {
+					t.Fatalf("access %d: Window() %d, want %d", i, ra.Window(), tc.want[i])
+				}
+			}
+		})
+	}
+}
+
 // Property: usage never exceeds the limit no matter how writers and
 // flushers interleave, as long as individual charges fit the budget.
 func TestBudgetInvariantProperty(t *testing.T) {

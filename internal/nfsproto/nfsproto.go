@@ -1,8 +1,10 @@
 // Package nfsproto defines the NFS version 3 protocol messages (RFC 1813)
-// and the SunRPC envelope (RFC 1831) used by the client write path: WRITE
-// and COMMIT, with real XDR wire encodings. The paper's systems mount with
-// NFSv3, rsize=wsize=8192 (§3.1); message sizes computed here drive wire
-// transmission times and IP fragment counts in the network model.
+// and the SunRPC envelope (RFC 1831) used by the client I/O paths: READ,
+// WRITE and COMMIT, with real XDR wire encodings. The paper's systems
+// mount with NFSv3, rsize=wsize=8192 (§3.1); message sizes computed here
+// drive wire transmission times and IP fragment counts in the network
+// model — a READ reply carrying rsize bytes of data fragments exactly
+// like a WRITE call carrying wsize bytes.
 package nfsproto
 
 import (
@@ -25,9 +27,10 @@ const (
 	AuthUnix = 1
 )
 
-// NFSv3 procedure numbers used by the write path.
+// NFSv3 procedure numbers used by the read and write paths.
 const (
 	ProcNull   = 0
+	ProcRead   = 6
 	ProcWrite  = 7
 	ProcCommit = 21
 )
@@ -331,6 +334,88 @@ func DecodeWriteRes(d *xdr.Decoder) (*WriteRes, error) {
 	return r, nil
 }
 
+// ReadArgs is READ3args (RFC 1813 §3.3.6).
+type ReadArgs struct {
+	File   FileHandle
+	Offset uint64
+	Count  uint32
+}
+
+// Encode appends the XDR form of the arguments.
+func (a *ReadArgs) Encode(e *xdr.Encoder) {
+	e.Opaque(a.File[:])
+	e.Uint64(a.Offset)
+	e.Uint32(a.Count)
+}
+
+// DecodeReadArgs decodes READ3args.
+func DecodeReadArgs(d *xdr.Decoder) (*ReadArgs, error) {
+	fh, err := d.Opaque()
+	if err != nil {
+		return nil, err
+	}
+	if len(fh) != FHSize {
+		return nil, fmt.Errorf("nfsproto: file handle size %d", len(fh))
+	}
+	var a ReadArgs
+	copy(a.File[:], fh)
+	off, e1 := d.Uint64()
+	count, e2 := d.Uint32()
+	if err := xdr.Check(e1, e2); err != nil {
+		return nil, err
+	}
+	a.Offset = off
+	a.Count = count
+	return &a, nil
+}
+
+// ReadRes is READ3res (success arm; post-op attributes elided as "not
+// present", a legal server choice). Data is the file content returned;
+// its length on the wire is what makes READ replies fragment like WRITE
+// calls.
+type ReadRes struct {
+	Status Status
+	Count  uint32
+	EOF    bool
+	Data   []byte
+}
+
+// Encode appends the XDR form of the result.
+func (r *ReadRes) Encode(e *xdr.Encoder) {
+	e.Uint32(uint32(r.Status))
+	e.Bool(false) // post-op attributes not present
+	if r.Status == NFS3OK {
+		e.Uint32(r.Count)
+		e.Bool(r.EOF)
+		e.Opaque(r.Data)
+	}
+}
+
+// DecodeReadRes decodes READ3res.
+func DecodeReadRes(d *xdr.Decoder) (*ReadRes, error) {
+	st, err := d.Uint32()
+	if err != nil {
+		return nil, err
+	}
+	if _, err := d.Bool(); err != nil {
+		return nil, err
+	}
+	r := &ReadRes{Status: Status(st)}
+	if r.Status != NFS3OK {
+		return r, nil
+	}
+	count, e1 := d.Uint32()
+	eof, e2 := d.Bool()
+	data, e3 := d.Opaque()
+	if err := xdr.Check(e1, e2, e3); err != nil {
+		return nil, err
+	}
+	r.Count = count
+	r.EOF = eof
+	r.Data = data
+	return r, nil
+}
+
 // CommitArgs is COMMIT3args (RFC 1813 §3.3.21). Count == 0 means "commit
 // everything from Offset to end of file", which is how the client commits
 // a whole file at close.
@@ -416,4 +501,14 @@ func WriteCallSize(n int) int {
 	CallHeader{XID: 1, Proc: ProcWrite}.Encode(e)
 	hdr := e.Len()
 	return hdr + xdr.OpaqueLen(FHSize) + 8 + 4 + 4 + xdr.OpaqueLen(n)
+}
+
+// ReadReplySize returns the full encoded size of a READ reply carrying n
+// data bytes, envelope included. Used for wire-time estimation without
+// building the message.
+func ReadReplySize(n int) int {
+	e := xdr.NewEncoder(64)
+	ReplyHeader{XID: 1}.Encode(e)
+	hdr := e.Len()
+	return hdr + 4 + 4 + 4 + 4 + xdr.OpaqueLen(n)
 }

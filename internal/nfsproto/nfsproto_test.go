@@ -137,6 +137,72 @@ func TestCommitResError(t *testing.T) {
 	}
 }
 
+func TestReadArgsRoundTrip(t *testing.T) {
+	a := &ReadArgs{File: MakeFileHandle(2, 17), Offset: 65536, Count: 8192}
+	e := xdr.NewEncoder(64)
+	a.Encode(e)
+	got, err := DecodeReadArgs(xdr.NewDecoder(e.Bytes()))
+	if err != nil || *got != *a {
+		t.Fatalf("got %+v err %v", got, err)
+	}
+}
+
+func TestReadArgsBadHandle(t *testing.T) {
+	e := xdr.NewEncoder(64)
+	e.Opaque([]byte{1, 2, 3})
+	e.Uint64(0)
+	e.Uint32(0)
+	if _, err := DecodeReadArgs(xdr.NewDecoder(e.Bytes())); err == nil {
+		t.Fatal("expected handle-size error")
+	}
+}
+
+func TestReadResRoundTrip(t *testing.T) {
+	data := bytes.Repeat([]byte{0xa5}, 8192)
+	r := &ReadRes{Status: NFS3OK, Count: 8192, EOF: true, Data: data}
+	e := xdr.NewEncoder(9000)
+	r.Encode(e)
+	got, err := DecodeReadRes(xdr.NewDecoder(e.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Status != r.Status || got.Count != r.Count || got.EOF != r.EOF ||
+		!bytes.Equal(got.Data, r.Data) {
+		t.Fatalf("round trip mismatch: %+v", got)
+	}
+}
+
+func TestReadResError(t *testing.T) {
+	r := &ReadRes{Status: NFS3ErrStale}
+	e := xdr.NewEncoder(64)
+	r.Encode(e)
+	got, err := DecodeReadRes(xdr.NewDecoder(e.Bytes()))
+	if err != nil || got.Status != NFS3ErrStale || got.Data != nil {
+		t.Fatalf("got %+v err %v", got, err)
+	}
+}
+
+func TestReadReplySizeMatchesEncoding(t *testing.T) {
+	for _, n := range []int{0, 1, 4096, 8192} {
+		r := &ReadRes{Status: NFS3OK, Count: uint32(n), Data: make([]byte, n)}
+		e := xdr.NewEncoder(n + 256)
+		ReplyHeader{XID: 1}.Encode(e)
+		r.Encode(e)
+		if e.Len() != ReadReplySize(n) {
+			t.Fatalf("n=%d: encoded %d, ReadReplySize %d", n, e.Len(), ReadReplySize(n))
+		}
+	}
+}
+
+// An rsize READ reply must fragment on the wire like a wsize WRITE call:
+// its payload exceeds one ethernet MTU by the data it carries.
+func TestReadReplySizeIs8KPlusEnvelope(t *testing.T) {
+	sz := ReadReplySize(8192)
+	if sz <= 8192 || sz > 8192+300 {
+		t.Fatalf("ReadReplySize(8192) = %d, want 8192 + small envelope", sz)
+	}
+}
+
 func TestMakeFileHandleDistinct(t *testing.T) {
 	a := MakeFileHandle(1, 1)
 	b := MakeFileHandle(1, 2)

@@ -130,6 +130,20 @@ func (f *Filer) HandleWrite(p *sim.Proc, args *nfsproto.WriteArgs) *nfsproto.Wri
 	}
 }
 
+// HandleRead implements Backend: a cold-file read served from the RAID-4
+// volume. Consistency points pause only network *write* requests (§3.5),
+// so reads proceed during a CP — but they share the volume's FIFO queue
+// with the NVRAM drain, so a read issued mid-checkpoint waits behind the
+// stripe writes.
+func (f *Filer) HandleRead(p *sim.Proc, args *nfsproto.ReadArgs) *nfsproto.ReadRes {
+	f.disk.Read(p, int64(args.Offset), int64(args.Count))
+	return &nfsproto.ReadRes{
+		Status: nfsproto.NFS3OK,
+		Count:  args.Count,
+		Data:   make([]byte, args.Count),
+	}
+}
+
 // HandleCommit implements Backend: everything is already in NVRAM, so a
 // COMMIT (clients rarely send one to a filer) completes immediately.
 func (f *Filer) HandleCommit(p *sim.Proc, args *nfsproto.CommitArgs) *nfsproto.CommitRes {

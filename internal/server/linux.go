@@ -120,6 +120,21 @@ func (l *LinuxServer) HandleWrite(p *sim.Proc, args *nfsproto.WriteArgs) *nfspro
 	}
 }
 
+// HandleRead implements Backend: a cold-file read served from the SCSI
+// disk at the file's byte offset. Sequential client READs arrive as
+// sequential disk reads and stream at media rate after one positioning
+// cost; a read interleaved with the writeback drain (or a client seek)
+// repositions the head. The returned data is Count zero bytes — content
+// is not modeled, but the reply's wire size is.
+func (l *LinuxServer) HandleRead(p *sim.Proc, args *nfsproto.ReadArgs) *nfsproto.ReadRes {
+	l.disk.Read(p, int64(args.Offset), int64(args.Count))
+	return &nfsproto.ReadRes{
+		Status: nfsproto.NFS3OK,
+		Count:  args.Count,
+		Data:   make([]byte, args.Count),
+	}
+}
+
 // HandleCommit implements Backend: block until dirty data reaches disk.
 func (l *LinuxServer) HandleCommit(p *sim.Proc, args *nfsproto.CommitArgs) *nfsproto.CommitRes {
 	for l.dirty > 0 {

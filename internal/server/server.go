@@ -25,9 +25,14 @@ import (
 	"repro/internal/xdr"
 )
 
-// Backend is an NFS write/commit implementation behind the RPC front-end.
-// Handlers run on an nfsd worker process and may block in virtual time.
+// Backend is an NFS read/write/commit implementation behind the RPC
+// front-end. Handlers run on an nfsd worker process and may block in
+// virtual time.
 type Backend interface {
+	// HandleRead services a READ3 request. The returned Data must be
+	// Count bytes long — its length is what puts read wire time on the
+	// reply path.
+	HandleRead(p *sim.Proc, args *nfsproto.ReadArgs) *nfsproto.ReadRes
 	// HandleWrite services a WRITE3 request.
 	HandleWrite(p *sim.Proc, args *nfsproto.WriteArgs) *nfsproto.WriteRes
 	// HandleCommit services a COMMIT3 request.
@@ -49,6 +54,10 @@ type Config struct {
 	// management, reply construction). This is the knob that sets a
 	// server's peak ingest rate.
 	ServiceCPU sim.Time
+	// ReadServiceCPU is the READ path's per-request processing (no NVRAM
+	// log or dirty accounting, but a buffer-cache lookup and reply data
+	// setup). Zero falls back to ServiceCPU/2.
+	ReadServiceCPU sim.Time
 	// SendCPU is the reply transmit cost.
 	SendCPU sim.Time
 	// MTU for fragment-count computation; must match the network's.
@@ -78,7 +87,9 @@ type Server struct {
 	// Statistics.
 	Writes        int64
 	Commits       int64
+	Reads         int64
 	BytesWritten  int64
+	BytesRead     int64
 	BusyWorkers   int
 	MaxBusy       int
 	firstWriteAt  sim.Time
@@ -209,6 +220,22 @@ func (srv *Server) serve(p *sim.Proc, item rxItem) {
 	nfsproto.ReplyHeader{XID: hdr.XID}.Encode(reply)
 
 	switch hdr.Proc {
+	case nfsproto.ProcRead:
+		args, err := nfsproto.DecodeReadArgs(d)
+		if err != nil {
+			panic(fmt.Sprintf("server %s: bad READ args: %v", srv.cfg.Host, err))
+		}
+		readCPU := srv.cfg.ReadServiceCPU
+		if readCPU == 0 {
+			readCPU = srv.cfg.ServiceCPU / 2
+		}
+		srv.cpu.Use(p, "nfsd_read", readCPU)
+		res := srv.backend.HandleRead(p, args)
+		if res.Status == nfsproto.NFS3OK {
+			srv.Reads++
+			srv.BytesRead += int64(res.Count)
+		}
+		res.Encode(reply)
 	case nfsproto.ProcWrite:
 		args, err := nfsproto.DecodeWriteArgs(d)
 		if err != nil {

@@ -272,6 +272,60 @@ func TestBadFrontEndConfigPanics(t *testing.T) {
 	New(s, net, netsim.DefaultGigabit(), Config{Host: "x", Workers: 0, CPUs: 1}, nil)
 }
 
+// Both backends must serve READ over the front-end: correct status and
+// byte count, data sized for wire-time accounting, and server read
+// statistics advancing.
+func TestReadServedByBothBackends(t *testing.T) {
+	for _, kind := range []string{"filer", "linux"} {
+		r, _ := newRig(t, kind)
+		fh := nfsproto.MakeFileHandle(1, 3)
+		var got *nfsproto.ReadRes
+		r.s.Go("r", func(p *sim.Proc) {
+			args := nfsproto.ReadArgs{File: fh, Offset: 16384, Count: 8192}
+			d := r.tr.CallSync(p, nfsproto.ProcRead, args.Encode)
+			res, err := nfsproto.DecodeReadRes(d)
+			if err != nil {
+				t.Errorf("%s: decode: %v", kind, err)
+				return
+			}
+			got = res
+		})
+		r.s.Run(time.Minute)
+		if got == nil || got.Status != nfsproto.NFS3OK || got.Count != 8192 {
+			t.Fatalf("%s: READ reply %+v", kind, got)
+		}
+		if len(got.Data) != 8192 {
+			t.Fatalf("%s: reply carries %d data bytes, want 8192", kind, len(got.Data))
+		}
+		if r.srv.Reads != 1 || r.srv.BytesRead != 8192 {
+			t.Fatalf("%s: server stats reads=%d bytes=%d", kind, r.srv.Reads, r.srv.BytesRead)
+		}
+	}
+}
+
+// Sequential READs must stream from the backend disk: the second of two
+// adjacent reads pays no positioning cost, so doubling the bytes must
+// not double the elapsed time by more than the media transfer.
+func TestSequentialReadsAvoidSeeks(t *testing.T) {
+	r, backend := newRig(t, "linux")
+	l := backend.(*LinuxServer)
+	r.s.Go("r", func(p *sim.Proc) {
+		for off := int64(0); off < 10*8192; off += 8192 {
+			args := nfsproto.ReadArgs{File: nfsproto.MakeFileHandle(1, 4), Offset: uint64(off), Count: 8192}
+			if res, err := nfsproto.DecodeReadRes(r.tr.CallSync(p, nfsproto.ProcRead, args.Encode)); err != nil || res.Status != nfsproto.NFS3OK {
+				t.Errorf("read failed: %v %v", res, err)
+			}
+		}
+	})
+	r.s.Run(time.Minute)
+	if l.disk.Seeks != 1 {
+		t.Fatalf("10 sequential READs cost %d seeks, want 1 (initial position)", l.disk.Seeks)
+	}
+	if l.disk.BytesRead != 10*8192 {
+		t.Fatalf("disk read %d bytes", l.disk.BytesRead)
+	}
+}
+
 func TestBadBackendConfigPanics(t *testing.T) {
 	s := sim.New(1)
 	for _, fn := range []func(){

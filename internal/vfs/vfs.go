@@ -1,9 +1,12 @@
-// Package vfs models the Linux 2.4 VFS write path shared by every
-// filesystem in the simulation: the write() system call splits user
-// buffers into page-sized pieces ("The Linux VFS layer passes write
-// requests no larger than a page to file systems, one at a time", §3.4),
-// charges per-page copy and bookkeeping CPU, and hands each page to the
-// filesystem's commit_write implementation.
+// Package vfs models the Linux 2.4 VFS I/O paths shared by every
+// filesystem in the simulation. The write path: the write() system call
+// splits user buffers into page-sized pieces ("The Linux VFS layer passes
+// write requests no larger than a page to file systems, one at a time",
+// §3.4), charges per-page copy and bookkeeping CPU, and hands each page
+// to the filesystem's commit_write implementation. The read path is its
+// dual: read() walks the same page spans, asks the filesystem to make
+// each page resident (generic_file_read -> readpage), and charges the
+// copy_to_user cost per page.
 package vfs
 
 import (
@@ -14,17 +17,34 @@ import (
 // ("8192 bytes is two pages, thus two requests", §3.3).
 const PageSize = 4096
 
-// File is what the benchmark drives: a writable file with explicit flush
-// and close, all blocking in virtual time.
+// File is what the benchmark drives: a readable and writable file with
+// explicit flush and close, all blocking in virtual time.
 type File interface {
-	// Write appends n bytes at the file's current position.
+	// Write appends n bytes at the file's current write position.
 	Write(p *sim.Proc, n int)
+	// WriteAt writes n bytes at an arbitrary offset (pwrite), dirtying
+	// existing pages in place — the rewrite workload's second half.
+	WriteAt(p *sim.Proc, off int64, n int)
+	// Read reads up to n bytes at the file's current read position and
+	// returns the bytes actually read (0 at end of file). The read and
+	// write positions are independent, like separate file descriptors on
+	// one file.
+	Read(p *sim.Proc, n int) int
 	// Flush makes all written data durable (fsync semantics).
 	Flush(p *sim.Proc)
 	// Close flushes remaining state and releases the file.
 	Close(p *sim.Proc)
-	// Size returns the bytes written so far.
+	// Size returns the file's size in bytes.
 	Size() int64
+}
+
+// OpenSet provides the ways a workload can open files on one target:
+// Fresh creates a new empty file (the write benchmark's fresh file),
+// Existing opens a file that already holds size bytes of data with no
+// pages resident in the client's cache (the read benchmark's cold file).
+type OpenSet struct {
+	Fresh    func() File
+	Existing func(size int64) File
 }
 
 // Costs is the syscall-layer CPU model, calibrated to the paper's client:
@@ -90,6 +110,21 @@ func WriteSyscall(p *sim.Proc, cpu *sim.CPUPool, costs Costs, off int64, n int, 
 	for _, span := range spans {
 		cpu.Use(p, "generic_file_write", costs.PerPagePrepare+costs.PerPageCopy)
 		commit(span)
+	}
+	return spans
+}
+
+// ReadSyscall charges the generic read-path CPU for a read of n bytes at
+// offset off: syscall entry, then per page a fetch callback (the
+// filesystem's readpage — it blocks until the page is resident) followed
+// by the copy_to_user charge. This is the shared skeleton of
+// sys_read -> generic_file_read for both ext2 and NFS files.
+func ReadSyscall(p *sim.Proc, cpu *sim.CPUPool, costs Costs, off int64, n int, fetch func(PageSpan)) []PageSpan {
+	cpu.Use(p, "sys_read", costs.SyscallEntry)
+	spans := SplitPages(off, n)
+	for _, span := range spans {
+		fetch(span)
+		cpu.Use(p, "generic_file_read", costs.PerPageCopy)
 	}
 	return spans
 }

@@ -96,6 +96,32 @@ func TestWriteSyscallChargesCPUAndCommits(t *testing.T) {
 	}
 }
 
+func TestReadSyscallChargesCPUAndFetches(t *testing.T) {
+	s := sim.New(1)
+	cpu := s.NewCPUPool("cpu", 1)
+	costs := DefaultCosts()
+	var fetched []PageSpan
+	var elapsed sim.Time
+	s.Go("r", func(p *sim.Proc) {
+		ReadSyscall(p, cpu, costs, 0, 8192, func(sp PageSpan) {
+			fetched = append(fetched, sp)
+		})
+		elapsed = s.Now()
+	})
+	s.Run(time.Second)
+	if len(fetched) != 2 {
+		t.Fatalf("fetched %d pages", len(fetched))
+	}
+	// Reads copy to user space but skip the write path's prepare_write.
+	want := costs.SyscallEntry + 2*costs.PerPageCopy
+	if elapsed != want {
+		t.Fatalf("elapsed = %v, want %v", elapsed, want)
+	}
+	if s.Profiler().Total("generic_file_read") == 0 {
+		t.Fatal("generic_file_read not profiled")
+	}
+}
+
 func TestDefaultCostsCalibration(t *testing.T) {
 	// ~42 µs per 8 KB write at the syscall layer -> ~195 MB/s peak local
 	// memory write bandwidth, Figure 1's ext2 plateau.

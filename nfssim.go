@@ -4,8 +4,9 @@
 // clients with a configurable NFS write path, a gigabit switch, and the
 // paper's servers (a NetApp F85 filer, a four-way Linux knfsd, a
 // 100 Mb/s slow server) — on a deterministic discrete-event simulator,
-// and exposes the paper's Bonnie-derived sequential write benchmark on
-// top.
+// and exposes the paper's Bonnie-derived benchmark on top: the sequential
+// write pass the paper measures, plus rewrite, sequential read (served by
+// the client's readahead machinery) and mixed read/write workloads.
 //
 // Quick start:
 //
@@ -150,6 +151,26 @@ func (m *ClientMachine) Open() vfs.File {
 		return m.OpenLocal()
 	}
 	return m.OpenNFS()
+}
+
+// OpenExisting opens a file already holding size bytes on the machine's
+// configured target, with nothing resident in the machine's page cache —
+// the cold file the read workloads start from.
+func (m *ClientMachine) OpenExisting(size int64) vfs.File {
+	if m.kind == ServerNone {
+		return ext2.OpenExisting(m.sim, m.CPU, m.Cache, m.LocalDisk, size)
+	}
+	if m.Client == nil {
+		panic("nfssim: client machine has no NFS mount")
+	}
+	return m.Client.OpenExisting(size)
+}
+
+// OpenSet returns the machine's workload openers (fresh and existing
+// files on the configured target), the form internal/bonnie's workload
+// runners consume.
+func (m *ClientMachine) OpenSet() vfs.OpenSet {
+	return vfs.OpenSet{Fresh: m.Open, Existing: m.OpenExisting}
 }
 
 // Testbed is an assembled simulation: client machines, network, server.
@@ -311,3 +332,10 @@ func (tb *Testbed) OpenLocal() vfs.File { return tb.Machines[0].OpenLocal() }
 // ServerNone, NFS otherwise. Multi-client workloads open on a specific
 // machine via Machine(i).Open instead.
 func (tb *Testbed) Open() vfs.File { return tb.Machines[0].Open() }
+
+// OpenExisting opens a cold, pre-populated file of size bytes on machine
+// 0's configured target (the read workloads' starting point).
+func (tb *Testbed) OpenExisting(size int64) vfs.File { return tb.Machines[0].OpenExisting(size) }
+
+// OpenSet returns machine 0's workload openers.
+func (tb *Testbed) OpenSet() vfs.OpenSet { return tb.Machines[0].OpenSet() }

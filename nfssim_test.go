@@ -81,6 +81,29 @@ func TestOpenDispatch(t *testing.T) {
 	local.OpenNFS()
 }
 
+// OpenExisting must hand back a cold pre-populated file on either
+// target, and OpenSet must package both openers for the workload
+// runners.
+func TestOpenExistingDispatch(t *testing.T) {
+	for _, srv := range []ServerKind{ServerNone, ServerFiler} {
+		tb := NewTestbed(Options{Server: srv})
+		f := tb.OpenExisting(1 << 20)
+		if f == nil || f.Size() != 1<<20 {
+			t.Fatalf("%v: OpenExisting size = %d", srv, f.Size())
+		}
+		set := tb.OpenSet()
+		if set.Fresh == nil || set.Existing == nil {
+			t.Fatalf("%v: OpenSet incomplete", srv)
+		}
+		if g := set.Existing(4096); g.Size() != 4096 {
+			t.Fatalf("%v: OpenSet.Existing size = %d", srv, g.Size())
+		}
+		if g := set.Fresh(); g.Size() != 0 {
+			t.Fatalf("%v: OpenSet.Fresh size = %d", srv, g.Size())
+		}
+	}
+}
+
 func TestJumboOptionReducesFragments(t *testing.T) {
 	write := func(jumbo bool) int64 {
 		tb := NewTestbed(Options{Server: ServerFiler, Client: core.EnhancedConfig(), Jumbo: jumbo})
