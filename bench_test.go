@@ -270,6 +270,32 @@ func BenchmarkReadSweep(b *testing.B) {
 	}
 }
 
+// BenchmarkRandomSweep regenerates the random-access table: the fix
+// progression under sequential vs random chunk I/O.
+func BenchmarkRandomSweep(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		r := experiments.RandomSweep()
+		b.ReportMetric(r.Throughput("hash", "randwrite"), "hash-randwrite-MB/s")
+		b.ReportMetric(r.Throughput("nolimits", "randwrite"), "list-randwrite-MB/s")
+		b.ReportMetric(r.Throughput("stock", "randwrite"), "stock-randwrite-MB/s")
+		b.ReportMetric(r.Throughput("enhanced", "randread"), "enhanced-randread-MB/s")
+	}
+}
+
+// BenchmarkDBLoad regenerates the database-load table: group-commit
+// fsync cost on the filer vs the Linux server.
+func BenchmarkDBLoad(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		r := experiments.DBLoad()
+		for _, srv := range []string{"filer", "linux"} {
+			if row := r.Row(srv, "enhanced"); row != nil {
+				b.ReportMetric(row.TxPerSec, srv+"-tx/s")
+				b.ReportMetric(float64(row.FsyncTime.Milliseconds()), srv+"-fsync-ms")
+			}
+		}
+	}
+}
+
 // BenchmarkAblationReadahead sweeps the readahead window cap on a
 // sequential cold-file read against the filer.
 func BenchmarkAblationReadahead(b *testing.B) {

@@ -16,6 +16,10 @@
 //	nfsbench loss      beyond the paper: UDP vs TCP under fragment loss
 //	nfsbench read      beyond the paper: read/rewrite/mixed workloads
 //	                   with a client readahead ablation
+//	nfsbench random    beyond the paper: sequential vs random chunk I/O
+//	                   across the fix progression (fix 2 under stress)
+//	nfsbench db        §3.6: random page updates with group-commit fsync,
+//	                   filer vs Linux durability
 //	nfsbench all       everything above, in order
 //
 // Sweeps accept -quick to use a reduced file-size grid.
@@ -79,6 +83,10 @@ func runners() []runner {
 			func() string { return experiments.LossSweep().Render() }},
 		{"read", "read path: sequential read/rewrite/mixed with readahead ablation",
 			func() string { return experiments.ReadSweep().Render() }},
+		{"random", "random access: seq vs random chunk I/O across the fix progression",
+			func() string { return experiments.RandomSweep().Render() }},
+		{"db", "database load: random page updates with group-commit fsync, filer vs linux",
+			func() string { return experiments.DBLoad().Render() }},
 	}
 }
 

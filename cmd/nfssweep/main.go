@@ -21,6 +21,11 @@
 //	    lossy network: UDP loss amplification vs TCP segment recovery
 //	nfssweep -workload write,rewrite,read,mixed -servers filer,linux -sizes 25
 //	    the full I/O space: write-behind, readahead, and mixed pressure
+//	nfssweep -workload randread,randwrite,db -configs stock,hash -sizes 25
+//	    random-access and durability: the database-style patterns that
+//	    stress the pending-request lookup (fix 2) and group commit
+//	nfssweep -workload randwrite -fsync-every 50 -full -sizes 25
+//	    group commit on any write workload: flush every 50 chunks
 //
 // See docs/experiments.md for the axis semantics and output schema.
 package main
@@ -47,7 +52,8 @@ var (
 	jumbo   = flag.String("jumbo", "off", "jumbo frames: off, on, or both (an axis)")
 	trans   = flag.String("transport", "udp", "comma list of RPC transports: udp, tcp")
 	loss    = flag.String("loss", "0", "comma list of per-fragment drop probabilities, e.g. 0,0.01,0.05")
-	workld  = flag.String("workload", "write", "comma list of workloads: write, rewrite, read, mixed")
+	workld  = flag.String("workload", "write", "comma list of workloads: write, rewrite, read, mixed, randread, randwrite, db")
+	fsyncEv = flag.Int("fsync-every", 0, "flush (group commit) every N chunks during the I/O phase; 0 = never (db defaults to 32; not an axis)")
 	jitter  = flag.Duration("netjitter", 0, "max extra random delivery delay per datagram (e.g. 200us; not an axis)")
 	seed    = flag.Int64("seed", 1, "base simulation seed")
 	repeats = flag.Int("repeats", 1, "repeats per cell with seeds seed, seed+1, ...")
@@ -129,6 +135,10 @@ func buildGrid() harness.Grid {
 	if g.Workloads, err = harness.ParseWorkloads(*workld); err != nil {
 		fatalf("-workload: %v", err)
 	}
+	if *fsyncEv < 0 {
+		fatalf("-fsync-every must be non-negative")
+	}
+	g.FsyncEvery = *fsyncEv
 	if *jitter < 0 {
 		fatalf("-netjitter must be non-negative")
 	}

@@ -7,10 +7,12 @@
 //	nfstrace fig4 > fig4.csv
 //
 // A custom run can be assembled with flags, driving any workload the
-// benchmark supports (write, rewrite, read, mixed):
+// benchmark supports (write, rewrite, read, mixed, randread, randwrite,
+// db):
 //
 //	nfstrace -server linux -client stock -mb 40 custom
 //	nfstrace -client enhanced -workload read -mb 40 custom
+//	nfstrace -client stock -workload randwrite -mb 40 custom
 //
 // The read shorthand traces the sequential-read workload on the
 // enhanced client (per-call read() latency, readahead visible as the
@@ -36,7 +38,7 @@ var (
 	serverFlag   = flag.String("server", "filer", "server: filer, linux, slow100")
 	clientFlag   = flag.String("client", "stock", "client: stock, nolimits, hash, enhanced")
 	mbFlag       = flag.Int("mb", 40, "file size in MB")
-	workloadFlag = flag.String("workload", "write", "workload for custom runs: write, rewrite, read, mixed")
+	workloadFlag = flag.String("workload", "write", "workload for custom runs: write, rewrite, read, mixed, randread, randwrite, db")
 )
 
 // subcommands lists every trace this command can emit, in display order.

@@ -48,11 +48,13 @@ func TestFig2EmitsWellFormedCSV(t *testing.T) {
 	}
 }
 
-// custom must honor the flags, including the workload selector.
+// custom must honor the flags, including the workload selector — one
+// trace row per chunk call for the sequential, random, and group-commit
+// workloads alike.
 func TestCustomEmitsWellFormedCSV(t *testing.T) {
 	*mbFlag = 2
 	defer func() { *mbFlag = 40 }()
-	for _, wl := range []string{"write", "read"} {
+	for _, wl := range []string{"write", "read", "randread", "randwrite", "db"} {
 		*workloadFlag = wl
 		out, err := traceCSV("custom")
 		if err != nil {

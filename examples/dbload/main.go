@@ -2,86 +2,19 @@
 // workload the paper's introduction motivates ("complex corporate
 // applications such as database and mail services"): random 8 KB page
 // updates inside a preallocated table file, with a group-commit fsync
-// every batch. It compares the stock 2.4.4 client against the patched
-// client on both servers, showing that the fixes help transactional
-// workloads too — and that a COMMIT-bound server makes fsync the
-// dominant cost.
+// every batch. It is a thin wrapper over experiments.DBLoad — the same
+// table `nfsbench db` prints and TestDBLoadShape pins — comparing the
+// stock 2.4.4 client against the patched client on both servers: the
+// fixes help transactional workloads too, and a COMMIT-bound server
+// makes fsync the dominant cost (§3.6).
 package main
 
 import (
 	"fmt"
-	"math/rand"
-	"time"
 
-	nfssim "repro"
-	"repro/internal/core"
-	"repro/internal/sim"
+	"repro/internal/experiments"
 )
-
-const (
-	tableMB   = 64
-	txPerRun  = 2000
-	pagesPerT = 2 // two random 8 KB page updates per transaction
-	batchSize = 50
-)
-
-func run(srv nfssim.ServerKind, cfg core.Config) (elapsed sim.Time, fsyncTime sim.Time) {
-	tb := nfssim.NewTestbed(nfssim.Options{Server: srv, Client: cfg, Seed: 42})
-	f := tb.OpenNFS()
-	rng := rand.New(rand.NewSource(7))
-	done := false
-	tb.Sim.Go("db", func(p *sim.Proc) {
-		// Preallocate the table (sequential fill), then flush it out so
-		// the measurement covers only the transaction phase.
-		for i := 0; i < tableMB*128; i++ {
-			f.Write(p, 8192)
-		}
-		f.Flush(p)
-		start := tb.Sim.Now()
-		for tx := 0; tx < txPerRun; tx++ {
-			for k := 0; k < pagesPerT; k++ {
-				page := rng.Int63n(tableMB * 128)
-				f.WriteAt(p, page*8192, 8192)
-			}
-			if (tx+1)%batchSize == 0 {
-				t0 := tb.Sim.Now()
-				f.Flush(p) // group commit
-				fsyncTime += tb.Sim.Now() - t0
-			}
-		}
-		f.Close(p)
-		elapsed = tb.Sim.Now() - start
-		done = true
-	})
-	tb.Sim.Run(30 * time.Minute)
-	if !done {
-		panic("dbload: run did not finish")
-	}
-	return elapsed, fsyncTime
-}
 
 func main() {
-	fmt.Printf("database-style load: %d transactions x %d random 8 KB page writes, fsync every %d\n",
-		txPerRun, pagesPerT, batchSize)
-	fmt.Printf("table size %d MB\n\n", tableMB)
-	fmt.Printf("%-10s %-10s %14s %14s %12s\n", "server", "client", "elapsed", "in fsync", "tx/sec")
-	for _, srv := range []nfssim.ServerKind{nfssim.ServerFiler, nfssim.ServerLinux} {
-		for _, c := range []struct {
-			name string
-			cfg  core.Config
-		}{
-			{"stock", core.Stock244Config()},
-			{"patched", core.EnhancedConfig()},
-		} {
-			elapsed, fsync := run(srv, c.cfg)
-			tps := float64(txPerRun) / elapsed.Seconds()
-			fmt.Printf("%-10s %-10s %14v %14v %12.0f\n", srv, c.name, elapsed.Round(time.Millisecond), fsync.Round(time.Millisecond), tps)
-		}
-	}
-	fmt.Println("\nnotes:")
-	fmt.Println("  - the filer never needs COMMIT (NVRAM), so its group commits return as")
-	fmt.Println("    soon as the WRITEs are on the wire; the Linux server waits on its disk")
-	fmt.Println("  - the patched client keeps random page updates cheap even with thousands")
-	fmt.Println("    of pending requests (hash lookup), where the stock client rescans the")
-	fmt.Println("    sorted per-inode list on every update")
+	fmt.Println(experiments.DBLoad().Render())
 }

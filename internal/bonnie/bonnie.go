@@ -1,8 +1,11 @@
 // Package bonnie implements the paper's benchmark (§2.3) — the block
 // sequential write portion of Bonnie, refined to report what the paper
 // needs — plus the Bonnie passes the paper never ran: rewrite, block
-// sequential read, and a mixed read/write mode. Each run drives
-// fixed-size chunks through one I/O pattern (Workload) and reports:
+// sequential read, a mixed read/write mode, random chunk reads and
+// writes over a preallocated file (the database-style access pattern the
+// paper's introduction motivates), and a group-commit variant that
+// fsyncs every FsyncEvery chunks. Each run drives fixed-size chunks
+// through one I/O pattern (Workload) and reports:
 //
 //   - three cumulative throughputs — after the last I/O call, after
 //     flush(), and after close() — each computed as total bytes divided
@@ -15,6 +18,7 @@ package bonnie
 
 import (
 	"fmt"
+	"math/rand"
 	"time"
 
 	"repro/internal/sim"
@@ -25,6 +29,10 @@ import (
 // DefaultChunk is the benchmark's write size: "how quickly an application
 // can write 8 KB chunks into a fresh file" (§2.3).
 const DefaultChunk = 8192
+
+// DefaultDBFsyncEvery is the db workload's group-commit batch when
+// Config.FsyncEvery is unset: flush after every 32 chunk writes.
+const DefaultDBFsyncEvery = 32
 
 // Workload selects the I/O pattern a run performs.
 type Workload int
@@ -43,6 +51,19 @@ const (
 	// chunk writes appended to a fresh file, half the total each — the
 	// pressure pattern that exercises readahead and write-behind at once.
 	WorkloadMixed
+	// WorkloadRandRead reads every chunk of an existing file exactly once
+	// in a deterministic per-seed random order (pread) — the pattern that
+	// defeats sequential readahead.
+	WorkloadRandRead
+	// WorkloadRandWrite updates every chunk of a preallocated file exactly
+	// once in a deterministic per-seed random order (pwrite) — the
+	// database-page-update pattern that defeats request coalescing and
+	// stresses the pending-request lookup structure (§3.4).
+	WorkloadRandWrite
+	// WorkloadDB is WorkloadRandWrite with group commit: a Flush (fsync)
+	// after every FsyncEvery chunk writes, the transactional durability
+	// pattern §3.6 contrasts across servers.
+	WorkloadDB
 )
 
 func (w Workload) String() string {
@@ -53,6 +74,12 @@ func (w Workload) String() string {
 		return "read"
 	case WorkloadMixed:
 		return "mixed"
+	case WorkloadRandRead:
+		return "randread"
+	case WorkloadRandWrite:
+		return "randwrite"
+	case WorkloadDB:
+		return "db"
 	default:
 		return "write"
 	}
@@ -69,12 +96,26 @@ func ParseWorkload(name string) (Workload, error) {
 		return WorkloadRead, nil
 	case "mixed":
 		return WorkloadMixed, nil
+	case "randread":
+		return WorkloadRandRead, nil
+	case "randwrite":
+		return WorkloadRandWrite, nil
+	case "db":
+		return WorkloadDB, nil
 	}
-	return 0, fmt.Errorf("bonnie: unknown workload %q (have write, rewrite, read, mixed)", name)
+	return 0, fmt.Errorf("bonnie: unknown workload %q (have write, rewrite, read, mixed, randread, randwrite, db)", name)
 }
 
-// NeedsExisting reports whether the workload opens a pre-populated file.
+// NeedsExisting reports whether the workload opens a pre-populated file
+// (the read workloads' cold target, or the random writers' preallocated
+// table).
 func (w Workload) NeedsExisting() bool { return w != WorkloadWrite }
+
+// Random reports whether the workload visits chunks in a seeded random
+// permutation instead of front to back.
+func (w Workload) Random() bool {
+	return w == WorkloadRandRead || w == WorkloadRandWrite || w == WorkloadDB
+}
 
 // Config parameterizes one benchmark run.
 type Config struct {
@@ -86,6 +127,10 @@ type Config struct {
 	ChunkSize int
 	// Workload is the I/O pattern (default WorkloadWrite).
 	Workload Workload
+	// FsyncEvery flushes the write stream after every FsyncEvery chunk
+	// calls during the I/O phase — group commit. 0 means never, except
+	// for WorkloadDB, which defaults to DefaultDBFsyncEvery.
+	FsyncEvery int
 	// TimeLimit aborts a runaway simulation (default 30 virtual minutes).
 	TimeLimit sim.Time
 	// SkipFlushClose stops after the I/O phase (local-vs-NFS comparison
@@ -103,13 +148,22 @@ type Result struct {
 
 	// Elapsed virtual time from benchmark start to just after each
 	// phase. WriteElapsed is the I/O phase (named for the paper's
-	// write-only benchmark; for read workloads it is the read phase).
+	// write-only benchmark; for read workloads it is the read phase). For
+	// group-commit runs (FsyncEvery > 0) the I/O phase includes the
+	// mid-run flushes, so WriteMBps reflects the durable rate.
 	WriteElapsed sim.Time
 	FlushElapsed sim.Time
 	CloseElapsed sim.Time
 
+	// FsyncCount is how many group-commit flushes the I/O phase issued
+	// (FsyncEvery cadence); FsyncTime is the virtual time spent inside
+	// them — the fsync-dominance signal §3.6 is about.
+	FsyncCount int
+	FsyncTime  sim.Time
+
 	// Trace holds actual per-call latencies: one sample per write() or
-	// read() (rewrite records one sample per read-modify-write pair).
+	// read() (rewrite records one sample per read-modify-write pair);
+	// group-commit flushes are tracked in FsyncTime, not the trace.
 	Trace *stats.Trace
 }
 
@@ -168,13 +222,48 @@ func openFiles(open vfs.OpenSet, cfg Config) ioFiles {
 		panic(fmt.Sprintf("bonnie: %s workload needs an Existing opener", cfg.Workload))
 	}
 	switch cfg.Workload {
-	case WorkloadRewrite, WorkloadRead:
+	case WorkloadRewrite, WorkloadRead, WorkloadRandRead, WorkloadRandWrite, WorkloadDB:
 		return ioFiles{main: open.Existing(cfg.FileSize)}
 	case WorkloadMixed:
 		return ioFiles{main: open.Existing(cfg.FileSize / 2), aux: open.Fresh()}
 	default:
 		return ioFiles{main: open.Fresh()}
 	}
+}
+
+// chunkPerm returns the order a random workload visits its chunks: a
+// permutation of every chunk index, deterministic per (simulation seed,
+// worker). The rng derives from sim.Seed() with its own salt, exactly
+// like netsim.LossConfig's loss stream, so enabling a random workload
+// never perturbs the draw sequence other components see, and the same
+// scenario produces the same permutation at any harness worker count.
+func chunkPerm(s *sim.Sim, worker, n int) []int {
+	rng := rand.New(rand.NewSource(s.Seed()*0x9E3779B1 + 0x72616E64 + int64(worker)*0x10001))
+	return rng.Perm(n)
+}
+
+// chunkCount is how many chunk-sized calls cover FileSize (the final
+// chunk may be partial).
+func chunkCount(cfg Config) int {
+	return int((cfg.FileSize + int64(cfg.ChunkSize) - 1) / int64(cfg.ChunkSize))
+}
+
+// normalize fills Config defaults shared by RunWorkload and
+// RunConcurrentWorkload.
+func normalize(cfg Config) Config {
+	if cfg.ChunkSize == 0 {
+		cfg.ChunkSize = DefaultChunk
+	}
+	if cfg.TimeLimit == 0 {
+		cfg.TimeLimit = 30 * time.Minute
+	}
+	if cfg.FsyncEvery < 0 {
+		panic("bonnie: FsyncEvery must be non-negative")
+	}
+	if cfg.Workload == WorkloadDB && cfg.FsyncEvery == 0 {
+		cfg.FsyncEvery = DefaultDBFsyncEvery
+	}
+	return cfg
 }
 
 func chunkFor(cfg Config, rem int64) int {
@@ -186,9 +275,43 @@ func chunkFor(cfg Config, rem int64) int {
 }
 
 // runIO performs the workload's I/O phase, recording per-call latencies
-// and the call count.
-func runIO(p *sim.Proc, s *sim.Sim, fs ioFiles, cfg Config, res *Result) {
+// and the call count. worker seeds the random workloads' permutation, so
+// concurrent workers visit their files in distinct deterministic orders.
+// After each chunk that dirtied data, maybeFsync applies the FsyncEvery
+// group-commit cadence to the stream that was written.
+func runIO(p *sim.Proc, s *sim.Sim, worker int, fs ioFiles, cfg Config, res *Result) {
+	maybeFsync := func(call int, f vfs.File) {
+		if cfg.FsyncEvery <= 0 || call%cfg.FsyncEvery != 0 {
+			return
+		}
+		t0 := s.Now()
+		f.Flush(p)
+		res.FsyncTime += s.Now() - t0
+		res.FsyncCount++
+	}
 	switch cfg.Workload {
+	case WorkloadRandRead:
+		for _, idx := range chunkPerm(s, worker, chunkCount(cfg)) {
+			off := int64(idx) * int64(cfg.ChunkSize)
+			n := chunkFor(cfg, cfg.FileSize-off)
+			t0 := s.Now()
+			got := fs.main.ReadAt(p, off, n)
+			res.Trace.Add(s.Now() - t0)
+			res.Calls++
+			if got != n {
+				panic(fmt.Sprintf("bonnie: short random read %d of %d at %d", got, n, off))
+			}
+		}
+	case WorkloadRandWrite, WorkloadDB:
+		for k, idx := range chunkPerm(s, worker, chunkCount(cfg)) {
+			off := int64(idx) * int64(cfg.ChunkSize)
+			n := chunkFor(cfg, cfg.FileSize-off)
+			t0 := s.Now()
+			fs.main.WriteAt(p, off, n)
+			res.Trace.Add(s.Now() - t0)
+			res.Calls++
+			maybeFsync(k+1, fs.main)
+		}
 	case WorkloadRead:
 		var done int64
 		for done < cfg.FileSize {
@@ -214,10 +337,12 @@ func runIO(p *sim.Proc, s *sim.Sim, fs ioFiles, cfg Config, res *Result) {
 			res.Trace.Add(s.Now() - t0)
 			pos += int64(n)
 			res.Calls++
+			maybeFsync(res.Calls, fs.main)
 		}
 	case WorkloadMixed:
 		readRem := cfg.FileSize / 2
 		writeRem := cfg.FileSize - readRem
+		writes := 0
 		for i := 0; readRem > 0 || writeRem > 0; i++ {
 			t0 := s.Now()
 			if readRem > 0 && (i%2 == 0 || writeRem == 0) {
@@ -226,13 +351,17 @@ func runIO(p *sim.Proc, s *sim.Sim, fs ioFiles, cfg Config, res *Result) {
 					panic(fmt.Sprintf("bonnie: short read %d of %d", got, n))
 				}
 				readRem -= int64(n)
+				res.Trace.Add(s.Now() - t0)
+				res.Calls++
 			} else {
 				n := chunkFor(cfg, writeRem)
 				fs.aux.Write(p, n)
 				writeRem -= int64(n)
+				res.Trace.Add(s.Now() - t0)
+				res.Calls++
+				writes++
+				maybeFsync(writes, fs.aux)
 			}
-			res.Trace.Add(s.Now() - t0)
-			res.Calls++
 		}
 	default: // WorkloadWrite
 		var written int64
@@ -243,6 +372,7 @@ func runIO(p *sim.Proc, s *sim.Sim, fs ioFiles, cfg Config, res *Result) {
 			res.Trace.Add(s.Now() - t0)
 			written += int64(n)
 			res.Calls++
+			maybeFsync(res.Calls, fs.main)
 		}
 	}
 }
@@ -278,12 +408,7 @@ func RunConcurrentWorkload(s *sim.Sim, target string, open func(worker int) vfs.
 	if n < 1 {
 		panic("bonnie: need at least one writer")
 	}
-	if cfg.ChunkSize == 0 {
-		cfg.ChunkSize = DefaultChunk
-	}
-	if cfg.TimeLimit == 0 {
-		cfg.TimeLimit = 30 * time.Minute
-	}
+	cfg = normalize(cfg)
 	out := &ConcurrentResult{PerWriter: make([]*Result, n)}
 	finished := 0
 	start := s.Now()
@@ -299,7 +424,7 @@ func RunConcurrentWorkload(s *sim.Sim, target string, open func(worker int) vfs.
 		out.PerWriter[i] = res
 		s.Go(res.Target, func(p *sim.Proc) {
 			fs := openFiles(open(i), cfg)
-			runIO(p, s, fs, cfg, res)
+			runIO(p, s, i, fs, cfg, res)
 			finishPhases(p, s, fs, cfg, res, start)
 			out.TotalBytes += cfg.FileSize
 			if t := s.Now() - start; t > out.Elapsed {
@@ -330,12 +455,7 @@ func RunWorkload(s *sim.Sim, target string, open vfs.OpenSet, cfg Config) *Resul
 	if cfg.FileSize <= 0 {
 		panic("bonnie: FileSize must be positive")
 	}
-	if cfg.ChunkSize == 0 {
-		cfg.ChunkSize = DefaultChunk
-	}
-	if cfg.TimeLimit == 0 {
-		cfg.TimeLimit = 30 * time.Minute
-	}
+	cfg = normalize(cfg)
 	res := &Result{
 		Target:    target,
 		Workload:  cfg.Workload,
@@ -347,7 +467,7 @@ func RunWorkload(s *sim.Sim, target string, open vfs.OpenSet, cfg Config) *Resul
 	s.Go("bonnie", func(p *sim.Proc) {
 		fs := openFiles(open, cfg)
 		start := s.Now()
-		runIO(p, s, fs, cfg, res)
+		runIO(p, s, 0, fs, cfg, res)
 		finishPhases(p, s, fs, cfg, res, start)
 		finished = true
 	})

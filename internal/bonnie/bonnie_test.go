@@ -1,6 +1,7 @@
 package bonnie
 
 import (
+	"reflect"
 	"strings"
 	"testing"
 	"time"
@@ -21,34 +22,46 @@ type fakeFile struct {
 	readPos    int64
 	reads      int
 	rewrites   int
+	flushes    int
 	flushed    bool
 	closedOnce bool
+
+	// writeOffsets/readOffsets record the per-call offsets, so the
+	// random-workload tests can check permutation coverage and
+	// determinism.
+	writeOffsets []int64
+	readOffsets  []int64
 }
 
 func (f *fakeFile) Write(p *sim.Proc, n int) {
-	p.Sleep(f.perWrite)
-	f.size += int64(n)
+	f.WriteAt(p, f.size, n)
 }
 func (f *fakeFile) WriteAt(p *sim.Proc, off int64, n int) {
 	p.Sleep(f.perWrite)
 	f.rewrites++
+	f.writeOffsets = append(f.writeOffsets, off)
 	if end := off + int64(n); end > f.size {
 		f.size = end
 	}
 }
 func (f *fakeFile) Read(p *sim.Proc, n int) int {
+	got := f.ReadAt(p, f.readPos, n)
+	f.readPos += int64(got)
+	return got
+}
+func (f *fakeFile) ReadAt(p *sim.Proc, off int64, n int) int {
 	p.Sleep(f.perRead)
 	f.reads++
-	if rem := f.size - f.readPos; rem < int64(n) {
+	f.readOffsets = append(f.readOffsets, off)
+	if rem := f.size - off; rem < int64(n) {
 		n = int(rem)
 	}
 	if n < 0 {
 		n = 0
 	}
-	f.readPos += int64(n)
 	return n
 }
-func (f *fakeFile) Flush(p *sim.Proc) { p.Sleep(f.flushCost); f.flushed = true }
+func (f *fakeFile) Flush(p *sim.Proc) { p.Sleep(f.flushCost); f.flushes++; f.flushed = true }
 func (f *fakeFile) Close(p *sim.Proc) { p.Sleep(f.closeCost); f.closedOnce = true }
 func (f *fakeFile) Size() int64       { return f.size }
 
@@ -188,23 +201,184 @@ func TestRunConcurrent(t *testing.T) {
 }
 
 func TestWorkloadStringsRoundTrip(t *testing.T) {
-	for _, w := range []Workload{WorkloadWrite, WorkloadRewrite, WorkloadRead, WorkloadMixed} {
+	all := []Workload{WorkloadWrite, WorkloadRewrite, WorkloadRead, WorkloadMixed,
+		WorkloadRandRead, WorkloadRandWrite, WorkloadDB}
+	for _, w := range all {
 		got, err := ParseWorkload(w.String())
 		if err != nil || got != w {
 			t.Fatalf("ParseWorkload(%q) = %v, %v", w.String(), got, err)
 		}
 	}
-	if _, err := ParseWorkload("scan"); err == nil {
-		t.Fatal("bad workload name should fail")
-	}
 	if WorkloadWrite.NeedsExisting() {
 		t.Fatal("write workload should not need an existing file")
 	}
-	for _, w := range []Workload{WorkloadRewrite, WorkloadRead, WorkloadMixed} {
+	for _, w := range all[1:] {
 		if !w.NeedsExisting() {
 			t.Fatalf("%s workload should need an existing file", w)
 		}
 	}
+	for _, w := range all {
+		random := w == WorkloadRandRead || w == WorkloadRandWrite || w == WorkloadDB
+		if w.Random() != random {
+			t.Fatalf("%s.Random() = %v", w, w.Random())
+		}
+	}
+}
+
+// ParseWorkload must reject unknown names with an error that names the
+// full vocabulary, and never panic.
+func TestParseWorkloadErrors(t *testing.T) {
+	for _, bad := range []string{"", "scan", "WRITE", "rand", "random", "write,read", " write"} {
+		w, err := ParseWorkload(bad)
+		if err == nil {
+			t.Fatalf("ParseWorkload(%q) = %v, want error", bad, w)
+		}
+		for _, name := range []string{"write", "rewrite", "read", "mixed", "randread", "randwrite", "db"} {
+			if !strings.Contains(err.Error(), name) {
+				t.Fatalf("error %q does not name workload %q", err, name)
+			}
+		}
+	}
+}
+
+// A random-write run must touch every chunk exactly once, in an order
+// that is not sequential but is identical across reruns with the same
+// seed — and differs across seeds and across workers.
+func TestRandWriteWorkloadPermutation(t *testing.T) {
+	offsets := func(seed int64, worker int) []int64 {
+		s := sim.New(seed)
+		var opened []*fakeFile
+		open := fakeOpenSet(s, 10*time.Microsecond, 0, &opened)
+		if worker == 0 {
+			RunWorkload(s, "rw", open, Config{FileSize: 1 << 20, Workload: WorkloadRandWrite})
+		} else {
+			RunConcurrentWorkload(s, "rw", func(int) vfs.OpenSet { return open }, worker+1,
+				Config{FileSize: 1 << 20, Workload: WorkloadRandWrite})
+		}
+		return opened[len(opened)-1].writeOffsets
+	}
+	a := offsets(1, 0)
+	if len(a) != 128 {
+		t.Fatalf("wrote %d chunks, want 128", len(a))
+	}
+	// Every chunk exactly once.
+	seen := make(map[int64]bool, len(a))
+	sequential := true
+	for i, off := range a {
+		if off%8192 != 0 || off < 0 || off >= 1<<20 {
+			t.Fatalf("offset %d not chunk-aligned in file", off)
+		}
+		if seen[off] {
+			t.Fatalf("chunk at %d written twice", off)
+		}
+		seen[off] = true
+		if off != int64(i)*8192 {
+			sequential = false
+		}
+	}
+	if sequential {
+		t.Fatal("random workload visited chunks in sequential order")
+	}
+	// Same seed, same permutation; different seed or worker, different.
+	if b := offsets(1, 0); !reflect.DeepEqual(a, b) {
+		t.Fatal("same seed produced different permutations")
+	}
+	if b := offsets(2, 0); reflect.DeepEqual(a, b) {
+		t.Fatal("different seeds produced the same permutation")
+	}
+	if b := offsets(1, 1); reflect.DeepEqual(a, b) {
+		t.Fatal("different workers produced the same permutation")
+	}
+}
+
+// A random read visits every chunk exactly once via ReadAt and never
+// moves the sequential read position.
+func TestRandReadWorkload(t *testing.T) {
+	s := sim.New(1)
+	var opened []*fakeFile
+	open := fakeOpenSet(s, 0, 10*time.Microsecond, &opened)
+	res := RunWorkload(s, "rr", open, Config{FileSize: 1 << 20, Workload: WorkloadRandRead})
+	if res.Calls != 128 {
+		t.Fatalf("calls = %d", res.Calls)
+	}
+	ff := opened[0]
+	if ff.reads != 128 || ff.readPos != 0 {
+		t.Fatalf("reads = %d, readPos = %d; ReadAt must not move the position", ff.reads, ff.readPos)
+	}
+	seen := make(map[int64]bool)
+	for _, off := range ff.readOffsets {
+		if seen[off] {
+			t.Fatalf("chunk at %d read twice", off)
+		}
+		seen[off] = true
+	}
+	if len(seen) != 128 {
+		t.Fatalf("covered %d distinct chunks, want 128", len(seen))
+	}
+}
+
+// The db workload must fsync on the FsyncEvery cadence, recording the
+// count and the time spent, with the documented default.
+func TestDBWorkloadFsyncCadence(t *testing.T) {
+	s := sim.New(1)
+	var opened []*fakeFile
+	open := fakeOpenSet(s, 10*time.Microsecond, 0, &opened)
+	flushCost := 3 * time.Millisecond
+	openWithFlush := vfs.OpenSet{
+		Fresh: open.Fresh,
+		Existing: func(size int64) vfs.File {
+			f := open.Existing(size).(*fakeFile)
+			f.flushCost = flushCost
+			return f
+		},
+	}
+	// 256 chunks, fsync every 64: 4 group commits during the I/O phase,
+	// plus the final flush/close sequence.
+	res := RunWorkload(s, "db", openWithFlush, Config{
+		FileSize: 2 << 20, Workload: WorkloadDB, FsyncEvery: 64,
+	})
+	if res.FsyncCount != 4 {
+		t.Fatalf("fsync count = %d, want 4", res.FsyncCount)
+	}
+	if res.FsyncTime != 4*flushCost {
+		t.Fatalf("fsync time = %v, want %v", res.FsyncTime, 4*flushCost)
+	}
+	if got := opened[0].flushes; got != 5 { // 4 group commits + finishPhases
+		t.Fatalf("file flushed %d times, want 5", got)
+	}
+	// The I/O phase includes the group commits; the trace does not.
+	if res.WriteElapsed != 256*10*time.Microsecond+4*flushCost {
+		t.Fatalf("write elapsed = %v", res.WriteElapsed)
+	}
+	if res.Trace.Summary().Max >= flushCost {
+		t.Fatal("group-commit latency leaked into the per-call trace")
+	}
+	// Unset cadence defaults to DefaultDBFsyncEvery for db only.
+	res = RunWorkload(s, "db", openWithFlush, Config{FileSize: 2 << 20, Workload: WorkloadDB})
+	if want := 256 / DefaultDBFsyncEvery; res.FsyncCount != want {
+		t.Fatalf("default cadence fsync count = %d, want %d", res.FsyncCount, want)
+	}
+	// Non-db workloads never fsync unless asked...
+	res = RunWorkload(s, "w", openWithFlush, Config{FileSize: 2 << 20})
+	if res.FsyncCount != 0 {
+		t.Fatalf("write workload issued %d fsyncs without FsyncEvery", res.FsyncCount)
+	}
+	// ...and honor an explicit cadence.
+	res = RunWorkload(s, "w", openWithFlush, Config{FileSize: 2 << 20, FsyncEvery: 128})
+	if res.FsyncCount != 2 {
+		t.Fatalf("write workload with FsyncEvery=128 issued %d fsyncs, want 2", res.FsyncCount)
+	}
+}
+
+func TestNegativeFsyncEveryPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	s := sim.New(1)
+	ff := &fakeFile{s: s}
+	Run(s, "x", func() vfs.File { return ff }, Config{FileSize: 8192, FsyncEvery: -1})
 }
 
 func TestReadWorkload(t *testing.T) {

@@ -5,6 +5,7 @@ import (
 
 	"repro/internal/mm"
 	"repro/internal/nfsproto"
+	"repro/internal/rangeset"
 	"repro/internal/rpcsim"
 	"repro/internal/sim"
 	"repro/internal/vfs"
@@ -42,6 +43,9 @@ type Client struct {
 	// PagesReadRPC counts the pages they fetched.
 	ReadRPCs     int64
 	PagesReadRPC int64
+	// CommitRPCs counts COMMIT calls issued (fsync/close durability after
+	// UNSTABLE write replies — the group-commit cost §3.6 is about).
+	CommitRPCs int64
 }
 
 // Inode is one file's client-side write state (struct inode + nfs_inode).
@@ -65,10 +69,15 @@ type Inode struct {
 
 	// Read-side state. cached is the resident-page set: pages filled by
 	// READ replies or dirtied by the write path (read-after-write
-	// coherence). The rest — in-flight READ set, reply waiters, and the
-	// sequential readahead window — is allocated lazily on first read,
-	// so write-only workloads carry none of it.
-	cached       map[int64]bool
+	// coherence), kept as page-index ranges so a 1 GB sequential read
+	// holds one span instead of ~131k map entries (random workloads
+	// fragment it, but coverage coalesces as the holes fill). The rest —
+	// in-flight READ set, reply waiters, and the sequential readahead
+	// window — is allocated lazily on first read, so write-only workloads
+	// carry none of it. pendingReads stays a per-page map: it is bounded
+	// by the in-flight READ window, and replies must remove single pages
+	// (rangeset only supports insertion).
+	cached       rangeset.Set
 	pendingReads map[int64]bool
 	readWait     *sim.WaitQueue
 	ra           mm.Readahead
@@ -147,6 +156,44 @@ func (c *Client) OpenExisting(size int64) *File {
 	f := c.Open()
 	f.ino.size = size
 	return f
+}
+
+// OpenInodes returns how many inodes the client currently tracks — the
+// set flushd's pickFlushable/queuedAnywhere scans. Closed files leave it
+// (for tests pinning the last-close release).
+func (c *Client) OpenInodes() int { return len(c.inodes) }
+
+// releaseInode drops an inode from the client's inode table on last
+// close, kernel-style: the final close releases the page-cache pages and
+// flushd stops scanning the file. The caller (File.Close) has already
+// flushed, so the inode holds no queued or in-flight requests. Without
+// this release every file ever opened stayed in Client.inodes forever —
+// flushd's scan was O(total files) per wakeup and closed inodes pinned
+// their resident-page sets live for the whole run.
+func (c *Client) releaseInode(ino *Inode) {
+	if ino.Outstanding() != 0 {
+		panic("core: releasing an inode with outstanding requests")
+	}
+	// Ordered removal: flushd services inodes in table order, so a
+	// swap-with-last delete would perturb the deterministic schedule.
+	// The vacated tail slot is nil'd so the backing array does not keep
+	// the shifted last inode reachable twice.
+	for i, other := range c.inodes {
+		if other == ino {
+			last := len(c.inodes) - 1
+			copy(c.inodes[i:], c.inodes[i+1:])
+			c.inodes[last] = nil
+			c.inodes = c.inodes[:last]
+			break
+		}
+	}
+	// Drop the resident-page set and the fix-2 index even if the File
+	// object lingers in caller hands (reads/writes after close panic
+	// anyway). pendingReads and readWait stay: trailing readahead RPCs
+	// the reader never waited for may still be in flight, and their
+	// readDone completions must land harmlessly.
+	ino.cached = rangeset.Set{}
+	ino.hash = nil
 }
 
 // Outstanding returns an inode's queued plus in-flight page requests —
@@ -424,6 +471,7 @@ func (c *Client) writeSyncSpan(p *sim.Proc, ino *Inode, span vfs.PageSpan) {
 
 // commitSync issues a COMMIT for the whole file and waits for the reply.
 func (c *Client) commitSync(p *sim.Proc, ino *Inode) {
+	c.CommitRPCs++
 	args := nfsproto.CommitArgs{File: ino.FH, Offset: 0, Count: 0}
 	d := c.tr.CallSync(p, nfsproto.ProcCommit, args.Encode)
 	res, err := nfsproto.DecodeCommitRes(d)

@@ -104,13 +104,16 @@ func (f *File) Flush(p *sim.Proc) {
 	}
 }
 
-// Close implements vfs.File: flush and commit, then release.
+// Close implements vfs.File: flush and commit, then release the inode —
+// the last close drops the page-cache pages and takes the file out of
+// flushd's scan set, as in the kernel.
 func (f *File) Close(p *sim.Proc) {
 	if f.closed {
 		return
 	}
 	f.Flush(p)
 	f.closed = true
+	f.c.releaseInode(f.ino)
 }
 
 // Size implements vfs.File.

@@ -25,9 +25,6 @@ func (c *Client) ensureReadState(ino *Inode) {
 	if ino.readWait != nil {
 		return
 	}
-	if ino.cached == nil {
-		ino.cached = make(map[int64]bool)
-	}
 	ino.pendingReads = make(map[int64]bool)
 	ino.readWait = c.s.NewWaitQueue("nfs-inode-read")
 	ino.ra = mm.Readahead{Min: c.cfg.ReadaheadMinPages, Max: c.cfg.ReadaheadMaxPages}
@@ -38,15 +35,22 @@ func (c *Client) ensureReadState(ino *Inode) {
 // just-written data hits memory instead of refetching from the server
 // (read-after-write coherence).
 func (ino *Inode) markResident(page int64) {
-	if ino.cached == nil {
-		ino.cached = make(map[int64]bool)
-	}
-	ino.cached[page] = true
+	ino.cached.Add(page, page+1)
+}
+
+// resident reports whether a page is in the client's page cache.
+func (ino *Inode) resident(page int64) bool {
+	return ino.cached.Contains(page, page+1)
 }
 
 // CachedPages returns how many resident pages the inode holds — pages
 // filled by READ replies or dirtied by writes (for tests).
-func (ino *Inode) CachedPages() int { return len(ino.cached) }
+func (ino *Inode) CachedPages() int { return int(ino.cached.Total()) }
+
+// ResidentSpans returns how many disjoint page runs the resident set
+// holds (for tests: sequential access must coalesce into one span, random
+// access fragments until coverage completes).
+func (ino *Inode) ResidentSpans() int { return ino.cached.Spans() }
 
 // ReadaheadWindow returns the inode's current readahead window in pages
 // (for tests and experiments).
@@ -59,7 +63,7 @@ func (c *Client) readPage(p *sim.Proc, ino *Inode, page int64) {
 	c.ensureReadState(ino)
 	c.bkl.Lock(p, "nfs_readpage")
 	c.cpu.Use(p, "nfs_readpage", c.cfg.Costs.ReadPageBase)
-	hit := ino.cached[page]
+	hit := ino.resident(page)
 	c.cache.NoteRead(hit)
 	ahead := ino.ra.Access(page)
 	c.bkl.Unlock(p)
@@ -70,7 +74,7 @@ func (c *Client) readPage(p *sim.Proc, ino *Inode, page int64) {
 	// reader only waits for the page it needs, so the window's fetches
 	// overlap with consumption of earlier pages.
 	c.sendReads(p, ino, page, c.cfg.RSize/pageSize+ahead)
-	for !ino.cached[page] {
+	for !ino.resident(page) {
 		ino.readWait.Wait(p)
 	}
 }
@@ -87,14 +91,14 @@ func (c *Client) sendReads(p *sim.Proc, ino *Inode, start int64, pages int) {
 		end = last
 	}
 	for pg := start; pg < end; {
-		if ino.cached[pg] || ino.pendingReads[pg] {
+		if ino.resident(pg) || ino.pendingReads[pg] {
 			pg++
 			continue
 		}
 		run := 1
 		for pg+int64(run) < end && run < pagesPerRPC {
 			next := pg + int64(run)
-			if ino.cached[next] || ino.pendingReads[next] {
+			if ino.resident(next) || ino.pendingReads[next] {
 				break
 			}
 			run++
@@ -136,9 +140,8 @@ func (c *Client) readDone(ino *Inode, page int64, pages, bytes int, d *xdr.Decod
 		panic(fmt.Sprintf("core: short READ: %d of %d", res.Count, bytes))
 	}
 	for i := 0; i < pages; i++ {
-		pg := page + int64(i)
-		delete(ino.pendingReads, pg)
-		ino.cached[pg] = true
+		delete(ino.pendingReads, page+int64(i))
 	}
+	ino.cached.Add(page, page+int64(pages))
 	ino.readWait.Broadcast()
 }

@@ -393,6 +393,139 @@ func TestLossSweepShape(t *testing.T) {
 	}
 }
 
+// The random-access experiment enforces fix 2's headline end to end: the
+// hash client beats both the stock client and the unbounded linear list
+// on random writes — the access pattern where list-scan CPU dominates —
+// while staying within noise of its own sequential rate, and random
+// reads defeat the sequential readahead window.
+func TestRandomSweepShape(t *testing.T) {
+	r := RandomSweep()
+	if len(r.Rows) != 16 { // 4 configs x 4 workloads
+		t.Fatalf("rows = %d, want 16", len(r.Rows))
+	}
+	for _, row := range r.Rows {
+		if row.MBps <= 0 {
+			t.Fatalf("empty throughput in row %+v", row)
+		}
+		if row.RPCs == 0 {
+			t.Fatalf("row moved no RPCs: %+v", row)
+		}
+	}
+	// The acceptance criterion: the hash client beats the stock client on
+	// random writes, by the margin the fix progression promises.
+	hashRand := r.Throughput("hash", "randwrite")
+	stockRand := r.Throughput("stock", "randwrite")
+	if hashRand <= 2*stockRand {
+		t.Fatalf("hash random writes %.1f MBps not > 2x stock %.1f", hashRand, stockRand)
+	}
+	// Fix 2 in isolation: against the same cache-all flushing, the hash
+	// table beats the linear list on random writes, where every lookup
+	// rescans a non-adjacent backlog (figure-3/4 divergence).
+	listRand := r.Throughput("nolimits", "randwrite")
+	if hashRand <= 1.3*listRand {
+		t.Fatalf("hash random writes %.1f MBps not >= 1.3x linear list %.1f", hashRand, listRand)
+	}
+	// Parity sequentially: random access costs the hash client nothing —
+	// its random-write rate stays within noise of its sequential rate.
+	hashSeq := r.Throughput("hash", "write")
+	if ratio := hashRand / hashSeq; ratio < 0.9 || ratio > 1.1 {
+		t.Fatalf("hash random/sequential ratio %.3f outside [0.9, 1.1] (%.1f vs %.1f MBps)",
+			ratio, hashRand, hashSeq)
+	}
+	// The stock client is also at parity with itself: its request-count
+	// limits bound the list, so the scans never grow — random access is
+	// only expensive once fix 1 removes the limits and the list is long.
+	stockSeq := r.Throughput("stock", "write")
+	if ratio := stockRand / stockSeq; ratio < 0.85 || ratio > 1.15 {
+		t.Fatalf("stock random/sequential ratio %.3f outside [0.85, 1.15]", ratio)
+	}
+	// Random reads defeat readahead: every seek collapses the window, so
+	// the reader pays a round trip per miss instead of streaming.
+	seqRead, randRead := r.Throughput("enhanced", "read"), r.Throughput("enhanced", "randread")
+	if seqRead <= 3*randRead {
+		t.Fatalf("sequential read %.1f MBps not > 3x random read %.1f", seqRead, randRead)
+	}
+	// The stock client's write-family rows hit the soft limit (random
+	// requests count against MAX_REQUEST_SOFT like any other).
+	for _, row := range r.Rows {
+		wantSoft := row.Config == "stock" && (row.Workload == "write" || row.Workload == "randwrite")
+		if wantSoft && row.SoftFlushes == 0 {
+			t.Fatalf("stock %s row recorded no soft flushes", row.Workload)
+		}
+		if !wantSoft && row.SoftFlushes != 0 {
+			t.Fatalf("%s/%s row recorded %d soft flushes", row.Config, row.Workload, row.SoftFlushes)
+		}
+	}
+	out := r.Render()
+	for _, want := range []string{"Random access", "randwrite", "parity"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("render missing %q:\n%s", want, out)
+		}
+	}
+}
+
+// The database-load experiment enforces §3.6 end to end: group commits
+// cost strictly less against the filer (NVRAM, zero COMMITs) than
+// against the Linux server (UNSTABLE replies, a COMMIT per fsync that
+// waits on the disk), and the patched client beats the stock client on
+// both servers even under a fsync-bound transactional load.
+func TestDBLoadShape(t *testing.T) {
+	r := DBLoad()
+	if len(r.Rows) != 4 { // 2 servers x 2 configs
+		t.Fatalf("rows = %d, want 4", len(r.Rows))
+	}
+	for _, row := range r.Rows {
+		if row.MBps <= 0 || row.TxPerSec <= 0 {
+			t.Fatalf("empty throughput in row %+v", row)
+		}
+		// 20 MB / 8 KB chunks = 2560 writes, one fsync per 50.
+		if want := int64(2560 / 50); row.FsyncCount != want {
+			t.Fatalf("fsync count = %d, want %d: %+v", row.FsyncCount, want, row)
+		}
+		if row.FsyncTime == 0 {
+			t.Fatalf("no fsync time recorded: %+v", row)
+		}
+		switch row.Server {
+		case "filer":
+			if row.CommitRPCs != 0 {
+				t.Fatalf("filer run sent %d COMMITs (NVRAM should make them unnecessary)", row.CommitRPCs)
+			}
+		case "linux":
+			// One COMMIT per fsync (plus the final close).
+			if row.CommitRPCs < row.FsyncCount {
+				t.Fatalf("linux run sent %d COMMITs for %d fsyncs", row.CommitRPCs, row.FsyncCount)
+			}
+		}
+	}
+	for _, cfg := range []string{"stock", "enhanced"} {
+		f, l := r.Row("filer", cfg), r.Row("linux", cfg)
+		if f == nil || l == nil {
+			t.Fatalf("missing %s rows", cfg)
+		}
+		if f.FsyncTime >= l.FsyncTime {
+			t.Fatalf("%s: filer fsync %v not below linux %v", cfg, f.FsyncTime, l.FsyncTime)
+		}
+		if f.TxPerSec <= l.TxPerSec {
+			t.Fatalf("%s: filer tx/sec %.0f not above linux %.0f", cfg, f.TxPerSec, l.TxPerSec)
+		}
+	}
+	for _, srv := range []string{"filer", "linux"} {
+		stock, enh := r.Row(srv, "stock"), r.Row(srv, "enhanced")
+		if enh.MBps <= stock.MBps {
+			t.Fatalf("%s: enhanced %.1f MBps not above stock %.1f", srv, enh.MBps, stock.MBps)
+		}
+	}
+	out := r.Render()
+	for _, want := range []string{"Database load", "COMMIT", "filer faster: true"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("render missing %q:\n%s", want, out)
+		}
+	}
+	if strings.Contains(out, "filer faster: false") {
+		t.Fatalf("render reports a violated comparison:\n%s", out)
+	}
+}
+
 func TestReadSweepShape(t *testing.T) {
 	r := ReadSweep()
 	if len(r.Rows) != 9 { // 3 configs x 3 workloads

@@ -115,19 +115,32 @@ func pageCeil(off int64) int64  { return (off + vfs.PageSize - 1) &^ (vfs.PageSi
 // clusters, so a sequential scan streams at media rate after one
 // positioning cost.
 func (f *File) Read(p *sim.Proc, n int) int {
+	got := f.ReadAt(p, f.readPos, n)
+	f.readPos += int64(got)
+	return got
+}
+
+// ReadAt implements vfs.File: pread — the same page-cache/disk read path
+// at an arbitrary offset, without moving the read position. Random reads
+// still pull whole readahead clusters from the disk, so a random scan of
+// a cold file pays one positioning cost per cluster-sized region.
+func (f *File) ReadAt(p *sim.Proc, off int64, n int) int {
 	if f.closed {
 		panic("ext2: read after close")
 	}
-	if f.readPos >= f.size {
+	if off < 0 || n < 0 {
+		panic("ext2: negative read offset or length")
+	}
+	if off >= f.size {
 		return 0
 	}
-	if rem := f.size - f.readPos; int64(n) > rem {
+	if rem := f.size - off; int64(n) > rem {
 		n = int(rem)
 	}
 	if n <= 0 {
 		return 0
 	}
-	vfs.ReadSyscall(p, f.cpu, f.costs, f.readPos, n, func(span vfs.PageSpan) {
+	vfs.ReadSyscall(p, f.cpu, f.costs, off, n, func(span vfs.PageSpan) {
 		start := span.Page*vfs.PageSize + int64(span.Offset)
 		end := start + int64(span.Count)
 		if f.resident.Contains(pageFloor(start), pageCeil(end)) {
@@ -143,7 +156,6 @@ func (f *File) Read(p *sim.Proc, n int) int {
 		f.disk.Read(p, off, chunk)
 		f.resident.Add(off, pageCeil(off+chunk))
 	})
-	f.readPos += int64(n)
 	return n
 }
 

@@ -93,10 +93,15 @@ type Scenario struct {
 	// Workload is the I/O pattern each client drives (default
 	// bonnie.WorkloadWrite, the paper's benchmark). FileMB sizes the
 	// workload's total I/O; read-family workloads open pre-populated
-	// cold files of that size.
+	// cold files of that size, and the random workloads visit chunks in
+	// a deterministic per-seed permutation.
 	Workload bonnie.Workload
-	Seed     int64
-	Repeat   int // repeat index; Seed already includes the offset
+	// FsyncEvery flushes the write stream every N chunks during the I/O
+	// phase (group commit). 0 means never, except the db workload, which
+	// defaults to bonnie.DefaultDBFsyncEvery.
+	FsyncEvery int
+	Seed       int64
+	Repeat     int // repeat index; Seed already includes the offset
 
 	// SkipFlushClose stops each run after the write phase (the Figure
 	// 1/7 memory-write comparison). When false the run flushes and
@@ -134,6 +139,9 @@ func (sc Scenario) Key() string {
 	if sc.Workload != bonnie.WorkloadWrite {
 		key += "/" + sc.Workload.String()
 	}
+	if sc.FsyncEvery > 0 {
+		key += fmt.Sprintf("/f%d", sc.FsyncEvery)
+	}
 	return key
 }
 
@@ -161,6 +169,10 @@ type Grid struct {
 	// NetJitter applies the same max delivery jitter to every scenario
 	// (a scalar, not an axis).
 	NetJitter sim.Time
+
+	// FsyncEvery applies the same group-commit cadence to every scenario
+	// (a scalar knob, not an axis; see Scenario.FsyncEvery).
+	FsyncEvery int
 
 	// Repeats re-runs every cell Repeats times, offsetting each base
 	// seed per repeat by the span of the Seeds list (max-min+1, so a
@@ -271,6 +283,7 @@ func (g Grid) Expand() []Scenario {
 															Loss:           loss,
 															NetJitter:      g.NetJitter,
 															Workload:       wl,
+															FsyncEvery:     g.FsyncEvery,
 															Seed:           seed + int64(rep)*span,
 															Repeat:         rep,
 															SkipFlushClose: g.SkipFlushClose,

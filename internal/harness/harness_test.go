@@ -617,6 +617,105 @@ func TestReadWorkloadResultFields(t *testing.T) {
 	}
 }
 
+// The random workloads and the FsyncEvery knob land in distinct cells at
+// non-default values and keep the default key byte-identical.
+func TestRandomWorkloadAndFsyncKey(t *testing.T) {
+	base := Grid{FileSizesMB: []int{5}}.Expand()[0]
+	if k := base.Key(); strings.Contains(k, "/f") {
+		t.Fatalf("default key %q mentions the fsync knob", k)
+	}
+	randw := base
+	randw.Workload = bonnie.WorkloadRandWrite
+	if !strings.HasSuffix(randw.Key(), "/randwrite") {
+		t.Fatalf("randwrite key = %q", randw.Key())
+	}
+	db := base
+	db.Workload = bonnie.WorkloadDB
+	db.FsyncEvery = 50
+	if !strings.HasSuffix(db.Key(), "/db/f50") {
+		t.Fatalf("db key = %q", db.Key())
+	}
+	keys := map[string]bool{}
+	for _, sc := range []Scenario{base, randw, db} {
+		keys[sc.Key()] = true
+	}
+	if len(keys) != 3 {
+		t.Fatalf("scenarios collapsed into %d keys: %v", len(keys), keys)
+	}
+	// Grid.FsyncEvery is a scalar knob applied to every scenario.
+	g := Grid{FileSizesMB: []int{5}, FsyncEvery: 64,
+		Workloads: []bonnie.Workload{bonnie.WorkloadRandWrite}}
+	for _, sc := range g.Expand() {
+		if sc.FsyncEvery != 64 {
+			t.Fatalf("FsyncEvery not threaded: %+v", sc)
+		}
+	}
+}
+
+// Random workloads must stay worker-deterministic like every other axis:
+// the chunk permutation derives from the scenario seed, not from any
+// shared rng, so the CI determinism job can diff -workers 1 vs 8.
+func TestRandomWorkloadDeterministicAcrossWorkers(t *testing.T) {
+	g := Grid{
+		Servers:     []nfssim.ServerKind{nfssim.ServerFiler},
+		Configs:     []ClientConfig{{"stock", core.Stock244Config()}, {"hash", core.HashConfig()}},
+		FileSizesMB: []int{1},
+		Clients:     []int{1, 2},
+		Workloads:   []bonnie.Workload{bonnie.WorkloadRandWrite, bonnie.WorkloadRandRead, bonnie.WorkloadDB},
+	}
+	scens := g.Expand()
+	if len(scens) != 12 {
+		t.Fatalf("expanded %d scenarios, want 12", len(scens))
+	}
+	r1 := (&Runner{Workers: 1}).Run(scens)
+	r8 := (&Runner{Workers: 8}).Run(scens)
+	if ResultsCSV(r1) != ResultsCSV(r8) {
+		t.Fatal("random-workload CSV differs between 1 and 8 workers")
+	}
+	if ResultsJSON(r1) != ResultsJSON(r8) {
+		t.Fatal("random-workload JSON differs between 1 and 8 workers")
+	}
+}
+
+// Durability results must land in the JSON schema: db runs carry the
+// group-commit counters, and COMMIT RPCs appear against a server that
+// answers UNSTABLE.
+func TestDBWorkloadResultFields(t *testing.T) {
+	sc := Grid{
+		Servers:     []nfssim.ServerKind{nfssim.ServerLinux},
+		Configs:     []ClientConfig{{"enhanced", core.EnhancedConfig()}},
+		FileSizesMB: []int{1},
+		Workloads:   []bonnie.Workload{bonnie.WorkloadDB},
+	}.Expand()[0]
+	r := RunScenario(sc)
+	if r.Workload != "db" {
+		t.Fatalf("workload = %q", r.Workload)
+	}
+	if want := int64(128 / bonnie.DefaultDBFsyncEvery); r.FsyncCount != want {
+		t.Fatalf("fsync count = %d, want %d", r.FsyncCount, want)
+	}
+	if r.FsyncUs <= 0 {
+		t.Fatal("no fsync time recorded")
+	}
+	if r.CommitRPCs < r.FsyncCount {
+		t.Fatalf("commit RPCs = %d for %d fsyncs against an UNSTABLE server",
+			r.CommitRPCs, r.FsyncCount)
+	}
+	js := ResultsJSON([]Result{r})
+	for _, want := range []string{`"commit_rpcs"`, `"fsync_count"`, `"fsync_us"`} {
+		if !strings.Contains(js, want) {
+			t.Fatalf("JSON schema missing %s", want)
+		}
+	}
+	// Write-only runs carry zero durability counters against the filer.
+	sc.Server = nfssim.ServerFiler
+	sc.Workload = bonnie.WorkloadWrite
+	rw := RunScenario(sc)
+	if rw.CommitRPCs != 0 || rw.FsyncCount != 0 || rw.FsyncUs != 0 {
+		t.Fatalf("write-only filer run recorded durability activity: %+v", rw)
+	}
+}
+
 // Regression: cache limits differing by less than 1 MiB must land in
 // distinct aggregation cells. Key used to print CacheLimit>>20, folding
 // e.g. 16 MiB and 16 MiB+4 KiB into one mean/stddev.

@@ -66,6 +66,16 @@ type Result struct {
 	ReadHits   int64  `json:"read_hits"`
 	ReadMisses int64  `json:"read_misses"`
 
+	// Durability results (JSON only; the CSV schema is frozen).
+	// CommitRPCs counts COMMIT calls across all client machines (fsync or
+	// close after UNSTABLE write replies); FsyncCount/FsyncUs are the
+	// group-commit flushes the FsyncEvery cadence issued during the I/O
+	// phase and the total virtual time spent inside them, summed over
+	// writers.
+	CommitRPCs int64   `json:"commit_rpcs"`
+	FsyncCount int64   `json:"fsync_count"`
+	FsyncUs    float64 `json:"fsync_us"`
+
 	ServerNetMBps float64 `json:"server_net_mbps"` // sustained server ingest
 	SendCPUUs     float64 `json:"send_cpu_us"`     // total sock_sendmsg CPU
 
@@ -129,6 +139,7 @@ func RunScenario(sc Scenario) Result {
 	bcfg := bonnie.Config{
 		FileSize:       int64(sc.FileMB) << 20,
 		Workload:       sc.Workload,
+		FsyncEvery:     sc.FsyncEvery,
 		TimeLimit:      sc.TimeLimit,
 		SkipFlushClose: sc.SkipFlushClose,
 	}
@@ -162,6 +173,8 @@ func RunScenario(sc Scenario) Result {
 		out.WriteKBps = res.WriteKBps()
 		out.FlushMBps = res.FlushMBps()
 		out.CloseMBps = res.CloseMBps()
+		out.FsyncCount = int64(res.FsyncCount)
+		out.FsyncUs = usec(res.FsyncTime)
 		out.Trace = res.Trace
 		out.AggMBps = clientMBps(res, sc.SkipFlushClose)
 		out.PerClientMBps = []float64{out.AggMBps}
@@ -178,6 +191,8 @@ func RunScenario(sc Scenario) Result {
 			kbSum += w.WriteKBps()
 			flushSum += w.FlushMBps()
 			closeSum += w.CloseMBps()
+			out.FsyncCount += int64(w.FsyncCount)
+			out.FsyncUs += usec(w.FsyncTime)
 			out.PerClientMBps = append(out.PerClientMBps, clientMBps(w, sc.SkipFlushClose))
 			for _, s := range w.Trace.Samples() {
 				trace.Add(s)
@@ -210,6 +225,7 @@ func RunScenario(sc Scenario) Result {
 			out.HardBlocks += m.Client.HardBlocks
 			out.RPCsSent += m.Client.RPCsSent
 			out.ReadRPCs += m.Client.ReadRPCs
+			out.CommitRPCs += m.Client.CommitRPCs
 		}
 		out.ReadHits += m.Cache.ReadHits
 		out.ReadMisses += m.Cache.ReadMisses

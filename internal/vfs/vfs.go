@@ -30,6 +30,10 @@ type File interface {
 	// write positions are independent, like separate file descriptors on
 	// one file.
 	Read(p *sim.Proc, n int) int
+	// ReadAt reads up to n bytes at an arbitrary offset (pread) without
+	// moving the read position — the random-access workloads' read path.
+	// Returns the bytes read, clamped at end of file.
+	ReadAt(p *sim.Proc, off int64, n int) int
 	// Flush makes all written data durable (fsync semantics).
 	Flush(p *sim.Proc)
 	// Close flushes remaining state and releases the file.
