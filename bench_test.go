@@ -296,6 +296,23 @@ func BenchmarkDBLoad(b *testing.B) {
 	}
 }
 
+// BenchmarkZipfSweep regenerates the many-file metadata table: the
+// Zipfian op mix with the attribute cache on and off.
+func BenchmarkZipfSweep(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		r := experiments.ZipfSweep()
+		if on := r.Cell("zipf", "on"); on != nil {
+			b.ReportMetric(on.AggMBps, "ac-on-MB/s")
+			b.ReportMetric(on.HitRate, "ac-hit-rate")
+			b.ReportMetric(float64(on.Getattrs), "ac-on-getattrs")
+		}
+		if off := r.Cell("zipf", "off"); off != nil {
+			b.ReportMetric(off.AggMBps, "noac-MB/s")
+			b.ReportMetric(float64(off.Getattrs), "noac-getattrs")
+		}
+	}
+}
+
 // BenchmarkAblationReadahead sweeps the readahead window cap on a
 // sequential cold-file read against the filer.
 func BenchmarkAblationReadahead(b *testing.B) {

@@ -1,0 +1,92 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+func res(name string, metrics map[string]float64) Result {
+	return Result{Name: name, Runs: 1, NsPerOp: 1, Metrics: metrics}
+}
+
+func TestClassifyPolarity(t *testing.T) {
+	cases := map[string]polarity{
+		"write-MB/s":         higherBetter,
+		"filer-MB/s@100MB":   higherBetter,
+		"filer-tx/s":         higherBetter,
+		"ac-hit-rate":        higherBetter,
+		"mean-us":            lowerBetter,
+		"filer-fsync-ms":     lowerBetter,
+		"slope-ns/call":      lowerBetter,
+		"spikes":             ungated,
+		"spike-period-calls": ungated,
+	}
+	for unit, want := range cases {
+		if got := classify(unit); got != want {
+			t.Errorf("classify(%q) = %v, want %v", unit, got, want)
+		}
+	}
+}
+
+func TestDiffFailsOnRegression(t *testing.T) {
+	oldSet := map[string]Result{
+		"BenchmarkA": res("BenchmarkA", map[string]float64{"write-MB/s": 100, "mean-us": 50}),
+	}
+	// Throughput drop beyond 15% fails.
+	newSet := map[string]Result{
+		"BenchmarkA": res("BenchmarkA", map[string]float64{"write-MB/s": 80, "mean-us": 50}),
+	}
+	failures, _ := Diff(oldSet, newSet, 0.15)
+	if len(failures) != 1 || !strings.Contains(failures[0], "write-MB/s") {
+		t.Fatalf("failures = %v", failures)
+	}
+	// Latency rise beyond 15% fails.
+	newSet["BenchmarkA"] = res("BenchmarkA", map[string]float64{"write-MB/s": 100, "mean-us": 60})
+	failures, _ = Diff(oldSet, newSet, 0.15)
+	if len(failures) != 1 || !strings.Contains(failures[0], "mean-us") {
+		t.Fatalf("failures = %v", failures)
+	}
+}
+
+func TestDiffToleratesDriftWithinThreshold(t *testing.T) {
+	oldSet := map[string]Result{
+		"BenchmarkA": res("BenchmarkA", map[string]float64{"write-MB/s": 100, "mean-us": 50, "spikes": 10}),
+	}
+	newSet := map[string]Result{
+		// 10% worse both ways, and an ungated metric doubling: all pass.
+		"BenchmarkA": res("BenchmarkA", map[string]float64{"write-MB/s": 90, "mean-us": 55, "spikes": 20}),
+	}
+	if failures, _ := Diff(oldSet, newSet, 0.15); len(failures) != 0 {
+		t.Fatalf("failures = %v", failures)
+	}
+	// Improvements never fail, however large.
+	newSet["BenchmarkA"] = res("BenchmarkA", map[string]float64{"write-MB/s": 500, "mean-us": 1, "spikes": 0})
+	if failures, _ := Diff(oldSet, newSet, 0.15); len(failures) != 0 {
+		t.Fatalf("improvement flagged: %v", failures)
+	}
+}
+
+func TestDiffReportsMissingAndNewBenchmarks(t *testing.T) {
+	oldSet := map[string]Result{
+		"BenchmarkGone": res("BenchmarkGone", map[string]float64{"write-MB/s": 10}),
+	}
+	newSet := map[string]Result{
+		"BenchmarkNew": res("BenchmarkNew", map[string]float64{"write-MB/s": 10}),
+	}
+	failures, notes := Diff(oldSet, newSet, 0.15)
+	if len(failures) != 0 {
+		t.Fatalf("membership changes must not fail the gate: %v", failures)
+	}
+	joined := strings.Join(notes, "\n")
+	for _, want := range []string{"BenchmarkGone: only in old artifact", "BenchmarkNew: new benchmark"} {
+		if !strings.Contains(joined, want) {
+			t.Fatalf("notes missing %q:\n%s", want, joined)
+		}
+	}
+}
+
+func TestRegressionZeroBaseline(t *testing.T) {
+	if reg := regression("write-MB/s", 0, 0); reg != 0 {
+		t.Fatalf("zero baseline regressed: %v", reg)
+	}
+}

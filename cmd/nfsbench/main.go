@@ -20,6 +20,8 @@
 //	                   across the fix progression (fix 2 under stress)
 //	nfsbench db        §3.6: random page updates with group-commit fsync,
 //	                   filer vs Linux durability
+//	nfsbench zipf      beyond the paper: Zipfian many-file metadata
+//	                   workload with attr-cache and skew ablations
 //	nfsbench all       everything above, in order
 //
 // Sweeps accept -quick to use a reduced file-size grid.
@@ -87,6 +89,8 @@ func runners() []runner {
 			func() string { return experiments.RandomSweep().Render() }},
 		{"db", "database load: random page updates with group-commit fsync, filer vs linux",
 			func() string { return experiments.DBLoad().Render() }},
+		{"zipf", "many-file metadata: Zipfian op mix with attr-cache and skew ablations",
+			func() string { return experiments.ZipfSweep().Render() }},
 	}
 }
 

@@ -26,6 +26,9 @@
 //	    stress the pending-request lookup (fix 2) and group commit
 //	nfssweep -workload randwrite -fsync-every 50 -full -sizes 25
 //	    group commit on any write workload: flush every 50 chunks
+//	nfssweep -workload zipf -files 100,1000 -actimeout off,default -sizes 4
+//	    the many-file metadata workload: Zipfian opens/writes/reads/
+//	    stats/removes, with and without the client attribute cache
 //
 // See docs/experiments.md for the axis semantics and output schema.
 package main
@@ -38,6 +41,7 @@ import (
 	"strconv"
 	"strings"
 
+	"repro/internal/bonnie"
 	"repro/internal/harness"
 )
 
@@ -52,7 +56,11 @@ var (
 	jumbo   = flag.String("jumbo", "off", "jumbo frames: off, on, or both (an axis)")
 	trans   = flag.String("transport", "udp", "comma list of RPC transports: udp, tcp")
 	loss    = flag.String("loss", "0", "comma list of per-fragment drop probabilities, e.g. 0,0.01,0.05")
-	workld  = flag.String("workload", "write", "comma list of workloads: write, rewrite, read, mixed, randread, randwrite, db")
+	workld  = flag.String("workload", "write", "comma list of workloads: write, rewrite, read, mixed, randread, randwrite, db, zipf")
+	files   = flag.String("files", "", "comma list of zipf file populations, e.g. 100,1000 (default 100)")
+	zipfS   = flag.String("zipf-s", "", "comma list of zipf skew exponents, e.g. 0.8,1.2,uniform (default 1.2)")
+	opMix   = flag.String("opmix", "", "zipf op mix as create/write/read/stat/remove percentages, e.g. 10/30/40/15/5 (not an axis)")
+	acTime  = flag.String("actimeout", "", "comma list of attribute-cache windows: off, default, or durations like 3s,60s")
 	fsyncEv = flag.Int("fsync-every", 0, "flush (group commit) every N chunks during the I/O phase; 0 = never (db defaults to 32; not an axis)")
 	jitter  = flag.Duration("netjitter", 0, "max extra random delivery delay per datagram (e.g. 200us; not an axis)")
 	seed    = flag.Int64("seed", 1, "base simulation seed")
@@ -134,6 +142,26 @@ func buildGrid() harness.Grid {
 	}
 	if g.Workloads, err = harness.ParseWorkloads(*workld); err != nil {
 		fatalf("-workload: %v", err)
+	}
+	if *files != "" {
+		if g.FileCounts, err = harness.ParseFileCounts(*files); err != nil {
+			fatalf("-files: %v", err)
+		}
+	}
+	if *zipfS != "" {
+		if g.ZipfSs, err = harness.ParseZipfSs(*zipfS); err != nil {
+			fatalf("-zipf-s: %v", err)
+		}
+	}
+	if *opMix != "" {
+		if g.Mix, err = bonnie.ParseOpMix(*opMix); err != nil {
+			fatalf("-opmix: %v", err)
+		}
+	}
+	if *acTime != "" {
+		if g.AcTimeouts, err = harness.ParseAcTimeouts(*acTime); err != nil {
+			fatalf("-actimeout: %v", err)
+		}
 	}
 	if *fsyncEv < 0 {
 		fatalf("-fsync-every must be non-negative")

@@ -18,7 +18,9 @@ package bonnie
 
 import (
 	"fmt"
+	"math"
 	"math/rand"
+	"sort"
 	"time"
 
 	"repro/internal/sim"
@@ -64,6 +66,14 @@ const (
 	// after every FsyncEvery chunk writes, the transactional durability
 	// pattern §3.6 contrasts across servers.
 	WorkloadDB
+	// WorkloadZipf is the many-file metadata workload: each op draws a
+	// file from a seed-deterministic Zipfian popularity distribution over
+	// FileCount names and performs one of create/write/read/stat/remove
+	// per the OpMix percentages, opening and closing around every data
+	// op. It drives the target's Namespace (LOOKUP/GETATTR/CREATE/REMOVE
+	// on NFS) and the client's attribute cache instead of streaming one
+	// big file.
+	WorkloadZipf
 )
 
 func (w Workload) String() string {
@@ -80,6 +90,8 @@ func (w Workload) String() string {
 		return "randwrite"
 	case WorkloadDB:
 		return "db"
+	case WorkloadZipf:
+		return "zipf"
 	default:
 		return "write"
 	}
@@ -102,19 +114,79 @@ func ParseWorkload(name string) (Workload, error) {
 		return WorkloadRandWrite, nil
 	case "db":
 		return WorkloadDB, nil
+	case "zipf":
+		return WorkloadZipf, nil
 	}
-	return 0, fmt.Errorf("bonnie: unknown workload %q (have write, rewrite, read, mixed, randread, randwrite, db)", name)
+	return 0, fmt.Errorf("bonnie: unknown workload %q (have write, rewrite, read, mixed, randread, randwrite, db, zipf)", name)
 }
 
 // NeedsExisting reports whether the workload opens a pre-populated file
 // (the read workloads' cold target, or the random writers' preallocated
-// table).
-func (w Workload) NeedsExisting() bool { return w != WorkloadWrite }
+// table). The zipf workload creates its own files by name.
+func (w Workload) NeedsExisting() bool { return w != WorkloadWrite && w != WorkloadZipf }
 
 // Random reports whether the workload visits chunks in a seeded random
 // permutation instead of front to back.
 func (w Workload) Random() bool {
 	return w == WorkloadRandRead || w == WorkloadRandWrite || w == WorkloadDB
+}
+
+// DefaultZipfFiles is the zipf workload's file population when
+// Config.FileCount is unset.
+const DefaultZipfFiles = 100
+
+// DefaultZipfS is the zipf workload's skew exponent when Config.ZipfS is
+// unset: file i (0-based popularity rank) is drawn with weight
+// 1/(i+1)^s, so 1.2 concentrates most ops on a small hot set.
+const DefaultZipfS = 1.2
+
+// ZipfUniform is a Config.ZipfS sentinel selecting uniform file choice
+// (exponent 0) — the no-skew baseline the zipf sweeps compare against.
+const ZipfUniform = -1
+
+// OpMix is the zipf workload's operation mix, in percentages summing to
+// 100. Each drawn op opens/acts/closes one file from the popularity
+// distribution.
+type OpMix struct {
+	// Create opens the file by name (creating it server-side if absent)
+	// and closes it — pure metadata.
+	Create int
+	// Write opens the file and appends one chunk.
+	Write int
+	// Read opens the file and reads up to one chunk from the front.
+	Read int
+	// Stat asks for the file's attributes without opening it.
+	Stat int
+	// Remove unlinks the file.
+	Remove int
+}
+
+// DefaultOpMix is the standard many-file mix: mostly data ops with a
+// steady metadata churn.
+func DefaultOpMix() OpMix { return OpMix{Create: 10, Write: 30, Read: 40, Stat: 15, Remove: 5} }
+
+// IsZero reports whether the mix is entirely unset (use the default).
+func (m OpMix) IsZero() bool { return m == OpMix{} }
+
+// String renders the mix compactly (c10w30r40s15d5), the form harness
+// keys embed.
+func (m OpMix) String() string {
+	return fmt.Sprintf("c%dw%dr%ds%dd%d", m.Create, m.Write, m.Read, m.Stat, m.Remove)
+}
+
+// ParseOpMix parses "create/write/read/stat/remove" percentages, e.g.
+// "10/30/40/15/5".
+func ParseOpMix(s string) (OpMix, error) {
+	var m OpMix
+	n, err := fmt.Sscanf(s, "%d/%d/%d/%d/%d", &m.Create, &m.Write, &m.Read, &m.Stat, &m.Remove)
+	if err != nil || n != 5 {
+		return OpMix{}, fmt.Errorf("bonnie: bad op mix %q (want create/write/read/stat/remove percentages, e.g. 10/30/40/15/5)", s)
+	}
+	if m.Create < 0 || m.Write < 0 || m.Read < 0 || m.Stat < 0 || m.Remove < 0 ||
+		m.Create+m.Write+m.Read+m.Stat+m.Remove != 100 {
+		return OpMix{}, fmt.Errorf("bonnie: op mix %q must be non-negative and sum to 100", s)
+	}
+	return m, nil
 }
 
 // Config parameterizes one benchmark run.
@@ -136,6 +208,17 @@ type Config struct {
 	// SkipFlushClose stops after the I/O phase (local-vs-NFS comparison
 	// in Figure 1 uses write-only throughput).
 	SkipFlushClose bool
+
+	// FileCount is the zipf workload's file population (default
+	// DefaultZipfFiles). Ignored by the single-file workloads.
+	FileCount int
+	// ZipfS is the zipf workload's skew exponent (default DefaultZipfS;
+	// ZipfUniform selects uniform choice). Ignored by the single-file
+	// workloads.
+	ZipfS float64
+	// Mix is the zipf workload's op mix (zero value means DefaultOpMix).
+	// Ignored by the single-file workloads.
+	Mix OpMix
 }
 
 // Result is one benchmark run's measurements.
@@ -210,10 +293,12 @@ func (r *ConcurrentResult) AggregateMBps() float64 {
 
 // ioFiles are one writer's open files: the workload's primary stream
 // (the existing file for rewrite/read/mixed, the fresh file for write)
-// and, for mixed, the fresh write-side file.
+// and, for mixed, the fresh write-side file. The zipf workload opens
+// files per op instead and carries the target's namespace.
 type ioFiles struct {
-	main vfs.File
-	aux  vfs.File
+	main  vfs.File
+	aux   vfs.File
+	names vfs.Namespace
 }
 
 // openFiles opens what the configured workload needs.
@@ -226,6 +311,11 @@ func openFiles(open vfs.OpenSet, cfg Config) ioFiles {
 		return ioFiles{main: open.Existing(cfg.FileSize)}
 	case WorkloadMixed:
 		return ioFiles{main: open.Existing(cfg.FileSize / 2), aux: open.Fresh()}
+	case WorkloadZipf:
+		if open.Names == nil {
+			panic("bonnie: zipf workload needs a Names opener (a target with a namespace)")
+		}
+		return ioFiles{names: open.Names}
 	default:
 		return ioFiles{main: open.Fresh()}
 	}
@@ -240,6 +330,114 @@ func openFiles(open vfs.OpenSet, cfg Config) ioFiles {
 func chunkPerm(s *sim.Sim, worker, n int) []int {
 	rng := rand.New(rand.NewSource(s.Seed()*0x9E3779B1 + 0x72616E64 + int64(worker)*0x10001))
 	return rng.Perm(n)
+}
+
+// zipfRNG is the zipf workload's op stream source, deterministic per
+// (simulation seed, worker) with its own salt ("zipf"), following the
+// same discipline as chunkPerm: the stream is a pure function of seed
+// and worker, so reruns and harness worker counts reproduce it exactly.
+func zipfRNG(s *sim.Sim, worker int) *rand.Rand {
+	return rand.New(rand.NewSource(s.Seed()*0x9E3779B1 + 0x7a697066 + int64(worker)*0x10001))
+}
+
+// zipfPicker draws file indices from a Zipfian popularity distribution:
+// rank i has weight 1/(i+1)^s. s = 0 is uniform. Inverse-CDF over the
+// cumulative weights with binary search, so draws cost O(log n) and the
+// distribution is exact for any n.
+type zipfPicker struct {
+	cum []float64 // cumulative weights, cum[n-1] is the total mass
+}
+
+func newZipfPicker(n int, s float64) *zipfPicker {
+	if s < 0 {
+		s = 0 // ZipfUniform sentinel
+	}
+	cum := make([]float64, n)
+	total := 0.0
+	for i := 0; i < n; i++ {
+		total += 1 / math.Pow(float64(i+1), s)
+		cum[i] = total
+	}
+	return &zipfPicker{cum: cum}
+}
+
+func (z *zipfPicker) pick(rng *rand.Rand) int {
+	u := rng.Float64() * z.cum[len(z.cum)-1]
+	return sort.SearchFloat64s(z.cum, u)
+}
+
+// zipfOp maps a percentage roll in [0, 100) to an operation through the
+// mix's cumulative thresholds.
+type zipfOp int
+
+const (
+	zipfCreate zipfOp = iota
+	zipfWrite
+	zipfRead
+	zipfStat
+	zipfRemove
+)
+
+func (m OpMix) op(roll int) zipfOp {
+	switch {
+	case roll < m.Create:
+		return zipfCreate
+	case roll < m.Create+m.Write:
+		return zipfWrite
+	case roll < m.Create+m.Write+m.Read:
+		return zipfRead
+	case roll < m.Create+m.Write+m.Read+m.Stat:
+		return zipfStat
+	default:
+		return zipfRemove
+	}
+}
+
+// runZipf performs the many-file metadata workload: chunkCount(cfg) ops,
+// each drawing a file from the popularity distribution and an operation
+// from the mix (file first, then op — the draw order is part of the
+// deterministic stream). Data ops open by name, act, and close, so every
+// op exercises the open-time attribute revalidation path. The bytes a
+// run actually moves replace res.FileSize so the throughput accessors
+// report real data motion, not the op budget.
+func runZipf(p *sim.Proc, s *sim.Sim, worker int, names vfs.Namespace, cfg Config, res *Result) {
+	rng := zipfRNG(s, worker)
+	picker := newZipfPicker(cfg.FileCount, cfg.ZipfS)
+	ops := chunkCount(cfg)
+	var moved int64
+	for k := 0; k < ops; k++ {
+		name := fmt.Sprintf("f%05d", picker.pick(rng))
+		op := cfg.Mix.op(rng.Intn(100))
+		t0 := s.Now()
+		switch op {
+		case zipfCreate:
+			f := names.OpenByName(p, name)
+			f.Close(p)
+		case zipfWrite:
+			f := names.OpenByName(p, name)
+			f.Write(p, cfg.ChunkSize)
+			f.Close(p)
+			moved += int64(cfg.ChunkSize)
+		case zipfRead:
+			// Read the file's last chunk — the log-tail pattern: the
+			// freshest data, and a read that never drags readahead
+			// through a hot file's whole history.
+			f := names.OpenByName(p, name)
+			off := f.Size() - int64(cfg.ChunkSize)
+			if off < 0 {
+				off = 0
+			}
+			moved += int64(f.ReadAt(p, off, cfg.ChunkSize))
+			f.Close(p)
+		case zipfStat:
+			names.Stat(p, name)
+		case zipfRemove:
+			names.Remove(p, name)
+		}
+		res.Trace.Add(s.Now() - t0)
+		res.Calls++
+	}
+	res.FileSize = moved
 }
 
 // chunkCount is how many chunk-sized calls cover FileSize (the final
@@ -262,6 +460,24 @@ func normalize(cfg Config) Config {
 	}
 	if cfg.Workload == WorkloadDB && cfg.FsyncEvery == 0 {
 		cfg.FsyncEvery = DefaultDBFsyncEvery
+	}
+	if cfg.Workload == WorkloadZipf {
+		if cfg.FileCount == 0 {
+			cfg.FileCount = DefaultZipfFiles
+		}
+		if cfg.FileCount < 1 {
+			panic("bonnie: FileCount must be positive")
+		}
+		if cfg.ZipfS == 0 {
+			cfg.ZipfS = DefaultZipfS
+		}
+		if cfg.Mix.IsZero() {
+			cfg.Mix = DefaultOpMix()
+		}
+		if sum := cfg.Mix.Create + cfg.Mix.Write + cfg.Mix.Read + cfg.Mix.Stat + cfg.Mix.Remove; sum != 100 ||
+			cfg.Mix.Create < 0 || cfg.Mix.Write < 0 || cfg.Mix.Read < 0 || cfg.Mix.Stat < 0 || cfg.Mix.Remove < 0 {
+			panic(fmt.Sprintf("bonnie: op mix %v must be non-negative and sum to 100", cfg.Mix))
+		}
 	}
 	return cfg
 }
@@ -290,6 +506,8 @@ func runIO(p *sim.Proc, s *sim.Sim, worker int, fs ioFiles, cfg Config, res *Res
 		res.FsyncCount++
 	}
 	switch cfg.Workload {
+	case WorkloadZipf:
+		runZipf(p, s, worker, fs.names, cfg, res)
 	case WorkloadRandRead:
 		for _, idx := range chunkPerm(s, worker, chunkCount(cfg)) {
 			off := int64(idx) * int64(cfg.ChunkSize)
@@ -385,6 +603,13 @@ func finishPhases(p *sim.Proc, s *sim.Sim, fs ioFiles, cfg Config, res *Result, 
 	if cfg.SkipFlushClose {
 		return
 	}
+	if fs.main == nil {
+		// The zipf workload closes every file per op; there is nothing
+		// left to flush, so the later phases coincide with the I/O phase.
+		res.FlushElapsed = res.WriteElapsed
+		res.CloseElapsed = res.WriteElapsed
+		return
+	}
 	if fs.aux != nil {
 		fs.aux.Flush(p)
 	}
@@ -426,7 +651,7 @@ func RunConcurrentWorkload(s *sim.Sim, target string, open func(worker int) vfs.
 			fs := openFiles(open(i), cfg)
 			runIO(p, s, i, fs, cfg, res)
 			finishPhases(p, s, fs, cfg, res, start)
-			out.TotalBytes += cfg.FileSize
+			out.TotalBytes += res.FileSize
 			if t := s.Now() - start; t > out.Elapsed {
 				out.Elapsed = t
 			}

@@ -1,0 +1,204 @@
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/nfsproto"
+	"repro/internal/sim"
+	"repro/internal/vfs"
+)
+
+// attrEntry is one cached LOOKUP/GETATTR result, keyed by name in the
+// mount's root directory. timeout is the adaptive attribute-cache window
+// clamped to [AcRegMin, AcRegMax]: it starts at the minimum and doubles
+// each time revalidation finds the file unchanged, the way the Linux
+// client ages its attribute timeouts.
+type attrEntry struct {
+	fh      nfsproto.FileHandle
+	attrs   nfsproto.FileAttrs
+	fetched sim.Time
+	timeout sim.Time
+}
+
+// acEnabled reports whether the attribute cache is on.
+func (c *Client) acEnabled() bool { return c.cfg.AcRegMin != AcOff }
+
+// fresh reports whether the entry may still be trusted without an RPC.
+func (e *attrEntry) fresh(now sim.Time) bool { return now-e.fetched < e.timeout }
+
+// refresh folds a server attribute reply into the entry, aging the
+// timeout: unchanged mtime doubles the window toward acregmax, a change
+// resets it to acregmin.
+func (e *attrEntry) refresh(c *Client, attrs nfsproto.FileAttrs) {
+	if attrs.MTime == e.attrs.MTime {
+		e.timeout *= 2
+		if e.timeout > c.cfg.AcRegMax {
+			e.timeout = c.cfg.AcRegMax
+		}
+	} else {
+		e.timeout = c.cfg.AcRegMin
+	}
+	e.attrs = attrs
+	e.fetched = c.s.Now()
+}
+
+func (c *Client) newAttrEntry(fh nfsproto.FileHandle, attrs nfsproto.FileAttrs) *attrEntry {
+	return &attrEntry{fh: fh, attrs: attrs, fetched: c.s.Now(), timeout: c.cfg.AcRegMin}
+}
+
+// cacheAttr stores a server result in the attribute cache (no-op when
+// the cache is off).
+func (c *Client) cacheAttr(name string, fh nfsproto.FileHandle, attrs nfsproto.FileAttrs) {
+	if !c.acEnabled() {
+		return
+	}
+	if c.attrCache == nil {
+		c.attrCache = make(map[string]*attrEntry)
+	}
+	c.attrCache[name] = c.newAttrEntry(fh, attrs)
+}
+
+// invalidateAttr drops a name from the attribute cache — the local
+// write/remove invalidation: cached attributes no longer describe what
+// this client just changed.
+func (c *Client) invalidateAttr(name string) {
+	delete(c.attrCache, name)
+}
+
+// AttrCacheLen returns the number of cached attribute entries (test
+// accessor).
+func (c *Client) AttrCacheLen() int { return len(c.attrCache) }
+
+// lookupRPC issues a LOOKUP for name in the mount's root directory.
+func (c *Client) lookupRPC(p *sim.Proc, name string) *nfsproto.LookupRes {
+	c.LookupRPCs++
+	args := nfsproto.LookupArgs{Dir: c.rootFH, Name: name}
+	d := c.tr.CallSync(p, nfsproto.ProcLookup, args.Encode)
+	res, err := nfsproto.DecodeLookupRes(d)
+	if err != nil {
+		panic(fmt.Sprintf("core: bad LOOKUP reply: %v", err))
+	}
+	return res
+}
+
+// getattrRPC issues a GETATTR for a handle.
+func (c *Client) getattrRPC(p *sim.Proc, fh nfsproto.FileHandle) nfsproto.FileAttrs {
+	c.GetattrRPCs++
+	args := nfsproto.GetattrArgs{File: fh}
+	d := c.tr.CallSync(p, nfsproto.ProcGetattr, args.Encode)
+	res, err := nfsproto.DecodeGetattrRes(d)
+	if err != nil || res.Status != nfsproto.NFS3OK {
+		panic(fmt.Sprintf("core: GETATTR failed: %v %v", res, err))
+	}
+	return res.Attrs
+}
+
+// createRPC issues a CREATE for name in the mount's root directory.
+func (c *Client) createRPC(p *sim.Proc, name string) (nfsproto.FileHandle, nfsproto.FileAttrs) {
+	c.CreateRPCs++
+	args := nfsproto.CreateArgs{Dir: c.rootFH, Name: name}
+	d := c.tr.CallSync(p, nfsproto.ProcCreate, args.Encode)
+	res, err := nfsproto.DecodeCreateRes(d)
+	if err != nil || res.Status != nfsproto.NFS3OK {
+		panic(fmt.Sprintf("core: CREATE failed: %v %v", res, err))
+	}
+	return res.File, res.Attrs
+}
+
+// resolve maps a name to (handle, attributes) through the attribute
+// cache: a fresh entry answers without an RPC; anything else costs a
+// LOOKUP. Returns ok=false when the name does not exist.
+func (c *Client) resolve(p *sim.Proc, name string) (*attrEntry, bool) {
+	c.cpu.Use(p, "nfs_lookup", c.cfg.Costs.MetaOpBase)
+	if c.acEnabled() {
+		if e, ok := c.attrCache[name]; ok && e.fresh(c.s.Now()) {
+			c.AttrCacheHits++
+			return e, true
+		}
+	}
+	c.AttrCacheMisses++
+	res := c.lookupRPC(p, name)
+	if res.Status == nfsproto.NFS3ErrNoEnt {
+		c.invalidateAttr(name)
+		return nil, false
+	}
+	if res.Status != nfsproto.NFS3OK {
+		panic(fmt.Sprintf("core: LOOKUP failed: %v", res.Status))
+	}
+	e := c.newAttrEntry(res.File, res.Attrs)
+	if c.acEnabled() {
+		if c.attrCache == nil {
+			c.attrCache = make(map[string]*attrEntry)
+		}
+		c.attrCache[name] = e
+	}
+	return e, true
+}
+
+// revalidate performs the open-time GETATTR check (close-to-open
+// consistency): a stale entry is re-fetched from the server; a fresh one
+// is trusted, which is exactly the RPC the attribute cache exists to
+// save.
+func (c *Client) revalidate(p *sim.Proc, name string, e *attrEntry) {
+	if c.acEnabled() && e.fresh(c.s.Now()) {
+		return
+	}
+	attrs := c.getattrRPC(p, e.fh)
+	e.refresh(c, attrs)
+}
+
+// OpenByName opens name in the mount's root directory, creating it on
+// the server if it does not exist (CREATE), and revalidating cached
+// attributes on open if it does (GETATTR, unless the attribute cache
+// answers). The returned file reads and writes through the same inode
+// machinery as Open.
+func (c *Client) OpenByName(p *sim.Proc, name string) vfs.File {
+	e, ok := c.resolve(p, name)
+	if !ok {
+		fh, attrs := c.createRPC(p, name)
+		c.cacheAttr(name, fh, attrs)
+		e = c.newAttrEntry(fh, attrs)
+	} else {
+		c.revalidate(p, name, e)
+	}
+	ino := &Inode{
+		c:         c,
+		FH:        e.fh,
+		size:      int64(e.attrs.Size),
+		flushWait: c.s.NewWaitQueue("nfs-inode-flush"),
+	}
+	if c.cfg.IndexPolicy == IndexHashTable {
+		ino.hash = make(map[int64]*Request)
+	}
+	c.inodes = append(c.inodes, ino)
+	return &File{c: c, ino: ino, name: name}
+}
+
+// Stat returns name's size and existence — the stat() path: attribute
+// cache first, then LOOKUP (and a GETATTR revalidation when the cached
+// entry aged out).
+func (c *Client) Stat(p *sim.Proc, name string) (int64, bool) {
+	e, ok := c.resolve(p, name)
+	if !ok {
+		return 0, false
+	}
+	c.revalidate(p, name, e)
+	return int64(e.attrs.Size), true
+}
+
+// Remove unlinks name at the server and invalidates its cached
+// attributes, reporting whether it existed.
+func (c *Client) Remove(p *sim.Proc, name string) bool {
+	c.cpu.Use(p, "nfs_remove", c.cfg.Costs.MetaOpBase)
+	c.invalidateAttr(name)
+	c.RemoveRPCs++
+	args := nfsproto.RemoveArgs{Dir: c.rootFH, Name: name}
+	d := c.tr.CallSync(p, nfsproto.ProcRemove, args.Encode)
+	res, err := nfsproto.DecodeRemoveRes(d)
+	if err != nil {
+		panic(fmt.Sprintf("core: bad REMOVE reply: %v", err))
+	}
+	return res.Status == nfsproto.NFS3OK
+}
+
+var _ vfs.Namespace = (*Client)(nil)

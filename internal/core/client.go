@@ -26,6 +26,12 @@ type Client struct {
 	inodes []*Inode
 	nextFH uint64
 
+	// rootFH is the mount's root directory handle; attrCache maps names
+	// under it to cached LOOKUP/GETATTR results (lazily allocated, so
+	// workloads that never touch the metadata path carry none of it).
+	rootFH    nfsproto.FileHandle
+	attrCache map[string]*attrEntry
+
 	// mountRequests counts outstanding (queued + in-flight) page requests
 	// across the mount — the quantity MAX_REQUEST_HARD bounds.
 	mountRequests int
@@ -46,6 +52,14 @@ type Client struct {
 	// CommitRPCs counts COMMIT calls issued (fsync/close durability after
 	// UNSTABLE write replies — the group-commit cost §3.6 is about).
 	CommitRPCs int64
+	// Metadata-path counters: RPCs by procedure, plus how often the
+	// attribute cache answered a name resolution without one.
+	LookupRPCs      int64
+	GetattrRPCs     int64
+	CreateRPCs      int64
+	RemoveRPCs      int64
+	AttrCacheHits   int64
+	AttrCacheMisses int64
 }
 
 // Inode is one file's client-side write state (struct inode + nfs_inode).
@@ -111,8 +125,18 @@ func NewClient(s *sim.Sim, cpu *sim.CPUPool, bkl *sim.Mutex, cache *mm.PageCache
 	if cfg.FSID == 0 {
 		cfg.FSID = 1
 	}
+	if cfg.AcRegMin == 0 {
+		cfg.AcRegMin = DefaultAcRegMin
+	}
+	if cfg.AcRegMax == 0 {
+		cfg.AcRegMax = DefaultAcRegMax
+	}
+	if cfg.AcRegMax < cfg.AcRegMin {
+		cfg.AcRegMax = cfg.AcRegMin
+	}
 	c := &Client{
 		s: s, cpu: cpu, bkl: bkl, cache: cache, tr: tr, cfg: cfg,
+		rootFH:    nfsproto.RootHandle(cfg.FSID),
 		hardWait:  s.NewWaitQueue("nfs-hard-limit"),
 		flushWork: s.NewWaitQueue("nfs-flushd"),
 	}

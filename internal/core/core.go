@@ -94,6 +94,20 @@ const (
 	ReadaheadOff = -1
 )
 
+// Attribute-cache timeouts (virtual time), matching the Linux mount
+// defaults acregmin=3s, acregmax=60s. A cached attribute result is
+// trusted for an adaptive window that starts at the minimum and doubles
+// toward the maximum each time revalidation finds the file unchanged.
+const (
+	DefaultAcRegMin = 3_000_000_000  // 3 s
+	DefaultAcRegMax = 60_000_000_000 // 60 s
+
+	// AcOff, assigned to Config.AcRegMin, disables the attribute cache
+	// entirely: every open, stat and lookup goes to the server (the
+	// ablation baseline, mount -o noac).
+	AcOff = -1
+)
+
 // Costs is the client-side CPU model for the NFS-specific write path,
 // calibrated (together with vfs.DefaultCosts and rpcsim.DefaultConfig) to
 // the paper's 933 MHz P-III client. Per-byte figures match the paper;
@@ -114,6 +128,10 @@ type Costs struct {
 	// ReadPageBase is nfs_readpage's bookkeeping per page (cache lookup,
 	// readahead state update), held under the BKL.
 	ReadPageBase sim.Time
+	// MetaOpBase is the client-side bookkeeping per metadata operation
+	// (dentry/attribute-cache probe and update on LOOKUP, GETATTR, CREATE
+	// and REMOVE), charged whether or not an RPC goes out.
+	MetaOpBase sim.Time
 }
 
 // DefaultCosts returns the calibrated cost model.
@@ -125,6 +143,7 @@ func DefaultCosts() Costs {
 		HashLookup:        500,   // 0.5 µs
 		CoalesceBase:      10_000,
 		ReadPageBase:      2_000, // 2 µs
+		MetaOpBase:        3_000, // 3 µs
 	}
 }
 
@@ -155,6 +174,13 @@ type Config struct {
 	// so handles from different clients never collide in the shared
 	// server's per-file state.
 	FSID uint64
+
+	// AcRegMin/AcRegMax bound the attribute-cache timeout (acregmin /
+	// acregmax). Zero takes the Linux mount defaults (3 s / 60 s);
+	// AcRegMin = AcOff disables attribute caching entirely, so every
+	// name-based open, stat and lookup revalidates at the server.
+	AcRegMin sim.Time
+	AcRegMax sim.Time
 
 	// FlushdWatermarkPages is how many dirty pages accumulate before the
 	// write-behind daemon starts sending (FlushCacheAll).

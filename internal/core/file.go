@@ -16,6 +16,10 @@ type File struct {
 	readPos int64
 	sync    bool
 	closed  bool
+
+	// name is set for files opened through the namespace (OpenByName);
+	// local writes invalidate its attribute-cache entry.
+	name string
 }
 
 // SetSync switches the file to O_SYNC semantics: every write() is sent to
@@ -58,6 +62,11 @@ func (f *File) WriteAt(p *sim.Proc, off int64, n int) {
 	})
 	if end := off + int64(n); end > f.ino.size {
 		f.ino.size = end
+	}
+	if f.name != "" {
+		// Local write: cached attributes (size, mtime) no longer describe
+		// the file; the next name-based access must revalidate.
+		f.c.invalidateAttr(f.name)
 	}
 }
 

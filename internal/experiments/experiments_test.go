@@ -570,3 +570,59 @@ func TestReadSweepShape(t *testing.T) {
 		}
 	}
 }
+
+func TestZipfSweepShape(t *testing.T) {
+	r := ZipfSweep()
+	if len(r.Rows) != 4 { // {zipf, uniform} x {ac on, ac off}
+		t.Fatalf("rows = %d, want 4", len(r.Rows))
+	}
+	for _, skew := range []string{"zipf", "uniform"} {
+		on, off := r.Cell(skew, "on"), r.Cell(skew, "off")
+		if on == nil || off == nil {
+			t.Fatalf("missing %s cells", skew)
+		}
+		// Every cell does real work across the whole op mix.
+		for _, row := range []*ZipfRow{on, off} {
+			if row.AggMBps <= 0 || row.Lookups == 0 || row.Creates == 0 || row.Removes == 0 {
+				t.Fatalf("hollow cell %+v", row)
+			}
+		}
+		// The acceptance criterion: attribute caching cuts GETATTR RPCs
+		// and raises aggregate throughput vs. ac=0, at either skew.
+		if on.Getattrs >= off.Getattrs {
+			t.Fatalf("%s: %d GETATTRs with the cache, %d without", skew, on.Getattrs, off.Getattrs)
+		}
+		if on.AggMBps <= off.AggMBps {
+			t.Fatalf("%s: cache-on %.2f MBps not above cache-off %.2f", skew, on.AggMBps, off.AggMBps)
+		}
+		if on.HitRate <= 0 {
+			t.Fatalf("%s: cache on but hit rate %.3f", skew, on.HitRate)
+		}
+		if off.HitRate != 0 {
+			t.Fatalf("%s: cache off but hit rate %.3f", skew, off.HitRate)
+		}
+	}
+	// Hot-set skew: the popular files keep their cache entries warm, so
+	// Zipfian access hits more often and spends fewer metadata RPCs than
+	// uniform access over the same op count. (Throughput is not compared
+	// across skews — the hot set's real data confounds it; see the
+	// ZipfSweepResult doc.)
+	z, u := r.Cell("zipf", "on"), r.Cell("uniform", "on")
+	if z.HitRate <= u.HitRate {
+		t.Fatalf("zipf hit rate %.3f not above uniform %.3f", z.HitRate, u.HitRate)
+	}
+	zMeta := z.Lookups + z.Getattrs + z.Creates
+	uMeta := u.Lookups + u.Getattrs + u.Creates
+	if zMeta >= uMeta {
+		t.Fatalf("zipf spent %d metadata RPCs, uniform %d; skew should save RPCs", zMeta, uMeta)
+	}
+	out := r.Render()
+	for _, want := range []string{"Many-file metadata", "attribute cache:", "hot-set skew:"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("render missing %q:\n%s", want, out)
+		}
+	}
+	if strings.Contains(out, "false") {
+		t.Fatalf("render reports a violated comparison:\n%s", out)
+	}
+}

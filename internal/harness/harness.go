@@ -100,8 +100,21 @@ type Scenario struct {
 	// phase (group commit). 0 means never, except the db workload, which
 	// defaults to bonnie.DefaultDBFsyncEvery.
 	FsyncEvery int
-	Seed       int64
-	Repeat     int // repeat index; Seed already includes the offset
+	// FileCount is the zipf workload's file population (0 means
+	// bonnie.DefaultZipfFiles; ignored by single-file workloads).
+	FileCount int
+	// ZipfS is the zipf workload's skew exponent (0 means
+	// bonnie.DefaultZipfS; bonnie.ZipfUniform selects uniform access).
+	ZipfS float64
+	// Mix is the zipf workload's op mix (zero means bonnie.DefaultOpMix).
+	Mix bonnie.OpMix
+	// AcTimeout pins the client attribute cache's window: both acregmin
+	// and acregmax are set to this value. 0 keeps the client's adaptive
+	// defaults; core.AcOff (or any negative value) disables the cache
+	// (mount -o noac).
+	AcTimeout sim.Time
+	Seed      int64
+	Repeat    int // repeat index; Seed already includes the offset
 
 	// SkipFlushClose stops each run after the write phase (the Figure
 	// 1/7 memory-write comparison). When false the run flushes and
@@ -115,10 +128,11 @@ type Scenario struct {
 // repeat — for grouping repeated runs. The cache limit appears in exact
 // bytes: keying on truncated megabytes used to fold two cache limits
 // differing by less than 1 MiB into one aggregation cell. The transport,
-// loss, jitter, and workload axes appear only at non-default values, so
-// sweeps over the pre-existing axes keep byte-identical keys (and hence
-// output) to the tree before those axes existed — pinned by the
-// golden-CSV tests in harness_test.go.
+// loss, jitter, workload, file-count, Zipf-skew, op-mix, and
+// attribute-cache axes appear only at non-default values, so sweeps over
+// the pre-existing axes keep byte-identical keys (and hence output) to
+// the tree before those axes existed — pinned by the golden-CSV tests in
+// harness_test.go.
 func (sc Scenario) Key() string {
 	clients := sc.Clients
 	if clients < 1 {
@@ -142,6 +156,26 @@ func (sc Scenario) Key() string {
 	if sc.FsyncEvery > 0 {
 		key += fmt.Sprintf("/f%d", sc.FsyncEvery)
 	}
+	if sc.FileCount != 0 {
+		key += fmt.Sprintf("/fc%d", sc.FileCount)
+	}
+	if sc.ZipfS != 0 {
+		if sc.ZipfS == bonnie.ZipfUniform {
+			key += "/zuni"
+		} else {
+			key += fmt.Sprintf("/z%v", sc.ZipfS)
+		}
+	}
+	if !sc.Mix.IsZero() {
+		key += "/" + sc.Mix.String()
+	}
+	if sc.AcTimeout != 0 {
+		if sc.AcTimeout < 0 {
+			key += "/acoff"
+		} else {
+			key += fmt.Sprintf("/ac%v", sc.AcTimeout)
+		}
+	}
 	return key
 }
 
@@ -164,6 +198,9 @@ type Grid struct {
 	Transports  []rpcsim.TransportKind // default: udp
 	LossRates   []float64              // default: 0 (lossless)
 	Workloads   []bonnie.Workload      // default: write
+	FileCounts  []int                  // default: 0 (bonnie's DefaultZipfFiles)
+	ZipfSs      []float64              // default: 0 (bonnie's DefaultZipfS)
+	AcTimeouts  []sim.Time             // default: 0 (client's adaptive defaults)
 	Seeds       []int64                // default: 1
 
 	// NetJitter applies the same max delivery jitter to every scenario
@@ -173,6 +210,10 @@ type Grid struct {
 	// FsyncEvery applies the same group-commit cadence to every scenario
 	// (a scalar knob, not an axis; see Scenario.FsyncEvery).
 	FsyncEvery int
+
+	// Mix applies the same zipf op mix to every scenario (a scalar knob,
+	// not an axis; see Scenario.Mix).
+	Mix bonnie.OpMix
 
 	// Repeats re-runs every cell Repeats times, offsetting each base
 	// seed per repeat by the span of the Seeds list (max-min+1, so a
@@ -195,9 +236,10 @@ func orInts(xs []int, def int) []int {
 
 // Expand returns the cross-product of all axes in a fixed nesting order
 // (config, server, file size, wsize, CPUs, clients, cache limit, jumbo,
-// transport, loss, workload, seed, repeat — innermost last), with every
-// Scenario field resolved to its concrete value. The order is
-// deterministic: the same Grid always expands to the same slice.
+// transport, loss, workload, file count, Zipf skew, ac timeout, seed,
+// repeat — innermost last), with every Scenario field resolved to its
+// concrete value. The order is deterministic: the same Grid always
+// expands to the same slice.
 func (g Grid) Expand() []Scenario {
 	servers := g.Servers
 	if len(servers) == 0 {
@@ -229,6 +271,15 @@ func (g Grid) Expand() []Scenario {
 	workloads := g.Workloads
 	if len(workloads) == 0 {
 		workloads = []bonnie.Workload{bonnie.WorkloadWrite}
+	}
+	fileCounts := orInts(g.FileCounts, 0)
+	zipfSs := g.ZipfSs
+	if len(zipfSs) == 0 {
+		zipfSs = []float64{0}
+	}
+	acTimeouts := g.AcTimeouts
+	if len(acTimeouts) == 0 {
+		acTimeouts = []sim.Time{0}
 	}
 	seeds := g.Seeds
 	if len(seeds) == 0 {
@@ -268,27 +319,37 @@ func (g Grid) Expand() []Scenario {
 									for _, tr := range transports {
 										for _, loss := range losses {
 											for _, wl := range workloads {
-												for _, seed := range seeds {
-													for rep := 0; rep < repeats; rep++ {
-														out = append(out, Scenario{
-															Server:         srv,
-															Config:         cfg,
-															FileMB:         mb,
-															WSize:          ws,
-															ClientCPUs:     ncpu,
-															Clients:        ncli,
-															CacheLimit:     cache,
-															Jumbo:          jumbo,
-															Transport:      tr,
-															Loss:           loss,
-															NetJitter:      g.NetJitter,
-															Workload:       wl,
-															FsyncEvery:     g.FsyncEvery,
-															Seed:           seed + int64(rep)*span,
-															Repeat:         rep,
-															SkipFlushClose: g.SkipFlushClose,
-															TimeLimit:      timeLimit,
-														})
+												for _, fc := range fileCounts {
+													for _, zs := range zipfSs {
+														for _, ac := range acTimeouts {
+															for _, seed := range seeds {
+																for rep := 0; rep < repeats; rep++ {
+																	out = append(out, Scenario{
+																		Server:         srv,
+																		Config:         cfg,
+																		FileMB:         mb,
+																		WSize:          ws,
+																		ClientCPUs:     ncpu,
+																		Clients:        ncli,
+																		CacheLimit:     cache,
+																		Jumbo:          jumbo,
+																		Transport:      tr,
+																		Loss:           loss,
+																		NetJitter:      g.NetJitter,
+																		Workload:       wl,
+																		FsyncEvery:     g.FsyncEvery,
+																		FileCount:      fc,
+																		ZipfS:          zs,
+																		Mix:            g.Mix,
+																		AcTimeout:      ac,
+																		Seed:           seed + int64(rep)*span,
+																		Repeat:         rep,
+																		SkipFlushClose: g.SkipFlushClose,
+																		TimeLimit:      timeLimit,
+																	})
+																}
+															}
+														}
 													}
 												}
 											}
@@ -412,6 +473,64 @@ func ParseWorkloads(spec string) ([]bonnie.Workload, error) {
 			return nil, err
 		}
 		out = append(out, w)
+	}
+	return out, nil
+}
+
+// ParseFileCounts parses a comma list of zipf file populations
+// ("100,1000"), each positive.
+func ParseFileCounts(spec string) ([]int, error) {
+	var out []int
+	for _, f := range strings.Split(spec, ",") {
+		n, err := strconv.Atoi(strings.TrimSpace(f))
+		if err != nil || n <= 0 {
+			return nil, fmt.Errorf("harness: bad file count %q", f)
+		}
+		out = append(out, n)
+	}
+	return out, nil
+}
+
+// ParseZipfSs parses a comma list of Zipf skew exponents
+// ("0.8,1.2,uniform"); "uniform" (or bonnie.ZipfUniform's -1) selects
+// uniform file choice.
+func ParseZipfSs(spec string) ([]float64, error) {
+	var out []float64
+	for _, f := range strings.Split(spec, ",") {
+		f = strings.TrimSpace(f)
+		if f == "uniform" {
+			out = append(out, bonnie.ZipfUniform)
+			continue
+		}
+		v, err := strconv.ParseFloat(f, 64)
+		if err != nil || (v < 0 && v != bonnie.ZipfUniform) {
+			return nil, fmt.Errorf("harness: bad zipf exponent %q (want a non-negative number or \"uniform\")", f)
+		}
+		out = append(out, v)
+	}
+	return out, nil
+}
+
+// ParseAcTimeouts parses a comma list of attribute-cache windows
+// ("off,3s,60s"); "off" disables the cache (mount -o noac), "default"
+// (or 0) keeps the client's adaptive acregmin/acregmax aging.
+func ParseAcTimeouts(spec string) ([]sim.Time, error) {
+	var out []sim.Time
+	for _, f := range strings.Split(spec, ",") {
+		f = strings.TrimSpace(f)
+		switch f {
+		case "off":
+			out = append(out, core.AcOff)
+			continue
+		case "default", "0":
+			out = append(out, 0)
+			continue
+		}
+		d, err := time.ParseDuration(f)
+		if err != nil || d < 0 {
+			return nil, fmt.Errorf("harness: bad attribute-cache timeout %q (want a duration, \"off\", or \"default\")", f)
+		}
+		out = append(out, d)
 	}
 	return out, nil
 }

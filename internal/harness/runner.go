@@ -8,6 +8,7 @@ import (
 
 	nfssim "repro"
 	"repro/internal/bonnie"
+	"repro/internal/core"
 	"repro/internal/stats"
 	"repro/internal/vfs"
 )
@@ -76,6 +77,19 @@ type Result struct {
 	FsyncCount int64   `json:"fsync_count"`
 	FsyncUs    float64 `json:"fsync_us"`
 
+	// Metadata-path results (JSON only; the CSV schema is frozen). RPC
+	// counters sum over all client machines; the hit rate is hits over
+	// all attribute-cache consultations (0 when the workload never
+	// consults it). The zipf axes (file count, skew, mix, ac timeout)
+	// appear in Name at non-default values.
+	LookupRPCs       int64   `json:"lookup_rpcs"`
+	GetattrRPCs      int64   `json:"getattr_rpcs"`
+	CreateRPCs       int64   `json:"create_rpcs"`
+	RemoveRPCs       int64   `json:"remove_rpcs"`
+	AttrCacheHits    int64   `json:"attr_cache_hits"`
+	AttrCacheMisses  int64   `json:"attr_cache_misses"`
+	AttrCacheHitRate float64 `json:"attr_cache_hit_rate"`
+
 	ServerNetMBps float64 `json:"server_net_mbps"` // sustained server ingest
 	SendCPUUs     float64 `json:"send_cpu_us"`     // total sock_sendmsg CPU
 
@@ -135,11 +149,23 @@ func RunScenario(sc Scenario) Result {
 	if sc.WSize != 0 {
 		opts.Client.WSize = sc.WSize
 	}
+	if sc.AcTimeout != 0 {
+		if sc.AcTimeout < 0 {
+			opts.Client.AcRegMin = core.AcOff
+		} else {
+			// A positive timeout pins the window: no adaptive aging.
+			opts.Client.AcRegMin = sc.AcTimeout
+			opts.Client.AcRegMax = sc.AcTimeout
+		}
+	}
 	tb := nfssim.NewTestbed(opts)
 	bcfg := bonnie.Config{
 		FileSize:       int64(sc.FileMB) << 20,
 		Workload:       sc.Workload,
 		FsyncEvery:     sc.FsyncEvery,
+		FileCount:      sc.FileCount,
+		ZipfS:          sc.ZipfS,
+		Mix:            sc.Mix,
 		TimeLimit:      sc.TimeLimit,
 		SkipFlushClose: sc.SkipFlushClose,
 	}
@@ -226,6 +252,12 @@ func RunScenario(sc Scenario) Result {
 			out.RPCsSent += m.Client.RPCsSent
 			out.ReadRPCs += m.Client.ReadRPCs
 			out.CommitRPCs += m.Client.CommitRPCs
+			out.LookupRPCs += m.Client.LookupRPCs
+			out.GetattrRPCs += m.Client.GetattrRPCs
+			out.CreateRPCs += m.Client.CreateRPCs
+			out.RemoveRPCs += m.Client.RemoveRPCs
+			out.AttrCacheHits += m.Client.AttrCacheHits
+			out.AttrCacheMisses += m.Client.AttrCacheMisses
 		}
 		out.ReadHits += m.Cache.ReadHits
 		out.ReadMisses += m.Cache.ReadMisses
@@ -234,6 +266,9 @@ func RunScenario(sc Scenario) Result {
 			out.Retransmits += st.Retransmits
 			out.DupReplies += st.DuplicateReplies
 		}
+	}
+	if total := out.AttrCacheHits + out.AttrCacheMisses; total > 0 {
+		out.AttrCacheHitRate = float64(out.AttrCacheHits) / float64(total)
 	}
 	out.LostFrames = tb.Net.Totals().FramesDropped
 	if tb.Server != nil {

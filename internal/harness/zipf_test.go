@@ -1,0 +1,206 @@
+package harness
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+
+	nfssim "repro"
+	"repro/internal/bonnie"
+	"repro/internal/core"
+	"repro/internal/sim"
+)
+
+// The zipf axes land in distinct key cells at non-default values and
+// keep every historical key byte-identical: a scenario that sets none of
+// FileCount/ZipfS/Mix/AcTimeout must render exactly as before this PR.
+func TestZipfKeyBackCompatAndNewAxes(t *testing.T) {
+	base := Grid{FileSizesMB: []int{5}}.Expand()[0]
+	for _, frag := range []string{"/fc", "/z", "/ac", "/c1"} {
+		if strings.Contains(base.Key(), frag) {
+			t.Fatalf("default key %q mentions a zipf axis (%q)", base.Key(), frag)
+		}
+	}
+	zipf := base
+	zipf.Workload = bonnie.WorkloadZipf
+	if !strings.HasSuffix(zipf.Key(), "/zipf") {
+		t.Fatalf("zipf key = %q", zipf.Key())
+	}
+	counted := zipf
+	counted.FileCount = 1000
+	if !strings.HasSuffix(counted.Key(), "/zipf/fc1000") {
+		t.Fatalf("file-count key = %q", counted.Key())
+	}
+	skewed := zipf
+	skewed.ZipfS = 0.8
+	if !strings.HasSuffix(skewed.Key(), "/zipf/z0.8") {
+		t.Fatalf("skew key = %q", skewed.Key())
+	}
+	uniform := zipf
+	uniform.ZipfS = bonnie.ZipfUniform
+	if !strings.HasSuffix(uniform.Key(), "/zipf/zuni") {
+		t.Fatalf("uniform key = %q", uniform.Key())
+	}
+	mixed := zipf
+	mixed.Mix = bonnie.OpMix{Create: 20, Write: 20, Read: 20, Stat: 20, Remove: 20}
+	if !strings.HasSuffix(mixed.Key(), "/zipf/c20w20r20s20d20") {
+		t.Fatalf("mix key = %q", mixed.Key())
+	}
+	noac := zipf
+	noac.AcTimeout = core.AcOff
+	if !strings.HasSuffix(noac.Key(), "/zipf/acoff") {
+		t.Fatalf("noac key = %q", noac.Key())
+	}
+	pinned := zipf
+	pinned.AcTimeout = 3 * time.Second
+	if !strings.HasSuffix(pinned.Key(), "/zipf/ac3s") {
+		t.Fatalf("pinned-ac key = %q", pinned.Key())
+	}
+	keys := map[string]bool{}
+	for _, sc := range []Scenario{base, zipf, counted, skewed, uniform, mixed, noac, pinned} {
+		keys[sc.Key()] = true
+	}
+	if len(keys) != 8 {
+		t.Fatalf("axes collapsed into %d keys: %v", len(keys), keys)
+	}
+}
+
+// Grid.Expand crosses the new axes like any other, and the scalar Mix
+// knob reaches every scenario.
+func TestZipfGridAxes(t *testing.T) {
+	g := Grid{
+		FileSizesMB: []int{4},
+		Workloads:   []bonnie.Workload{bonnie.WorkloadZipf},
+		FileCounts:  []int{100, 1000},
+		ZipfSs:      []float64{bonnie.DefaultZipfS, bonnie.ZipfUniform},
+		AcTimeouts:  []sim.Time{0, core.AcOff},
+		Mix:         bonnie.OpMix{Create: 25, Write: 25, Read: 25, Stat: 25},
+	}
+	scens := g.Expand()
+	if len(scens) != 8 {
+		t.Fatalf("expanded %d scenarios, want 8", len(scens))
+	}
+	for _, sc := range scens {
+		if sc.Mix != g.Mix {
+			t.Fatalf("mix not threaded: %+v", sc)
+		}
+	}
+}
+
+// Zipf results must carry the metadata-path fields: LOOKUP/CREATE/REMOVE
+// counters, attribute-cache accounting, and the JSON schema columns —
+// while non-zipf runs keep them all zero (the CSV schema is frozen, so
+// these fields are JSON-only).
+func TestZipfResultFields(t *testing.T) {
+	sc := Grid{
+		Servers:     []nfssim.ServerKind{nfssim.ServerFiler},
+		Configs:     []ClientConfig{{"enhanced", core.EnhancedConfig()}},
+		FileSizesMB: []int{1},
+		Workloads:   []bonnie.Workload{bonnie.WorkloadZipf},
+	}.Expand()[0]
+	r := RunScenario(sc)
+	if r.Workload != "zipf" {
+		t.Fatalf("workload = %q", r.Workload)
+	}
+	if r.LookupRPCs == 0 || r.CreateRPCs == 0 || r.RemoveRPCs == 0 {
+		t.Fatalf("metadata RPC counters empty: %+v", r)
+	}
+	if total := r.AttrCacheHits + r.AttrCacheMisses; total == 0 {
+		t.Fatal("attribute cache never consulted")
+	}
+	if r.AttrCacheHitRate <= 0 || r.AttrCacheHitRate >= 1 {
+		t.Fatalf("hit rate %.3f outside (0, 1)", r.AttrCacheHitRate)
+	}
+	js := ResultsJSON([]Result{r})
+	for _, col := range []string{`"lookup_rpcs"`, `"getattr_rpcs"`, `"create_rpcs"`,
+		`"remove_rpcs"`, `"attr_cache_hits"`, `"attr_cache_misses"`, `"attr_cache_hit_rate"`} {
+		if !strings.Contains(js, col) {
+			t.Fatalf("JSON schema missing %s", col)
+		}
+	}
+	// Disabling the cache zeroes the hit side but still counts lookups.
+	noac := sc
+	noac.AcTimeout = core.AcOff
+	rn := RunScenario(noac)
+	if rn.AttrCacheHits != 0 || rn.AttrCacheHitRate != 0 {
+		t.Fatalf("noac run recorded cache hits: %+v", rn)
+	}
+	if rn.GetattrRPCs <= r.GetattrRPCs {
+		t.Fatalf("noac sent %d GETATTRs vs %d cached; revalidation should cost RPCs",
+			rn.GetattrRPCs, r.GetattrRPCs)
+	}
+	// Plain write runs never touch the metadata path.
+	sc.Workload = bonnie.WorkloadWrite
+	rw := RunScenario(sc)
+	if rw.LookupRPCs != 0 || rw.GetattrRPCs != 0 || rw.CreateRPCs != 0 ||
+		rw.RemoveRPCs != 0 || rw.AttrCacheHits != 0 || rw.AttrCacheMisses != 0 {
+		t.Fatalf("write-only run recorded metadata activity: %+v", rw)
+	}
+}
+
+// The zipf op stream derives every draw from the scenario seed and the
+// worker index, so results are byte-identical at any pool size — the CI
+// determinism job diffs -workers 1 vs 8.
+func TestZipfDeterministicAcrossWorkers(t *testing.T) {
+	g := Grid{
+		Servers:     []nfssim.ServerKind{nfssim.ServerFiler},
+		Configs:     []ClientConfig{{"enhanced", core.EnhancedConfig()}},
+		FileSizesMB: []int{1},
+		Clients:     []int{1, 2},
+		Workloads:   []bonnie.Workload{bonnie.WorkloadZipf},
+		AcTimeouts:  []sim.Time{0, core.AcOff},
+	}
+	scens := g.Expand()
+	if len(scens) != 4 {
+		t.Fatalf("expanded %d scenarios, want 4", len(scens))
+	}
+	r1 := (&Runner{Workers: 1}).Run(scens)
+	r8 := (&Runner{Workers: 8}).Run(scens)
+	if ResultsCSV(r1) != ResultsCSV(r8) {
+		t.Fatal("zipf CSV differs between 1 and 8 workers")
+	}
+	if ResultsJSON(r1) != ResultsJSON(r8) {
+		t.Fatal("zipf JSON differs between 1 and 8 workers")
+	}
+	// Rerunning the same scenarios reproduces the same bytes.
+	again := (&Runner{Workers: 3}).Run(scens)
+	if ResultsJSON(r1) != ResultsJSON(again) {
+		t.Fatal("zipf JSON differs across reruns")
+	}
+}
+
+// testdata/golden_zipf.csv pins the zipf workload's op stream: the file
+// was captured with
+//
+//	nfssweep -workload zipf -sizes 4 -clients 1,2 -actimeout off,default \
+//	    -format csv -quiet
+//
+// and any drift in the Zipfian draw order, the attribute-cache clock, or
+// the metadata costs shows up as a byte diff here.
+func TestZipfSweepMatchesGolden(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs eight 4 MB zipf sims")
+	}
+	want, err := os.ReadFile(filepath.Join("testdata", "golden_zipf.csv"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	g := Grid{
+		Servers:        []nfssim.ServerKind{nfssim.ServerFiler},
+		Configs:        []ClientConfig{{"stock", core.Stock244Config()}},
+		FileSizesMB:    []int{4},
+		Clients:        []int{1, 2},
+		Workloads:      []bonnie.Workload{bonnie.WorkloadZipf},
+		AcTimeouts:     []sim.Time{core.AcOff, 0},
+		SkipFlushClose: true,
+	}
+	for _, workers := range []int{1, 8} {
+		got := ResultsCSV((&Runner{Workers: workers}).Run(g.Expand()))
+		if got != string(want) {
+			t.Fatalf("zipf sweep (workers=%d) diverged from golden CSV:\n--- want ---\n%s--- got ---\n%s",
+				workers, want, got)
+		}
+	}
+}

@@ -1,0 +1,123 @@
+package server
+
+import (
+	"repro/internal/nfsproto"
+	"repro/internal/sim"
+)
+
+// nsEntry is one name in an export's root directory.
+type nsEntry struct {
+	fh    nfsproto.FileHandle
+	attrs nfsproto.FileAttrs
+}
+
+// nsExport is one export's flat namespace: every client machine mounts
+// its own export (distinct FSID), whose root directory holds the files
+// the metadata procedures create and look up.
+type nsExport struct {
+	names  map[string]*nsEntry
+	nextID uint64
+}
+
+// Namespace is the server's directory state across all exports, keyed by
+// the fsid carried in each directory handle. The paper's servers export
+// a single volume per client; a flat root directory per export is all
+// the metadata workloads need.
+type Namespace struct {
+	s       *sim.Sim
+	exports map[uint64]*nsExport
+	byFH    map[nfsproto.FileHandle]*nsEntry
+}
+
+// NewNamespace returns an empty namespace.
+func NewNamespace(s *sim.Sim) *Namespace {
+	return &Namespace{
+		s:       s,
+		exports: make(map[uint64]*nsExport),
+		byFH:    make(map[nfsproto.FileHandle]*nsEntry),
+	}
+}
+
+func (ns *Namespace) export(dir nfsproto.FileHandle) *nsExport {
+	fsid := nfsproto.HandleFSID(dir)
+	ex, ok := ns.exports[fsid]
+	if !ok {
+		ex = &nsExport{names: make(map[string]*nsEntry), nextID: nfsproto.ServerFileIDBase}
+		ns.exports[fsid] = ex
+	}
+	return ex
+}
+
+// Lookup resolves name in the export dir belongs to.
+func (ns *Namespace) Lookup(dir nfsproto.FileHandle, name string) (*nsEntry, nfsproto.Status) {
+	ent, ok := ns.export(dir).names[name]
+	if !ok {
+		return nil, nfsproto.NFS3ErrNoEnt
+	}
+	return ent, nfsproto.NFS3OK
+}
+
+// Create makes (or, UNCHECKED semantics, returns the existing) name in
+// the export dir belongs to, stamping the current virtual time as mtime
+// on a fresh file.
+func (ns *Namespace) Create(dir nfsproto.FileHandle, name string) *nsEntry {
+	ex := ns.export(dir)
+	if ent, ok := ex.names[name]; ok {
+		return ent
+	}
+	fsid := nfsproto.HandleFSID(dir)
+	id := ex.nextID
+	ex.nextID++
+	ent := &nsEntry{
+		fh: nfsproto.MakeFileHandle(fsid, id),
+		attrs: nfsproto.FileAttrs{
+			FileID: id,
+			MTime:  uint64(ns.s.Now()),
+		},
+	}
+	ex.names[name] = ent
+	ns.byFH[ent.fh] = ent
+	return ent
+}
+
+// Remove unlinks name from the export dir belongs to.
+func (ns *Namespace) Remove(dir nfsproto.FileHandle, name string) nfsproto.Status {
+	ex := ns.export(dir)
+	ent, ok := ex.names[name]
+	if !ok {
+		return nfsproto.NFS3ErrNoEnt
+	}
+	delete(ex.names, name)
+	delete(ns.byFH, ent.fh)
+	return nfsproto.NFS3OK
+}
+
+// Getattr returns the attributes of a handle. Handles the namespace
+// never saw (client-minted write-path handles) answer with synthesized
+// attributes so GETATTR against them is still well-formed.
+func (ns *Namespace) Getattr(fh nfsproto.FileHandle) (nfsproto.FileAttrs, nfsproto.Status) {
+	if ent, ok := ns.byFH[fh]; ok {
+		return ent.attrs, nfsproto.NFS3OK
+	}
+	return nfsproto.FileAttrs{MTime: uint64(ns.s.Now())}, nfsproto.NFS3OK
+}
+
+// NoteWrite folds a committed WRITE into the handle's attributes: size
+// high-water mark and mtime, the fields the client's attribute cache
+// revalidates against.
+func (ns *Namespace) NoteWrite(fh nfsproto.FileHandle, end uint64) {
+	ent, ok := ns.byFH[fh]
+	if !ok {
+		return
+	}
+	if end > ent.attrs.Size {
+		ent.attrs.Size = end
+	}
+	ent.attrs.MTime = uint64(ns.s.Now())
+}
+
+// Files returns how many files currently exist in the export that dir
+// belongs to (test accessor).
+func (ns *Namespace) Files(dir nfsproto.FileHandle) int {
+	return len(ns.export(dir).names)
+}

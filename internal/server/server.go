@@ -58,6 +58,10 @@ type Config struct {
 	// log or dirty accounting, but a buffer-cache lookup and reply data
 	// setup). Zero falls back to ServiceCPU/2.
 	ReadServiceCPU sim.Time
+	// MetaServiceCPU is the metadata path's per-request processing
+	// (LOOKUP/GETATTR/CREATE/REMOVE: a directory or inode-cache probe and
+	// a small reply, no data movement). Zero falls back to ServiceCPU/4.
+	MetaServiceCPU sim.Time
 	// SendCPU is the reply transmit cost.
 	SendCPU sim.Time
 	// MTU for fragment-count computation; must match the network's.
@@ -84,10 +88,17 @@ type Server struct {
 
 	coverage map[nfsproto.FileHandle]*rangeset.Set
 
+	// ns is the directory state behind the metadata procedures.
+	ns *Namespace
+
 	// Statistics.
 	Writes        int64
 	Commits       int64
 	Reads         int64
+	Lookups       int64
+	Getattrs      int64
+	Creates       int64
+	Removes       int64
 	BytesWritten  int64
 	BytesRead     int64
 	BusyWorkers   int
@@ -117,6 +128,7 @@ func New(s *sim.Sim, net *netsim.Network, link netsim.LinkConfig, cfg Config, ba
 		rxWait:   s.NewWaitQueue(cfg.Host + "-rxq"),
 		conns:    make(map[string]*streamsim.Endpoint),
 		coverage: make(map[nfsproto.FileHandle]*rangeset.Set),
+		ns:       NewNamespace(s),
 	}
 	if cfg.Transport == rpcsim.TransportTCP {
 		// Demultiplex by source host: one stream connection per client.
@@ -160,6 +172,9 @@ func (srv *Server) conn(from string) *streamsim.Endpoint {
 	}
 	return ep
 }
+
+// Names returns the server's directory state (test accessor).
+func (srv *Server) Names() *Namespace { return srv.ns }
 
 // Coverage returns the set of byte ranges received for a file handle.
 func (srv *Server) Coverage(fh nfsproto.FileHandle) *rangeset.Set {
@@ -207,6 +222,14 @@ func (srv *Server) worker(p *sim.Proc) {
 	}
 }
 
+// metaCPU is the per-request charge for a metadata procedure.
+func (srv *Server) metaCPU() sim.Time {
+	if srv.cfg.MetaServiceCPU != 0 {
+		return srv.cfg.MetaServiceCPU
+	}
+	return srv.cfg.ServiceCPU / 4
+}
+
 func (srv *Server) serve(p *sim.Proc, item rxItem) {
 	srv.cpu.Use(p, "nfsd_recv", srv.cfg.RecvCPUBase+sim.Time(item.frags)*srv.cfg.RecvCPUPerFragment)
 
@@ -250,8 +273,50 @@ func (srv *Server) serve(p *sim.Proc, item rxItem) {
 			srv.Writes++
 			srv.BytesWritten += int64(res.Count)
 			srv.Coverage(args.File).Add(int64(args.Offset), int64(args.Offset)+int64(res.Count))
+			srv.ns.NoteWrite(args.File, args.Offset+uint64(res.Count))
 			srv.lastWriteDone = srv.s.Now()
 		}
+		res.Encode(reply)
+	case nfsproto.ProcLookup:
+		args, err := nfsproto.DecodeLookupArgs(d)
+		if err != nil {
+			panic(fmt.Sprintf("server %s: bad LOOKUP args: %v", srv.cfg.Host, err))
+		}
+		srv.cpu.Use(p, "nfsd_lookup", srv.metaCPU())
+		srv.Lookups++
+		res := nfsproto.LookupRes{Status: nfsproto.NFS3ErrNoEnt}
+		if ent, st := srv.ns.Lookup(args.Dir, args.Name); st == nfsproto.NFS3OK {
+			res = nfsproto.LookupRes{Status: st, File: ent.fh, Attrs: ent.attrs}
+		}
+		res.Encode(reply)
+	case nfsproto.ProcGetattr:
+		args, err := nfsproto.DecodeGetattrArgs(d)
+		if err != nil {
+			panic(fmt.Sprintf("server %s: bad GETATTR args: %v", srv.cfg.Host, err))
+		}
+		srv.cpu.Use(p, "nfsd_getattr", srv.metaCPU())
+		srv.Getattrs++
+		attrs, st := srv.ns.Getattr(args.File)
+		res := nfsproto.GetattrRes{Status: st, Attrs: attrs}
+		res.Encode(reply)
+	case nfsproto.ProcCreate:
+		args, err := nfsproto.DecodeCreateArgs(d)
+		if err != nil {
+			panic(fmt.Sprintf("server %s: bad CREATE args: %v", srv.cfg.Host, err))
+		}
+		srv.cpu.Use(p, "nfsd_create", srv.metaCPU())
+		srv.Creates++
+		ent := srv.ns.Create(args.Dir, args.Name)
+		res := nfsproto.CreateRes{Status: nfsproto.NFS3OK, File: ent.fh, Attrs: ent.attrs}
+		res.Encode(reply)
+	case nfsproto.ProcRemove:
+		args, err := nfsproto.DecodeRemoveArgs(d)
+		if err != nil {
+			panic(fmt.Sprintf("server %s: bad REMOVE args: %v", srv.cfg.Host, err))
+		}
+		srv.cpu.Use(p, "nfsd_remove", srv.metaCPU())
+		srv.Removes++
+		res := nfsproto.RemoveRes{Status: srv.ns.Remove(args.Dir, args.Name)}
 		res.Encode(reply)
 	case nfsproto.ProcCommit:
 		args, err := nfsproto.DecodeCommitArgs(d)

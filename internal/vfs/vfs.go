@@ -42,13 +42,30 @@ type File interface {
 	Size() int64
 }
 
+// Namespace is the metadata face of a target: name-based open (creating
+// on first use), stat and remove against a flat directory. NFS targets
+// back it with LOOKUP/CREATE/GETATTR/REMOVE RPCs through the client's
+// attribute cache; targets without a namespace (local ext2 test beds)
+// leave OpenSet.Names nil.
+type Namespace interface {
+	// OpenByName opens name, creating it empty if it does not exist.
+	OpenByName(p *sim.Proc, name string) File
+	// Stat returns name's size and whether it exists.
+	Stat(p *sim.Proc, name string) (int64, bool)
+	// Remove unlinks name, reporting whether it existed.
+	Remove(p *sim.Proc, name string) bool
+}
+
 // OpenSet provides the ways a workload can open files on one target:
 // Fresh creates a new empty file (the write benchmark's fresh file),
 // Existing opens a file that already holds size bytes of data with no
 // pages resident in the client's cache (the read benchmark's cold file).
+// Names, when non-nil, adds the name-based metadata operations the
+// many-file workloads drive.
 type OpenSet struct {
 	Fresh    func() File
 	Existing func(size int64) File
+	Names    Namespace
 }
 
 // Costs is the syscall-layer CPU model, calibrated to the paper's client:

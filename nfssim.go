@@ -167,10 +167,15 @@ func (m *ClientMachine) OpenExisting(size int64) vfs.File {
 }
 
 // OpenSet returns the machine's workload openers (fresh and existing
-// files on the configured target), the form internal/bonnie's workload
-// runners consume.
+// files on the configured target, plus the NFS namespace for the
+// many-file workloads when the machine has a mount), the form
+// internal/bonnie's workload runners consume.
 func (m *ClientMachine) OpenSet() vfs.OpenSet {
-	return vfs.OpenSet{Fresh: m.Open, Existing: m.OpenExisting}
+	set := vfs.OpenSet{Fresh: m.Open, Existing: m.OpenExisting}
+	if m.Client != nil {
+		set.Names = m.Client
+	}
+	return set
 }
 
 // Testbed is an assembled simulation: client machines, network, server.
