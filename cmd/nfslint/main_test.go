@@ -1,0 +1,85 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// TestVersionProbe checks the -V=full fast path the go tool uses to
+// compute a vettool's cache ID: "<name> version <ver>", at least three
+// fields, version not "devel".
+func TestVersionProbe(t *testing.T) {
+	var stdout, stderr bytes.Buffer
+	if code := run([]string{"-V=full"}, &stdout, &stderr); code != 0 {
+		t.Fatalf("run(-V=full) = %d, want 0 (stderr: %s)", code, stderr.String())
+	}
+	fields := strings.Fields(stdout.String())
+	if len(fields) < 3 || fields[1] != "version" || fields[2] == "devel" {
+		t.Fatalf("-V=full printed %q; want \"<name> version <ver>\"", stdout.String())
+	}
+}
+
+// TestBadFixture runs the full suite over a package that violates every
+// invariant and asserts each analyzer reports its documented message.
+func TestBadFixture(t *testing.T) {
+	var stdout, stderr bytes.Buffer
+	code := run([]string{"./testdata/src/bad"}, &stdout, &stderr)
+	if code != 2 {
+		t.Fatalf("run(bad) = %d, want 2 (stderr: %s)", code, stderr.String())
+	}
+	out := stdout.String()
+	for _, want := range []string{
+		"(walltime)", "breaks virtual-time determinism",
+		"(seededrand)", "process-global stream",
+		"(maporder)", "map iteration order is randomized",
+		"(keyfmt)", "runtime-chosen precision",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("bad-fixture output missing %q; got:\n%s", want, out)
+		}
+	}
+}
+
+// TestCleanFixture asserts the repaired twin of the bad fixture passes
+// silently.
+func TestCleanFixture(t *testing.T) {
+	var stdout, stderr bytes.Buffer
+	code := run([]string{"./testdata/src/clean"}, &stdout, &stderr)
+	if code != 0 {
+		t.Fatalf("run(clean) = %d, want 0; output:\n%s%s", code, stdout.String(), stderr.String())
+	}
+	if stdout.Len() != 0 {
+		t.Fatalf("run(clean) printed diagnostics:\n%s", stdout.String())
+	}
+}
+
+// TestVetUnitVetxOnly checks the vet protocol's facts-only invocation:
+// nfslint must write the VetxOutput file and exit 0 without analyzing.
+func TestVetUnitVetxOnly(t *testing.T) {
+	dir := t.TempDir()
+	vetx := filepath.Join(dir, "unit.vetx")
+	cfg, err := json.Marshal(vetConfig{
+		ID:         "repro/internal/xdr",
+		ImportPath: "repro/internal/xdr",
+		VetxOnly:   true,
+		VetxOutput: vetx,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfgPath := filepath.Join(dir, "vet.cfg")
+	if err := os.WriteFile(cfgPath, cfg, 0o666); err != nil {
+		t.Fatal(err)
+	}
+	var stdout, stderr bytes.Buffer
+	if code := run([]string{cfgPath}, &stdout, &stderr); code != 0 {
+		t.Fatalf("run(vet.cfg VetxOnly) = %d, want 0 (stderr: %s)", code, stderr.String())
+	}
+	if _, err := os.Stat(vetx); err != nil {
+		t.Fatalf("VetxOutput not written: %v", err)
+	}
+}

@@ -31,6 +31,7 @@ package experiments
 
 import (
 	"fmt"
+	"sort"
 	"strings"
 	"time"
 
@@ -427,8 +428,13 @@ func (r *ProfileResult) Render() string {
 		fmt.Fprintf(&b, "  %-32s %12v (%d calls)\n", e.Label, e.Total, e.Calls)
 	}
 	fmt.Fprintf(&b, "BKL wait attribution (hash-table run, lock held across send):\n")
-	for sec, d := range r.BKLWaitBySection {
-		fmt.Fprintf(&b, "  %-32s %12v\n", sec, d)
+	sections := make([]string, 0, len(r.BKLWaitBySection))
+	for sec := range r.BKLWaitBySection {
+		sections = append(sections, sec)
+	}
+	sort.Strings(sections)
+	for _, sec := range sections {
+		fmt.Fprintf(&b, "  %-32s %12v\n", sec, r.BKLWaitBySection[sec])
 	}
 	fmt.Fprintf(&b, "sock_sendmsg share of BKL wait: %.0f%%\n", 100*r.SendFraction)
 	return b.String()

@@ -145,7 +145,9 @@ func (sc Scenario) Key() string {
 		key += "/" + sc.Transport.String()
 	}
 	if sc.Loss > 0 {
-		key += fmt.Sprintf("/l%v", sc.Loss)
+		// FormatFloat 'g'/-1 is byte-identical to the old %v but pins
+		// the encoding explicitly (keyfmt).
+		key += "/l" + strconv.FormatFloat(sc.Loss, 'g', -1, 64)
 	}
 	if sc.NetJitter > 0 {
 		key += fmt.Sprintf("/nj%v", sc.NetJitter)
@@ -163,7 +165,7 @@ func (sc Scenario) Key() string {
 		if sc.ZipfS == bonnie.ZipfUniform {
 			key += "/zuni"
 		} else {
-			key += fmt.Sprintf("/z%v", sc.ZipfS)
+			key += "/z" + strconv.FormatFloat(sc.ZipfS, 'g', -1, 64)
 		}
 	}
 	if !sc.Mix.IsZero() {

@@ -1,0 +1,12 @@
+package keyfmt_test
+
+import (
+	"testing"
+
+	"repro/internal/lint/analysistest"
+	"repro/internal/lint/keyfmt"
+)
+
+func TestKeyFmt(t *testing.T) {
+	analysistest.Run(t, analysistest.TestData(t), keyfmt.Analyzer, "a")
+}

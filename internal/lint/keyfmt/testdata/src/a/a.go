@@ -1,0 +1,52 @@
+// Package a exercises the keyfmt analyzer: default %v/%g float
+// formatting is flagged inside Key methods and CSV-named functions,
+// explicit precision and strconv.FormatFloat stay clean, and functions
+// outside the frozen-bytes scope are ignored.
+package a
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+type Scenario struct {
+	Loss float64
+	Size int
+}
+
+func (sc Scenario) Key() string {
+	key := fmt.Sprintf("s%d", sc.Size)                      // ints are exact: clean
+	key += fmt.Sprintf("/l%v", sc.Loss)                     // want `%v formats a float with runtime-chosen precision`
+	key += fmt.Sprintf("/g%g", sc.Loss)                     // want `%g formats a float with runtime-chosen precision`
+	key += fmt.Sprintf("/p%.3f", sc.Loss)                   // explicit precision: clean
+	key += fmt.Sprintf("/q%.4g", sc.Loss)                   // explicit precision: clean
+	key += "/x" + strconv.FormatFloat(sc.Loss, 'g', -1, 64) // explicit encoding: clean
+	return key
+}
+
+// String is out of scope: human-readable output is not frozen.
+func (sc Scenario) String() string {
+	return fmt.Sprintf("%v at %g", sc.Loss, sc.Loss)
+}
+
+func rowCSV(vals []float64, b *strings.Builder) {
+	for _, v := range vals {
+		fmt.Fprintf(b, "%g,", v) // want `%g formats a float with runtime-chosen precision`
+	}
+	fmt.Fprint(b, vals[0]) // want `fmt.Fprint formats a float as %v`
+}
+
+// starCSV: *-widths consume an operand; the %v still lands on the float.
+func starCSV(v float64, w int) string {
+	return fmt.Sprintf("%*v", w, v) // want `%v formats a float with runtime-chosen precision`
+}
+
+// indexCSV: explicit [n] argument indexes are tracked.
+func indexCSV(v float64) string {
+	return fmt.Sprintf("%8.2f|%[1]v", v) // want `%v formats a float with runtime-chosen precision`
+}
+
+func deliberateCSV(v float64) string {
+	return fmt.Sprintf("%v", v) //lint:allow keyfmt fixture proves suppression works
+}

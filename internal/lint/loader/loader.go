@@ -1,0 +1,190 @@
+// Package loader turns Go package patterns into type-checked syntax
+// trees without depending on golang.org/x/tools/go/packages. It shells
+// out to `go list -export -deps -json`, which compiles every dependency
+// into the build cache and reports the path of each package's export
+// data; target packages are then parsed from source and type-checked
+// against that export data with the standard go/importer. This is the
+// same division of labor as a vet unitchecker invocation, so the result
+// feeds both nfslint's standalone mode and its `go vet -vettool` mode.
+package loader
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"io"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"runtime"
+)
+
+// Package is one type-checked target package. Every Package returned by
+// a single Load call shares one *token.FileSet, so positions (and the
+// driver's cross-package diagnostics) are comparable.
+type Package struct {
+	ImportPath string
+	Dir        string
+	GoFiles    []string // absolute paths, non-test files only
+	Fset       *token.FileSet
+	Syntax     []*ast.File
+	Types      *types.Package
+	TypesInfo  *types.Info
+}
+
+// listedPackage is the subset of `go list -json` output the loader
+// consumes.
+type listedPackage struct {
+	ImportPath string
+	Dir        string
+	Export     string
+	Standard   bool
+	GoFiles    []string
+	ImportMap  map[string]string
+}
+
+func goList(dir string, args ...string) ([]listedPackage, error) {
+	cmd := exec.Command("go", append([]string{"list"}, args...)...)
+	cmd.Dir = dir
+	var out, errb bytes.Buffer
+	cmd.Stdout = &out
+	cmd.Stderr = &errb
+	if err := cmd.Run(); err != nil {
+		return nil, fmt.Errorf("go list %v: %v\n%s", args, err, errb.String())
+	}
+	var pkgs []listedPackage
+	dec := json.NewDecoder(&out)
+	for {
+		var p listedPackage
+		if err := dec.Decode(&p); err == io.EOF {
+			break
+		} else if err != nil {
+			return nil, fmt.Errorf("go list %v: decoding output: %v", args, err)
+		}
+		pkgs = append(pkgs, p)
+	}
+	return pkgs, nil
+}
+
+const listFields = "-json=ImportPath,Dir,Export,Standard,GoFiles,ImportMap"
+
+// Load resolves patterns (relative to dir) to packages, compiles their
+// dependencies' export data, and returns the matched packages parsed
+// and type-checked from source, in `go list` order.
+func Load(dir string, patterns ...string) ([]*Package, error) {
+	targets, err := goList(dir, append([]string{listFields}, patterns...)...)
+	if err != nil {
+		return nil, err
+	}
+	deps, err := goList(dir, append([]string{"-export", "-deps", listFields}, patterns...)...)
+	if err != nil {
+		return nil, err
+	}
+	exportFile := make(map[string]string, len(deps))
+	for _, p := range deps {
+		if p.Export != "" {
+			exportFile[p.ImportPath] = p.Export
+		}
+	}
+
+	fset := token.NewFileSet()
+	imp := NewImporter(fset, nil, exportFile)
+	out := make([]*Package, 0, len(targets))
+	for _, t := range targets {
+		if len(t.GoFiles) == 0 {
+			continue
+		}
+		files := make([]string, len(t.GoFiles))
+		for i, f := range t.GoFiles {
+			files[i] = filepath.Join(t.Dir, f)
+		}
+		imp.ImportMap = t.ImportMap
+		pkg, err := TypeCheck(fset, t.ImportPath, files, imp)
+		if err != nil {
+			return nil, err
+		}
+		pkg.Dir = t.Dir
+		out = append(out, pkg)
+	}
+	return out, nil
+}
+
+// TypeCheck parses goFiles and type-checks them as one package resolving
+// imports through imp. Shared by Load and the vet-unitchecker mode,
+// which supplies an importer built from the vet.cfg's PackageFile map.
+func TypeCheck(fset *token.FileSet, importPath string, goFiles []string, imp types.Importer) (*Package, error) {
+	syntax := make([]*ast.File, 0, len(goFiles))
+	for _, name := range goFiles {
+		f, err := parser.ParseFile(fset, name, nil, parser.ParseComments|parser.SkipObjectResolution)
+		if err != nil {
+			return nil, err
+		}
+		syntax = append(syntax, f)
+	}
+	info := &types.Info{
+		Types:      make(map[ast.Expr]types.TypeAndValue),
+		Defs:       make(map[*ast.Ident]types.Object),
+		Uses:       make(map[*ast.Ident]types.Object),
+		Implicits:  make(map[ast.Node]types.Object),
+		Selections: make(map[*ast.SelectorExpr]*types.Selection),
+		Scopes:     make(map[ast.Node]*types.Scope),
+		Instances:  make(map[*ast.Ident]types.Instance),
+	}
+	conf := types.Config{
+		Importer: imp,
+		Sizes:    types.SizesFor("gc", runtime.GOARCH),
+	}
+	tpkg, err := conf.Check(importPath, fset, syntax, info)
+	if err != nil {
+		return nil, err
+	}
+	return &Package{
+		ImportPath: importPath,
+		GoFiles:    goFiles,
+		Fset:       fset,
+		Syntax:     syntax,
+		Types:      tpkg,
+		TypesInfo:  info,
+	}, nil
+}
+
+// Importer resolves imports from gc export data files. ImportMap
+// translates source-level import paths to canonical package paths (the
+// vendoring and test-variant mapping `go list` reports); it may be
+// swapped between TypeCheck calls that share the underlying cache.
+type Importer struct {
+	ImportMap map[string]string
+	base      types.ImporterFrom
+}
+
+// NewImporter builds an Importer reading export data from the files in
+// packageFile (package path -> export data path).
+func NewImporter(fset *token.FileSet, importMap, packageFile map[string]string) *Importer {
+	lookup := func(path string) (io.ReadCloser, error) {
+		file, ok := packageFile[path]
+		if !ok {
+			return nil, fmt.Errorf("loader: no export data for %q", path)
+		}
+		return os.Open(file)
+	}
+	return &Importer{
+		ImportMap: importMap,
+		base:      importer.ForCompiler(fset, "gc", lookup).(types.ImporterFrom),
+	}
+}
+
+// Import implements types.Importer.
+func (im *Importer) Import(path string) (*types.Package, error) {
+	if mapped, ok := im.ImportMap[path]; ok {
+		path = mapped
+	}
+	if path == "unsafe" {
+		return types.Unsafe, nil
+	}
+	return im.base.ImportFrom(path, "", 0)
+}

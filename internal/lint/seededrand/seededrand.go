@@ -1,0 +1,163 @@
+// Package seededrand enforces the repo's rng-derivation discipline in
+// non-test code.
+//
+// Every random stream in the simulator must be (a) derived from the
+// scenario seed, so a (grid, seed) pair replays bit-identically, and
+// (b) salted uniquely, so enabling one subsystem's stream never shifts
+// the draws another subsystem sees. The canonical derivation — used by
+// netsim's loss stream and bonnie's permutation/zipf streams — is
+//
+//	rand.NewSource(s.Seed()*0x9E3779B1 + salt + int64(worker)*0x10001)
+//
+// with a repo-unique salt per stream. This analyzer rejects the global
+// math/rand functions (rand.Intn and friends draw from a process-global
+// stream no scenario seed controls), rejects sources whose seed
+// expression derives from neither a Seed() call nor an explicit seed
+// parameter, rejects Seed()-derived expressions with no salt at all
+// (they collide with the root rng), and collects every salt constant so
+// the driver can reject duplicates repo-wide.
+package seededrand
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strconv"
+	"strings"
+
+	"repro/internal/lint/analysis"
+)
+
+// Derivation multipliers that are not salts: the golden-ratio hash
+// constant spreading the seed, and the per-worker stride. Matched by
+// value, so decimal spellings are excluded too.
+const (
+	seedMultiplier = 0x9E3779B1
+	workerStride   = 0x10001
+)
+
+// SaltUse records one salt constant in a seed derivation. The analyzer
+// returns []SaltUse so the driver can enforce repo-wide uniqueness
+// across packages (in-package duplicates are reported directly).
+type SaltUse struct {
+	Value int64
+	Pos   token.Pos
+}
+
+// Analyzer enforces the seed-derivation discipline. Suppress a
+// deliberate exception with "//lint:allow seededrand".
+var Analyzer = &analysis.Analyzer{
+	Name: "seededrand",
+	Doc: "forbid unseeded randomness: no package-level math/rand calls, " +
+		"every rand.NewSource must derive from sim.Seed() or an explicit " +
+		"seed parameter, Seed()-derived streams must carry a salt, and " +
+		"salts must be unique repo-wide so streams never collide",
+	Run: run,
+}
+
+// constructors are the math/rand package-level functions that build
+// values instead of drawing from the global stream. NewSource-style
+// seed-takers get their arguments checked; the rest pass through.
+var seedTakers = map[string]bool{"NewSource": true, "NewPCG": true, "NewChaCha8": true}
+var otherConstructors = map[string]bool{"New": true, "NewZipf": true}
+
+func run(pass *analysis.Pass) (any, error) {
+	var salts []SaltUse
+	first := make(map[int64]token.Pos)
+	for _, f := range pass.Files {
+		if analysis.IsTestFile(pass.Fset, f) {
+			continue
+		}
+		ast.Inspect(f, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			fn := analysis.Callee(pass.TypesInfo, call)
+			if fn == nil || fn.Pkg() == nil {
+				return true
+			}
+			if p := fn.Pkg().Path(); p != "math/rand" && p != "math/rand/v2" {
+				return true
+			}
+			if sig, ok := fn.Type().(*types.Signature); ok && sig.Recv() != nil {
+				return true // methods on an already-derived *rand.Rand are the point
+			}
+			switch {
+			case otherConstructors[fn.Name()]:
+				// rand.New / rand.NewZipf wrap a source checked elsewhere.
+			case seedTakers[fn.Name()]:
+				checkDerivation(pass, call, fn.Name(), first, &salts)
+			default:
+				pass.Reportf(call.Pos(),
+					"rand.%s draws from the process-global stream no scenario seed controls; derive a source from sim.Seed()",
+					fn.Name())
+			}
+			return true
+		})
+	}
+	return salts, nil
+}
+
+// checkDerivation validates the seed expression(s) of one
+// NewSource-style call and records its salt constants.
+func checkDerivation(pass *analysis.Pass, call *ast.CallExpr, name string, first map[int64]token.Pos, salts *[]SaltUse) {
+	derives, hasSeedCall := false, false
+	var lits []*ast.BasicLit
+	for _, arg := range call.Args {
+		ast.Inspect(arg, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.CallExpr:
+				switch fun := ast.Unparen(n.Fun).(type) {
+				case *ast.SelectorExpr:
+					if fun.Sel.Name == "Seed" {
+						derives, hasSeedCall = true, true
+					}
+				case *ast.Ident:
+					if fun.Name == "Seed" {
+						derives, hasSeedCall = true, true
+					}
+				}
+			case *ast.Ident:
+				if strings.Contains(strings.ToLower(n.Name), "seed") {
+					derives = true
+				}
+			case *ast.BasicLit:
+				if n.Kind == token.INT {
+					lits = append(lits, n)
+				}
+			}
+			return true
+		})
+	}
+	if !derives {
+		pass.Reportf(call.Pos(),
+			"rand.%s seed derives from neither sim.Seed() nor an explicit seed parameter; the stream will not replay with the scenario",
+			name)
+		return
+	}
+	var saltVals []*ast.BasicLit
+	for _, lit := range lits {
+		v, err := strconv.ParseInt(lit.Value, 0, 64)
+		if err != nil || v == seedMultiplier || v == workerStride {
+			continue
+		}
+		saltVals = append(saltVals, lit)
+	}
+	if hasSeedCall && len(saltVals) == 0 {
+		pass.Reportf(call.Pos(),
+			"seed derivation has no salt constant; the stream collides with the root rng (add a repo-unique salt)")
+		return
+	}
+	for _, lit := range saltVals {
+		v, _ := strconv.ParseInt(lit.Value, 0, 64)
+		if prev, ok := first[v]; ok {
+			pass.Reportf(lit.Pos(),
+				"salt %#x reused (first used at %s); derivation salts must be unique repo-wide so streams never collide",
+				v, pass.Fset.Position(prev))
+			continue
+		}
+		first[v] = lit.Pos()
+		*salts = append(*salts, SaltUse{Value: v, Pos: lit.Pos()})
+	}
+}

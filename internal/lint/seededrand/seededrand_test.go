@@ -1,0 +1,12 @@
+package seededrand_test
+
+import (
+	"testing"
+
+	"repro/internal/lint/analysistest"
+	"repro/internal/lint/seededrand"
+)
+
+func TestSeededRand(t *testing.T) {
+	analysistest.Run(t, analysistest.TestData(t), seededrand.Analyzer, "a")
+}

@@ -1,0 +1,54 @@
+// Package a exercises the seededrand analyzer: global draws,
+// underived and unsalted sources, and duplicate salts are flagged; the
+// canonical PR-5 derivation and the root-rng pattern stay clean.
+package a
+
+import "math/rand"
+
+// simT stands in for *sim.Sim: any receiver with a Seed method counts
+// as the scenario seed source.
+type simT struct{ seed int64 }
+
+func (s simT) Seed() int64 { return s.seed }
+
+func globalDraws() {
+	_ = rand.Intn(6)   // want `rand.Intn draws from the process-global stream`
+	_ = rand.Float64() // want `rand.Float64 draws from the process-global stream`
+	_ = rand.Perm(10)  // want `rand.Perm draws from the process-global stream`
+}
+
+func underived() {
+	_ = rand.NewSource(42) // want `derives from neither sim.Seed\(\) nor an explicit seed parameter`
+}
+
+func unsalted(s simT) {
+	_ = rand.NewSource(s.Seed())              // want `no salt constant`
+	_ = rand.NewSource(s.Seed() * 0x9E3779B1) // want `no salt constant`
+}
+
+// canonical is the PR-5 discipline: seed spread by the golden-ratio
+// constant, a repo-unique salt, a per-worker stride.
+func canonical(s simT, worker int) *rand.Rand {
+	return rand.New(rand.NewSource(s.Seed()*0x9E3779B1 + 0x01020304 + int64(worker)*0x10001))
+}
+
+// methodsAreFine: draws from an already-derived source are the point.
+func methodsAreFine(s simT) int {
+	rng := rand.New(rand.NewSource(s.Seed()*0x9E3779B1 + 0x05060708))
+	return rng.Intn(6)
+}
+
+// rootRNG is internal/sim's pattern: a bare explicit seed parameter is
+// a legal derivation (it IS the scenario seed).
+func rootRNG(seed int64) *rand.Rand {
+	return rand.New(rand.NewSource(seed))
+}
+
+func duplicateSalt(s simT) {
+	_ = rand.NewSource(s.Seed()*0x9E3779B1 + 0x0a0b0c0d)
+	_ = rand.NewSource(s.Seed()*0x9E3779B1 + 0x0a0b0c0d) // want `salt 0xa0b0c0d reused`
+}
+
+func deliberate() {
+	_ = rand.NewSource(1) //lint:allow seededrand fixture proves suppression works
+}

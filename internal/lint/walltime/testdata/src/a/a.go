@@ -1,0 +1,44 @@
+// Package a exercises the walltime analyzer: wall-clock and
+// environment reads are flagged, virtual-time idioms stay clean, and a
+// lint:allow comment suppresses a deliberate exception.
+package a
+
+import (
+	"os"
+	"time"
+)
+
+func clockReads() time.Duration {
+	start := time.Now()                 // want `call to time.Now breaks virtual-time determinism`
+	time.Sleep(time.Millisecond)        // want `call to time.Sleep breaks virtual-time determinism`
+	if _, ok := os.LookupEnv("X"); ok { // want `call to os.LookupEnv breaks virtual-time determinism`
+		_ = os.Getenv("HOME") // want `call to os.Getenv breaks virtual-time determinism`
+	}
+	return time.Since(start) // want `call to time.Since breaks virtual-time determinism`
+}
+
+var bootstamp = time.Now() // want `call to time.Now breaks virtual-time determinism`
+
+func timers() {
+	<-time.After(time.Second)       // want `call to time.After breaks virtual-time determinism`
+	_ = time.NewTicker(time.Second) // want `call to time.NewTicker breaks virtual-time determinism`
+}
+
+// virtualTime shows the clean idioms: durations are values, not clock
+// reads, and arithmetic on a virtual now is exactly the point.
+func virtualTime(now time.Duration) time.Duration {
+	d, err := time.ParseDuration("30m")
+	if err != nil {
+		return now
+	}
+	return now + d + 3*time.Second
+}
+
+// methodsAreFine: only the package-level clock readers are forbidden.
+func methodsAreFine(t time.Time, u time.Time) time.Duration {
+	return t.Sub(u).Round(time.Millisecond)
+}
+
+func deliberate() time.Time {
+	return time.Now() //lint:allow walltime fixture proves suppression works
+}

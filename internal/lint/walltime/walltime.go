@@ -1,0 +1,79 @@
+// Package walltime forbids wall-clock and environment reads in
+// non-test simulator code.
+//
+// Every result in this reproduction rests on bit-identical replay: a
+// (grid, seed) pair must produce the same bytes at any -workers count,
+// on any host, in any environment. The simulator therefore runs on
+// virtual time (sim.Now) exclusively. One stray time.Now() in a result
+// path — a timestamp in a CSV row, a duration measured around a phase —
+// silently varies across runs and breaks the CI determinism gates that
+// diff -workers 1 against -workers 8; os.Getenv smuggles in host state
+// the scenario key never captures.
+package walltime
+
+import (
+	"go/ast"
+	"go/types"
+
+	"repro/internal/lint/analysis"
+)
+
+// Analyzer rejects calls to wall-clock time sources and environment
+// reads outside _test.go files. Suppress a deliberate use with
+// "//lint:allow walltime" on (or directly above) the offending line.
+var Analyzer = &analysis.Analyzer{
+	Name: "walltime",
+	Doc: "forbid wall-clock and environment reads in simulator code: " +
+		"results must depend only on the scenario and its seed, so virtual " +
+		"time (sim.Now, Proc.Sleep, sim.At) replaces time.Now/Since/Sleep " +
+		"and explicit flags replace os.Getenv",
+	Run: run,
+}
+
+// forbidden maps package path -> function name -> the deterministic
+// replacement named in the diagnostic.
+var forbidden = map[string]map[string]string{
+	"time": {
+		"Now":       "the virtual clock (sim.Now)",
+		"Since":     "differences of sim.Now timestamps",
+		"Until":     "differences of sim.Now timestamps",
+		"Sleep":     "Proc.Sleep on the virtual clock",
+		"After":     "a sim.At-scheduled event",
+		"Tick":      "a sim.At-scheduled event",
+		"NewTimer":  "a sim.At-scheduled event",
+		"NewTicker": "a sim.At-scheduled event",
+	},
+	"os": {
+		"Getenv":    "an explicit flag or config field",
+		"LookupEnv": "an explicit flag or config field",
+		"Environ":   "an explicit flag or config field",
+	},
+}
+
+func run(pass *analysis.Pass) (any, error) {
+	for _, f := range pass.Files {
+		if analysis.IsTestFile(pass.Fset, f) {
+			continue
+		}
+		ast.Inspect(f, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			fn := analysis.Callee(pass.TypesInfo, call)
+			if fn == nil || fn.Pkg() == nil {
+				return true
+			}
+			if sig, ok := fn.Type().(*types.Signature); ok && sig.Recv() != nil {
+				return true // methods (t.Sub, d.Round, ...) are fine
+			}
+			if hint, ok := forbidden[fn.Pkg().Path()][fn.Name()]; ok {
+				pass.Reportf(call.Pos(),
+					"call to %s.%s breaks virtual-time determinism; use %s",
+					fn.Pkg().Name(), fn.Name(), hint)
+			}
+			return true
+		})
+	}
+	return nil, nil
+}

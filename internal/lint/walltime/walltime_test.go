@@ -1,0 +1,12 @@
+package walltime_test
+
+import (
+	"testing"
+
+	"repro/internal/lint/analysistest"
+	"repro/internal/lint/walltime"
+)
+
+func TestWalltime(t *testing.T) {
+	analysistest.Run(t, analysistest.TestData(t), walltime.Analyzer, "a")
+}

@@ -9,6 +9,7 @@ import (
 	"fmt"
 	"math"
 	"sort"
+	"strconv"
 	"strings"
 	"time"
 )
@@ -374,7 +375,9 @@ func CSV(series ...*Series) string {
 		}
 	}
 	for i := 0; i < n; i++ {
-		fmt.Fprintf(&b, "%g", series[0].Points[i].X)
+		// Byte-identical to the old %g, but the encoding is pinned
+		// explicitly so goldens survive fmt changes (keyfmt).
+		b.WriteString(strconv.FormatFloat(series[0].Points[i].X, 'g', -1, 64))
 		for _, s := range series {
 			fmt.Fprintf(&b, ",%.1f", s.Points[i].Y)
 		}

@@ -126,16 +126,24 @@ func (d *Decoder) Bool() (bool, error) {
 	return v != 0, err
 }
 
-// Opaque decodes variable-length opaque data, returning a copy.
+// Opaque decodes variable-length opaque data, returning a copy. Like
+// every other read, it is atomic on failure: a bad length restores the
+// cursor to before the length word.
 func (d *Decoder) Opaque() ([]byte, error) {
+	start := d.off
 	n, err := d.Uint32()
 	if err != nil {
 		return nil, err
 	}
 	if n > uint32(d.Remaining()) {
+		d.off = start
 		return nil, ErrBadLength
 	}
-	return d.FixedOpaque(int(n))
+	b, err := d.FixedOpaque(int(n))
+	if err != nil {
+		d.off = start
+	}
+	return b, err
 }
 
 // FixedOpaque decodes n bytes of fixed-length opaque data plus padding.
