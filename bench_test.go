@@ -348,3 +348,18 @@ func itoa(n int) string {
 	}
 	return string(buf[i:])
 }
+
+// BenchmarkFleet1000 runs the thousand-client fleet row end to end: one
+// simulation, ~3000 live processes, a thousand 1 MB write+flush+close
+// sequences against a single filer. The wall-clock ns/op is the number
+// the kernel work is judged by; the reported metrics pin the simulated
+// outcome.
+func BenchmarkFleet1000(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		r := experiments.FleetAt([]int{1000}, 1)
+		row := r.Rows[0]
+		b.ReportMetric(row.Aggregate, "agg-MB/s")
+		b.ReportMetric(row.Fairness, "fairness")
+		b.ReportMetric(row.SlotWaitShare, "slot-wait-share")
+	}
+}

@@ -7,7 +7,17 @@
 // The simulator's benchmark metrics are deterministic quantities from
 // the simulated clock (throughputs, latencies, RPC counts), so they are
 // stable across CI hosts; only those metrics are gated. Wall-clock
-// ns/op and iteration counts vary with the runner and are ignored.
+// ns/op and iteration counts vary with the runner and are ignored —
+// except under -wallclock, which additionally gates ns_per_op on the
+// kernel-speed benchmarks (BenchmarkKernel*, BenchmarkRandomSweep,
+// BenchmarkFleet1000) at its own, looser threshold:
+//
+//	benchdiff -old BENCH_PR7.json -new BENCH_PR8.json -threshold 0.15 -wallclock 0.5
+//
+// Those benchmarks exist to keep the simulation kernel fast enough for
+// thousand-client fleets, so a halving of their speed fails the gate
+// even though the number is host-dependent; both artifacts come from
+// the same runner class in CI.
 //
 // Gating polarity comes from the metric unit: MB/s- and tx/s-style
 // units regress when they fall, while -us/-ms/ns-per-call latencies
@@ -130,13 +140,50 @@ func Diff(oldSet, newSet map[string]Result, threshold float64) (failures, notes 
 	return failures, notes
 }
 
+// wallclockGated reports whether a benchmark's wall-clock ns/op is
+// kernel speed we gate: the sim microbenchmarks and the two whole-sweep
+// workloads the kernel rework is judged by.
+func wallclockGated(name string) bool {
+	return strings.HasPrefix(name, "BenchmarkKernel") ||
+		strings.HasPrefix(name, "BenchmarkRandomSweep") ||
+		strings.HasPrefix(name, "BenchmarkFleet1000")
+}
+
+// DiffWallclock gates ns_per_op on the wallclockGated benchmarks:
+// lower is better, and only slowdowns beyond the threshold fail.
+// Benchmarks missing from either artifact are skipped (reported by Diff
+// as notes already).
+func DiffWallclock(oldSet, newSet map[string]Result, threshold float64) (failures []string) {
+	names := make([]string, 0, len(oldSet))
+	for name := range oldSet {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		if !wallclockGated(name) {
+			continue
+		}
+		oldR := oldSet[name]
+		newR, ok := newSet[name]
+		if !ok || oldR.NsPerOp == 0 {
+			continue
+		}
+		if reg := (newR.NsPerOp - oldR.NsPerOp) / oldR.NsPerOp; reg > threshold {
+			failures = append(failures, fmt.Sprintf("%s: wall-clock regressed %.1f%% (%.3gns -> %.3gns)",
+				name, 100*reg, oldR.NsPerOp, newR.NsPerOp))
+		}
+	}
+	return failures
+}
+
 func main() {
 	oldPath := flag.String("old", "", "baseline benchjson artifact")
 	newPath := flag.String("new", "", "candidate benchjson artifact")
 	threshold := flag.Float64("threshold", 0.15, "fractional regression that fails the gate")
+	wallclock := flag.Float64("wallclock", 0, "if > 0, also gate ns_per_op of the kernel-speed benchmarks at this looser threshold")
 	flag.Parse()
-	if *oldPath == "" || *newPath == "" || *threshold < 0 {
-		fmt.Fprintln(os.Stderr, "usage: benchdiff -old baseline.json -new candidate.json [-threshold 0.15]")
+	if *oldPath == "" || *newPath == "" || *threshold < 0 || *wallclock < 0 {
+		fmt.Fprintln(os.Stderr, "usage: benchdiff -old baseline.json -new candidate.json [-threshold 0.15] [-wallclock 0.5]")
 		os.Exit(2)
 	}
 	oldSet, err := load(*oldPath)
@@ -152,6 +199,9 @@ func main() {
 	failures, notes := Diff(oldSet, newSet, *threshold)
 	for _, n := range notes {
 		fmt.Println("note:", n)
+	}
+	if *wallclock > 0 {
+		failures = append(failures, DiffWallclock(oldSet, newSet, *wallclock)...)
 	}
 	if len(failures) > 0 {
 		for _, f := range failures {

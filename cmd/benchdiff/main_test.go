@@ -90,3 +90,69 @@ func TestRegressionZeroBaseline(t *testing.T) {
 		t.Fatalf("zero baseline regressed: %v", reg)
 	}
 }
+
+func nsRes(name string, ns float64) Result {
+	return Result{Name: name, Runs: 1, NsPerOp: ns}
+}
+
+func TestWallclockGatesKernelBenchmarksOnly(t *testing.T) {
+	oldSet := map[string]Result{
+		"BenchmarkKernelSchedule": nsRes("BenchmarkKernelSchedule", 100),
+		"BenchmarkRandomSweep":    nsRes("BenchmarkRandomSweep", 1e9),
+		"BenchmarkFleet1000":      nsRes("BenchmarkFleet1000", 5e9),
+		"BenchmarkDBLoad":         nsRes("BenchmarkDBLoad", 100),
+	}
+	newSet := map[string]Result{
+		// 3x slowdowns across the board; only the kernel-speed names
+		// may fail, the rest stay host-noise.
+		"BenchmarkKernelSchedule": nsRes("BenchmarkKernelSchedule", 300),
+		"BenchmarkRandomSweep":    nsRes("BenchmarkRandomSweep", 3e9),
+		"BenchmarkFleet1000":      nsRes("BenchmarkFleet1000", 15e9),
+		"BenchmarkDBLoad":         nsRes("BenchmarkDBLoad", 300),
+	}
+	failures := DiffWallclock(oldSet, newSet, 0.5)
+	if len(failures) != 3 {
+		t.Fatalf("failures = %v, want the three kernel-speed benchmarks", failures)
+	}
+	joined := strings.Join(failures, "\n")
+	for _, want := range []string{"BenchmarkKernelSchedule", "BenchmarkRandomSweep", "BenchmarkFleet1000"} {
+		if !strings.Contains(joined, want) {
+			t.Fatalf("failures missing %q:\n%s", want, joined)
+		}
+	}
+	if strings.Contains(joined, "BenchmarkDBLoad") {
+		t.Fatalf("non-kernel benchmark gated on wall-clock:\n%s", joined)
+	}
+}
+
+func TestWallclockPolarity(t *testing.T) {
+	oldSet := map[string]Result{"BenchmarkKernelSchedule": nsRes("BenchmarkKernelSchedule", 300)}
+	// A speedup must never fail: ns/op is lower-better.
+	newSet := map[string]Result{"BenchmarkKernelSchedule": nsRes("BenchmarkKernelSchedule", 100)}
+	if failures := DiffWallclock(oldSet, newSet, 0.5); len(failures) != 0 {
+		t.Fatalf("speedup flagged: %v", failures)
+	}
+	// Within-threshold drift passes, beyond-threshold slowdown fails.
+	newSet["BenchmarkKernelSchedule"] = nsRes("BenchmarkKernelSchedule", 420)
+	if failures := DiffWallclock(oldSet, newSet, 0.5); len(failures) != 0 {
+		t.Fatalf("within-threshold drift flagged: %v", failures)
+	}
+	newSet["BenchmarkKernelSchedule"] = nsRes("BenchmarkKernelSchedule", 500)
+	if failures := DiffWallclock(oldSet, newSet, 0.5); len(failures) != 1 {
+		t.Fatalf("slowdown not flagged: %v", failures)
+	}
+}
+
+func TestWallclockSkipsMissingAndZero(t *testing.T) {
+	oldSet := map[string]Result{
+		"BenchmarkKernelSchedule": nsRes("BenchmarkKernelSchedule", 0), // no baseline
+		"BenchmarkKernelGone":     nsRes("BenchmarkKernelGone", 100),   // vanished
+	}
+	newSet := map[string]Result{
+		"BenchmarkKernelSchedule": nsRes("BenchmarkKernelSchedule", 500),
+		"BenchmarkKernelNew":      nsRes("BenchmarkKernelNew", 100), // added this PR
+	}
+	if failures := DiffWallclock(oldSet, newSet, 0.5); len(failures) != 0 {
+		t.Fatalf("membership changes or zero baselines must not fail: %v", failures)
+	}
+}

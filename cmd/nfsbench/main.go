@@ -13,6 +13,8 @@
 //	nfsbench profile   §3.4/§3.5 kernel-profile findings
 //	nfsbench jumbo     §3.5 future work: jumbo-frame ablation
 //	nfsbench scaling   beyond the paper: N client machines, one server
+//	nfsbench fleet     beyond the paper: 10/100/1000-client fleets
+//	                   (aggregate ingest, fairness, slot convoying)
 //	nfsbench loss      beyond the paper: UDP vs TCP under fragment loss
 //	nfsbench read      beyond the paper: read/rewrite/mixed workloads
 //	                   with a client readahead ablation
@@ -81,6 +83,8 @@ func runners() []runner {
 			func() string { return experiments.Concurrency().Render() }},
 		{"scaling", "multi-client scale-out: per-client vs aggregate throughput + fairness",
 			func() string { return experiments.Scaling().Render() }},
+		{"fleet", "thousand-client fleet: aggregate ingest, fairness, slot-table convoying",
+			func() string { return experiments.Fleet().Render() }},
 		{"loss", "lossy network: UDP loss amplification vs TCP segment recovery",
 			func() string { return experiments.LossSweep().Render() }},
 		{"read", "read path: sequential read/rewrite/mixed with readahead ablation",

@@ -406,7 +406,7 @@ func (c *Client) sendOne(p *sim.Proc, ino *Inode, ticket *flushTicket) int {
 		Offset: uint64(start),
 		Count:  uint32(total),
 		Stable: nfsproto.Unstable,
-		Data:   make([]byte, total),
+		Data:   nfsproto.Zeroes(total),
 	}
 	pages := len(run)
 	c.RPCsSent++
@@ -479,7 +479,7 @@ func (c *Client) writeSyncSpan(p *sim.Proc, ino *Inode, span vfs.PageSpan) {
 		Offset: uint64(span.Page)*uint64(pageSize) + uint64(span.Offset),
 		Count:  uint32(span.Count),
 		Stable: nfsproto.FileSync,
-		Data:   make([]byte, span.Count),
+		Data:   nfsproto.Zeroes(span.Count),
 	}
 	c.RPCsSent++
 	c.PagesSent++

@@ -626,3 +626,45 @@ func TestZipfSweepShape(t *testing.T) {
 		t.Fatalf("render reports a violated comparison:\n%s", out)
 	}
 }
+
+func TestFleetShape(t *testing.T) {
+	// Reduced fleet sizes keep the test fast; the 1000-client row runs
+	// in CI's smoke step and in BenchmarkFleet1000.
+	r := FleetAt([]int{10, 100}, 1)
+	if len(r.Rows) != 2 {
+		t.Fatalf("rows = %d, want 2", len(r.Rows))
+	}
+	small, big := r.Rows[0], r.Rows[1]
+	if small.Clients != 10 || big.Clients != 100 {
+		t.Fatalf("client counts %d, %d; want 10, 100", small.Clients, big.Clients)
+	}
+	for _, row := range r.Rows {
+		if row.PerClient <= 0 || row.Aggregate <= 0 || row.ServerNet <= 0 {
+			t.Fatalf("empty throughput in row %+v", row)
+		}
+		if row.Fairness <= 0 || row.Fairness > 1 {
+			t.Fatalf("fairness %v out of (0, 1] in row %+v", row.Fairness, row)
+		}
+		if row.SlotWaitShare < 0 || row.SlotWaitShare > 1 {
+			t.Fatalf("slot-wait share %v out of [0, 1] in row %+v", row.SlotWaitShare, row)
+		}
+	}
+	// The server's ingest ceiling is fixed, so ten times the clients get
+	// roughly a tenth of the bandwidth each...
+	if big.PerClient >= small.PerClient/2 {
+		t.Fatalf("per-client did not collapse: %d clients %.2f, %d clients %.2f MBps",
+			small.Clients, small.PerClient, big.Clients, big.PerClient)
+	}
+	// ...and requests convoy longer behind the slot table as replies
+	// slow down under the larger fleet.
+	if big.SlotWaitUs <= small.SlotWaitUs {
+		t.Fatalf("slot-wait did not grow: %d clients %.0fus, %d clients %.0fus",
+			small.Clients, small.SlotWaitUs, big.Clients, big.SlotWaitUs)
+	}
+	out := r.Render()
+	for _, want := range []string{"Thousand-client fleet", "slot-wait share"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("render missing %q:\n%s", want, out)
+		}
+	}
+}

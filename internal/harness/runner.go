@@ -106,6 +106,14 @@ type Result struct {
 	MinClientMBps float64 `json:"min_client_mbps"`
 	MaxClientMBps float64 `json:"max_client_mbps"`
 
+	// Slot-table convoying (JSON only; the CSV schema is frozen).
+	// SlotWaits counts RPCs across all client machines that found their
+	// transport's slot table full and queued; SlotWaitUs is the total
+	// virtual time spent queued. At fleet scale these expose whether the
+	// server or the per-client slot table is the bottleneck.
+	SlotWaits  int64   `json:"slot_waits"`
+	SlotWaitUs float64 `json:"slot_wait_us"`
+
 	// PerClientMBps is each client machine's throughput (write-phase, or
 	// through close when the scenario runs the full sequence), in
 	// machine order.
@@ -265,6 +273,8 @@ func RunScenario(sc Scenario) Result {
 			st := m.Transport.Stats()
 			out.Retransmits += st.Retransmits
 			out.DupReplies += st.DuplicateReplies
+			out.SlotWaits += st.SlotWaits
+			out.SlotWaitUs += usec(time.Duration(st.SlotWaitTime))
 		}
 	}
 	if total := out.AttrCacheHits + out.AttrCacheMisses; total > 0 {

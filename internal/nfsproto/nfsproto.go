@@ -91,6 +91,21 @@ func (s Status) String() string {
 // bytes; Linux knfsd and ONTAP both used 32-byte handles in this era.
 const FHSize = 32
 
+// zeroes backs Zeroes(): payload content is not modeled (only wire
+// size), so every bulk-data slice can alias one shared read-only buffer
+// instead of allocating per RPC. 1 MiB covers any wsize/rsize the
+// harness configures; larger requests fall back to a fresh allocation.
+var zeroes = make([]byte, 1<<20)
+
+// Zeroes returns an all-zero payload of n bytes. The slice aliases a
+// shared buffer and must never be written to.
+func Zeroes(n int) []byte {
+	if n <= len(zeroes) {
+		return zeroes[:n:n]
+	}
+	return make([]byte, n)
+}
+
 // FileHandle identifies a file on a server.
 type FileHandle [FHSize]byte
 
@@ -253,6 +268,7 @@ type WriteArgs struct {
 
 // Encode appends the XDR form of the arguments.
 func (a *WriteArgs) Encode(e *xdr.Encoder) {
+	e.Grow(xdr.OpaqueLen(FHSize) + 16 + xdr.OpaqueLen(len(a.Data)))
 	e.Opaque(a.File[:])
 	e.Uint64(a.Offset)
 	e.Uint32(a.Count)
@@ -274,7 +290,9 @@ func DecodeWriteArgs(d *xdr.Decoder) (*WriteArgs, error) {
 	off, e1 := d.Uint64()
 	count, e2 := d.Uint32()
 	stable, e3 := d.Uint32()
-	data, e4 := d.Opaque()
+	// The payload is aliased, not copied: servers model WRITE data by
+	// size only and never inspect or retain the bytes.
+	data, e4 := d.OpaqueRef()
 	if err := xdr.Check(e1, e2, e3, e4); err != nil {
 		return nil, err
 	}
@@ -382,6 +400,7 @@ type ReadRes struct {
 
 // Encode appends the XDR form of the result.
 func (r *ReadRes) Encode(e *xdr.Encoder) {
+	e.Grow(16 + xdr.OpaqueLen(len(r.Data)))
 	e.Uint32(uint32(r.Status))
 	e.Bool(false) // post-op attributes not present
 	if r.Status == NFS3OK {
@@ -406,7 +425,9 @@ func DecodeReadRes(d *xdr.Decoder) (*ReadRes, error) {
 	}
 	count, e1 := d.Uint32()
 	eof, e2 := d.Bool()
-	data, e3 := d.Opaque()
+	// Aliased, not copied: clients count READ bytes, they never look at
+	// the (all-zero) payload.
+	data, e3 := d.OpaqueRef()
 	if err := xdr.Check(e1, e2, e3); err != nil {
 		return nil, err
 	}

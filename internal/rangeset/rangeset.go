@@ -46,8 +46,17 @@ func (s *Set) Add(start, end int64) {
 		}
 		j++
 	}
-	merged := append(s.ranges[:i:i], Range{start, end})
-	s.ranges = append(merged, s.ranges[j:]...)
+	if i == j {
+		// Pure insertion at i: grow by one and shift the tail right,
+		// reusing the backing array.
+		s.ranges = append(s.ranges, Range{})
+		copy(s.ranges[i+1:], s.ranges[i:])
+		s.ranges[i] = Range{start, end}
+		return
+	}
+	// Collapse [i, j) into the single merged range in place.
+	s.ranges[i] = Range{start, end}
+	s.ranges = append(s.ranges[:i+1], s.ranges[j:]...)
 }
 
 // Contains reports whether every byte of [start, end) is in the set.

@@ -153,16 +153,25 @@ type Stats struct {
 	// RTTSamples is how many calls contributed to TotalRTT. Calls that
 	// were retransmitted are excluded, Karn-style: their RTT is ambiguous.
 	RTTSamples int64
+	// SlotWaits counts Calls that found the slot table full and had to
+	// sleep; SlotWaitTime is the total time those calls spent queued.
+	// Together they measure slot-table convoying as fleets grow.
+	SlotWaits    int64
+	SlotWaitTime sim.Time
 }
 
 type pendingCall struct {
 	xid     uint32
 	payload []byte
+	enc     *xdr.Encoder // pooled encoder backing payload; nil once released
 	onReply func(body *xdr.Decoder)
-	timer   *sim.Event
+	timer   sim.Event
 	sentAt  sim.Time
 	rto     sim.Time
 	retrans int
+	// sync marks CallSync: its decoder outlives the softirq iteration, so
+	// the reply buffer must not be recycled there.
+	sync bool
 }
 
 // Transport is a client-side RPC transport bound to one server.
@@ -252,21 +261,30 @@ func (t *Transport) SlotsAvailable() bool { return len(t.pending) < t.cfg.MaxSlo
 // (kernel sleeping paths drop it); Call manages the BKL internally
 // according to the configured LockPolicy.
 func (t *Transport) Call(p *sim.Proc, proc uint32, encodeArgs func(*xdr.Encoder), onReply func(*xdr.Decoder)) {
+	t.call(p, proc, encodeArgs, onReply, false)
+}
+
+func (t *Transport) call(p *sim.Proc, proc uint32, encodeArgs func(*xdr.Encoder), onReply func(*xdr.Decoder), sync bool) {
 	// Reserve a slot; sleeping here does not hold the BKL, which is why a
 	// slow server (slots always full) leaves the writer thread unimpeded
 	// — the paper's §3.5 paradox.
-	for len(t.pending) >= t.cfg.MaxSlots {
-		t.slotWait.Wait(p)
+	if len(t.pending) >= t.cfg.MaxSlots {
+		t.stats.SlotWaits++
+		queued := t.s.Now()
+		for len(t.pending) >= t.cfg.MaxSlots {
+			t.slotWait.Wait(p)
+		}
+		t.stats.SlotWaitTime += t.s.Now() - queued
 	}
 
 	t.nextXID++
 	xid := t.nextXID
-	enc := xdr.NewEncoder(256)
+	enc := xdr.AcquireEncoder()
 	nfsproto.CallHeader{XID: xid, Proc: proc}.Encode(enc)
 	encodeArgs(enc)
 	payload := enc.Bytes()
 
-	pc := &pendingCall{xid: xid, payload: payload, onReply: onReply, sentAt: t.s.Now()}
+	pc := &pendingCall{xid: xid, payload: payload, enc: enc, onReply: onReply, sentAt: t.s.Now(), sync: sync}
 	t.pending[xid] = pc
 	t.stats.Calls++
 
@@ -309,7 +327,12 @@ func (t *Transport) transmit(p *sim.Proc, pc *pendingCall) {
 	if t.cfg.Transport == TransportTCP {
 		// The stream owns reliability: per-segment retransmission with an
 		// adaptive RTO. No whole-message timer, no duplicate replies.
+		// SendRecord copies the record into the stream buffer, so the
+		// encode buffer is dead as soon as it returns.
 		t.stream.SendRecord(pc.payload)
+		pc.payload = nil
+		pc.enc.Release()
+		pc.enc = nil
 		return
 	}
 	res := t.net.Send(netsim.Datagram{From: t.local, To: t.remote, Payload: pc.payload})
@@ -362,6 +385,7 @@ func (t *Transport) softirqLoop(p *sim.Proc) {
 		if !ok {
 			// Duplicate reply: the original answer raced a retransmission.
 			t.stats.DuplicateReplies++
+			xdr.RecycleBuffer(payload)
 			continue
 		}
 
@@ -384,6 +408,23 @@ func (t *Transport) softirqLoop(p *sim.Proc) {
 		if pc.onReply != nil {
 			pc.onReply(d)
 		}
+		// The call's encode buffer: with zero retransmissions exactly one
+		// request datagram existed and the server is done with it (the
+		// reply proves delivery and service), so it can be recycled. A
+		// retransmitted call may still have copies in flight — leak those
+		// to the GC.
+		if pc.enc != nil && pc.retrans == 0 {
+			pc.payload = nil
+			pc.enc.Release()
+			pc.enc = nil
+		}
+		// The reply buffer is uniquely ours (UDP: the server's encode
+		// buffer, delivered once; TCP: a fresh record copy) and decoded
+		// aliases die with the callback — except under CallSync, whose
+		// caller reads the decoder after we loop on.
+		if !pc.sync {
+			xdr.RecycleBuffer(payload)
+		}
 	}
 }
 
@@ -393,10 +434,10 @@ func (t *Transport) softirqLoop(p *sim.Proc) {
 func (t *Transport) CallSync(p *sim.Proc, proc uint32, encodeArgs func(*xdr.Encoder)) *xdr.Decoder {
 	var reply *xdr.Decoder
 	done := t.s.NewWaitQueue("rpc-sync")
-	t.Call(p, proc, encodeArgs, func(d *xdr.Decoder) {
+	t.call(p, proc, encodeArgs, func(d *xdr.Decoder) {
 		reply = d
 		done.Broadcast()
-	})
+	}, true)
 	for reply == nil {
 		done.Wait(p)
 	}

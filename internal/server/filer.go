@@ -140,7 +140,7 @@ func (f *Filer) HandleRead(p *sim.Proc, args *nfsproto.ReadArgs) *nfsproto.ReadR
 	return &nfsproto.ReadRes{
 		Status: nfsproto.NFS3OK,
 		Count:  args.Count,
-		Data:   make([]byte, args.Count),
+		Data:   nfsproto.Zeroes(int(args.Count)),
 	}
 }
 

@@ -131,7 +131,7 @@ func (l *LinuxServer) HandleRead(p *sim.Proc, args *nfsproto.ReadArgs) *nfsproto
 	return &nfsproto.ReadRes{
 		Status: nfsproto.NFS3OK,
 		Count:  args.Count,
-		Data:   make([]byte, args.Count),
+		Data:   nfsproto.Zeroes(int(args.Count)),
 	}
 }
 

@@ -218,6 +218,13 @@ func (srv *Server) worker(p *sim.Proc) {
 			srv.MaxBusy = srv.BusyWorkers
 		}
 		srv.serve(p, item)
+		if srv.cfg.Transport == rpcsim.TransportTCP {
+			// TCP requests are fresh record copies from the stream
+			// reassembler; all decoded aliases died with serve. (UDP
+			// payloads belong to the client's pending call — it recycles
+			// them when the reply lands.)
+			xdr.RecycleBuffer(item.payload)
+		}
 		srv.BusyWorkers--
 	}
 }
@@ -239,7 +246,7 @@ func (srv *Server) serve(p *sim.Proc, item rxItem) {
 		panic(fmt.Sprintf("server %s: bad call: %v", srv.cfg.Host, err))
 	}
 
-	reply := xdr.NewEncoder(128)
+	reply := xdr.AcquireEncoder()
 	nfsproto.ReplyHeader{XID: hdr.XID}.Encode(reply)
 
 	switch hdr.Proc {
@@ -335,8 +342,12 @@ func (srv *Server) serve(p *sim.Proc, item rxItem) {
 
 	srv.cpu.Use(p, "nfsd_send", srv.cfg.SendCPU)
 	if srv.cfg.Transport == rpcsim.TransportTCP {
+		// SendRecord copies, so the reply encoder is immediately dead.
 		srv.conn(item.from).SendRecord(reply.Bytes())
+		reply.Release()
 	} else {
+		// Ownership of the reply buffer moves to the datagram; the
+		// client's softirq loop recycles it after the completion callback.
 		srv.net.Send(netsim.Datagram{From: srv.cfg.Host, To: item.from, Payload: reply.Bytes()})
 	}
 }

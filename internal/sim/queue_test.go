@@ -1,0 +1,243 @@
+package sim_test
+
+import (
+	"container/heap"
+	"math/rand"
+	"reflect"
+	"testing"
+	"time"
+
+	"repro/internal/sim"
+)
+
+// These tests pin the event queue's contract: events fire in (time,
+// schedule-order) order — the exact total order the old container/heap
+// kernel used — and Cancel is safe before, after, and long after an
+// event fires, including once its pooled object has been recycled.
+
+// TestSameTimestampFIFO schedules batches at equal timestamps in several
+// interleavings; within a timestamp, firing order must be insertion
+// order regardless of how timestamps interleave at insert time.
+func TestSameTimestampFIFO(t *testing.T) {
+	// Each case lists (timestamp, id) pairs in insertion order.
+	cases := [][][2]int{
+		{{5, 0}, {5, 1}, {5, 2}, {5, 3}},
+		{{5, 0}, {3, 1}, {5, 2}, {3, 3}, {5, 4}},
+		{{9, 0}, {1, 1}, {9, 2}, {1, 3}, {5, 4}, {5, 5}, {9, 6}},
+		{{2, 0}, {2, 1}, {1, 2}, {1, 3}, {2, 4}, {1, 5}},
+	}
+	for ci, ins := range cases {
+		s := sim.New(1)
+		var fired [][2]int
+		for _, pair := range ins {
+			at, id := pair[0], pair[1]
+			s.At(sim.Time(at)*time.Microsecond, func() { fired = append(fired, [2]int{at, id}) })
+		}
+		s.Run(0)
+		// Expected: stable sort of the insertion list by timestamp.
+		want := make([][2]int, len(ins))
+		copy(want, ins)
+		for i := 1; i < len(want); i++ { // insertion sort = stable
+			for j := i; j > 0 && want[j-1][0] > want[j][0]; j-- {
+				want[j-1], want[j] = want[j], want[j-1]
+			}
+		}
+		if !reflect.DeepEqual(fired, want) {
+			t.Fatalf("case %d: fired %v, want %v", ci, fired, want)
+		}
+	}
+}
+
+// TestCancelThenFire covers the cancellation lifecycle: cancel before
+// fire suppresses the event, cancel after fire is a no-op, and a stale
+// handle must not kill a later event that recycled the same pooled
+// object (the generation check).
+func TestCancelThenFire(t *testing.T) {
+	s := sim.New(1)
+	var fired []string
+	a := s.At(1*time.Microsecond, func() { fired = append(fired, "a") })
+	b := s.At(2*time.Microsecond, func() { fired = append(fired, "b") })
+	s.At(3*time.Microsecond, func() { fired = append(fired, "c") })
+	b.Cancel()
+	b.Cancel() // double cancel is fine
+	s.Run(0)
+	if want := []string{"a", "c"}; !reflect.DeepEqual(fired, want) {
+		t.Fatalf("fired %v, want %v", fired, want)
+	}
+
+	// a's event object is back in the pool; new events reuse it with a
+	// bumped generation. The stale handle must be inert.
+	fired = nil
+	for i := 0; i < 8; i++ {
+		s.At(time.Microsecond, func() { fired = append(fired, "d") })
+	}
+	a.Cancel()
+	s.Run(0)
+	if len(fired) != 8 {
+		t.Fatalf("stale Cancel killed a recycled event: fired %v", fired)
+	}
+
+	// Cancelling from within an earlier event at the same timestamp
+	// still suppresses the later one (it has not run yet).
+	fired = nil
+	var victim sim.Event
+	s.At(time.Microsecond, func() {
+		fired = append(fired, "e")
+		victim.Cancel()
+	})
+	victim = s.At(time.Microsecond, func() { fired = append(fired, "f") })
+	s.Run(0)
+	if want := []string{"e"}; !reflect.DeepEqual(fired, want) {
+		t.Fatalf("fired %v, want %v", fired, want)
+	}
+}
+
+// refHeap is the old kernel's event queue: a container/heap binary heap
+// ordered by (at, seq) with lazy-cancelled dead events. The randomized
+// cross-check below replays identical schedules through it.
+type refEvent struct {
+	at   int64
+	seq  int
+	id   int
+	dead bool
+}
+
+type refHeap []*refEvent
+
+func (h refHeap) Len() int { return len(h) }
+func (h refHeap) Less(i, j int) bool {
+	if h[i].at != h[j].at {
+		return h[i].at < h[j].at
+	}
+	return h[i].seq < h[j].seq
+}
+func (h refHeap) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
+func (h *refHeap) Push(x any)   { *h = append(*h, x.(*refEvent)) }
+func (h *refHeap) Pop() any {
+	old := *h
+	n := len(old)
+	e := old[n-1]
+	*h = old[:n-1]
+	return e
+}
+
+// TestRandomizedScheduleMatchesReferenceHeap drives the kernel with a
+// pseudo-random schedule — every fired event may spawn children at
+// random future offsets and cancel a pending sibling — and replays the
+// same decision stream through the container/heap reference. The firing
+// sequences must match exactly.
+func TestRandomizedScheduleMatchesReferenceHeap(t *testing.T) {
+	for _, seed := range []int64{1, 7, 42, 1234} {
+		const initial = 40
+		const maxID = 400
+
+		// decisions(id) derives an event's behaviour purely from its id,
+		// so the sim run and the reference replay make identical choices.
+		type decision struct {
+			children []int64 // child delays in microseconds
+			cancel   int     // id of the event to cancel, -1 for none
+		}
+		decisions := func(id int) decision {
+			rng := rand.New(rand.NewSource(seed*1_000_003 + int64(id)))
+			var d decision
+			for i, n := 0, rng.Intn(3); i < n; i++ {
+				d.children = append(d.children, int64(rng.Intn(7))) // 0 delays exercise same-timestamp ties
+			}
+			d.cancel = -1
+			if rng.Intn(4) == 0 {
+				d.cancel = rng.Intn(maxID)
+			}
+			return d
+		}
+
+		// Simulation run.
+		s := sim.New(seed)
+		var simFired []int
+		handles := make(map[int]sim.Event)
+		nextID := 0
+		var schedule func(delay int64) // schedules the next id at now+delay
+		schedule = func(delay int64) {
+			id := nextID
+			nextID++
+			if id >= maxID {
+				return
+			}
+			handles[id] = s.At(s.Now()+sim.Time(delay)*time.Microsecond, func() {
+				simFired = append(simFired, id)
+				d := decisions(id)
+				if d.cancel >= 0 {
+					if h, ok := handles[d.cancel]; ok {
+						h.Cancel()
+					}
+				}
+				for _, cd := range d.children {
+					schedule(cd)
+				}
+			})
+		}
+		rng := rand.New(rand.NewSource(seed))
+		for i := 0; i < initial; i++ {
+			schedule(int64(rng.Intn(10)))
+		}
+		s.Run(0)
+
+		// Reference replay with the identical decision stream.
+		var h refHeap
+		byID := make(map[int]*refEvent)
+		var refFired []int
+		refNext := 0
+		seq := 0
+		var now int64
+		push := func(delay int64) {
+			id := refNext
+			refNext++
+			if id >= maxID {
+				return
+			}
+			e := &refEvent{at: now + delay, seq: seq, id: id}
+			seq++
+			byID[id] = e
+			heap.Push(&h, e)
+		}
+		rng = rand.New(rand.NewSource(seed))
+		for i := 0; i < initial; i++ {
+			push(int64(rng.Intn(10)))
+		}
+		for h.Len() > 0 {
+			e := heap.Pop(&h).(*refEvent)
+			if e.dead {
+				continue
+			}
+			now = e.at
+			refFired = append(refFired, e.id)
+			d := decisions(e.id)
+			if d.cancel >= 0 {
+				if victim, ok := byID[d.cancel]; ok {
+					victim.dead = true
+				}
+			}
+			for _, cd := range d.children {
+				push(cd)
+			}
+		}
+
+		if !reflect.DeepEqual(simFired, refFired) {
+			i := 0
+			for i < len(simFired) && i < len(refFired) && simFired[i] == refFired[i] {
+				i++
+			}
+			t.Fatalf("seed %d: firing order diverges from the reference heap at position %d (sim %v..., ref %v...)",
+				seed, i, tailof(simFired, i), tailof(refFired, i))
+		}
+	}
+}
+
+func tailof(xs []int, i int) []int {
+	if i >= len(xs) {
+		return nil
+	}
+	if len(xs) > i+5 {
+		return xs[i : i+5]
+	}
+	return xs[i:]
+}

@@ -3,15 +3,21 @@
 // The reproduction models the Linux 2.4.4 kernel's NFS client write path as
 // a set of cooperating processes (application writer threads, nfs_flushd,
 // network softirq handlers, server daemons) that execute on a virtual clock.
-// Exactly one process runs at a time; control is handed between the
-// scheduler goroutine and process goroutines through channels, so a given
-// seed and workload always produce bit-identical schedules. This is what
-// lets us reproduce the paper's queueing and lock-contention phenomena
-// without the run-to-run variance the authors complain about in §2.2.
+// Exactly one process runs at a time; control is handed between goroutines
+// through a single "baton" so a given seed and workload always produce
+// bit-identical schedules. This is what lets us reproduce the paper's
+// queueing and lock-contention phenomena without the run-to-run variance
+// the authors complain about in §2.2.
+//
+// The kernel is built for thousand-client fleets (DESIGN.md §12): events
+// live in a pooled 4-ary heap keyed on (time, sequence) so same-timestamp
+// events fire in scheduling order, process wakeups are heap entries rather
+// than closures, and the event loop itself migrates to whichever process
+// goroutine parks — a process whose own wakeup is the next event resumes
+// without touching a channel at all.
 package sim
 
 import (
-	"container/heap"
 	"fmt"
 	"math/rand"
 	"time"
@@ -20,69 +26,126 @@ import (
 // Time is virtual time since the start of the simulation.
 type Time = time.Duration
 
-// event is a scheduled callback. Events fire in (at, seq) order, so
-// same-timestamp events run in the order they were scheduled (FIFO).
+// event is a scheduled callback or process wakeup. Events fire in
+// (at, seq) order, so same-timestamp events run in the order they were
+// scheduled (FIFO). Fired and canceled events return to the simulator's
+// pool; gen distinguishes a recycled event from the scheduling an Event
+// handle refers to.
 type event struct {
-	at    Time
-	seq   uint64
-	fn    func()
-	index int  // heap index, -1 once popped or canceled
-	dead  bool // canceled
+	at   Time
+	seq  uint64
+	gen  uint32
+	dead bool  // canceled
+	proc *Proc // wakeup target; nil for callback events
+	fn   func()
 }
 
 // Event is a handle to a scheduled callback; it can be canceled before it
-// fires (used for retransmit timers).
-type Event struct{ ev *event }
+// fires (used for retransmit timers). The zero value is a valid no-op
+// handle.
+type Event struct {
+	ev  *event
+	gen uint32
+}
 
 // Cancel prevents the event from firing. Canceling an already-fired or
-// already-canceled event is a no-op.
-func (e *Event) Cancel() {
-	if e != nil && e.ev != nil {
+// already-canceled event is a no-op (the underlying entry has been
+// recycled under a new generation by then).
+func (e Event) Cancel() {
+	if e.ev != nil && e.ev.gen == e.gen {
 		e.ev.dead = true
 	}
 }
 
-type eventHeap []*event
+// eventQueue is a 4-ary min-heap on (at, seq). Four-way fanout halves the
+// tree depth of a binary heap and keeps sibling comparisons inside one
+// cache line of pointers, and the hand-rolled sift paths avoid
+// container/heap's interface boxing on every operation.
+type eventQueue []*event
 
-func (h eventHeap) Len() int { return len(h) }
-func (h eventHeap) Less(i, j int) bool {
-	if h[i].at != h[j].at {
-		return h[i].at < h[j].at
+func eventLess(a, b *event) bool {
+	if a.at != b.at {
+		return a.at < b.at
 	}
-	return h[i].seq < h[j].seq
+	return a.seq < b.seq
 }
-func (h eventHeap) Swap(i, j int) {
-	h[i], h[j] = h[j], h[i]
-	h[i].index = i
-	h[j].index = j
+
+func (q *eventQueue) push(ev *event) {
+	h := append(*q, ev)
+	i := len(h) - 1
+	for i > 0 {
+		parent := (i - 1) >> 2
+		if !eventLess(ev, h[parent]) {
+			break
+		}
+		h[i] = h[parent]
+		i = parent
+	}
+	h[i] = ev
+	*q = h
 }
-func (h *eventHeap) Push(x any) {
-	ev := x.(*event)
-	ev.index = len(*h)
-	*h = append(*h, ev)
+
+func (q *eventQueue) pop() *event {
+	h := *q
+	top := h[0]
+	n := len(h) - 1
+	last := h[n]
+	h[n] = nil
+	h = h[:n]
+	*q = h
+	if n == 0 {
+		return top
+	}
+	i := 0
+	for {
+		c := i<<2 + 1
+		if c >= n {
+			break
+		}
+		min := h[c]
+		end := c + 4
+		if end > n {
+			end = n
+		}
+		for j := c + 1; j < end; j++ {
+			if eventLess(h[j], min) {
+				min = h[j]
+				c = j
+			}
+		}
+		// c now indexes the smallest child; walk last down past it.
+		if !eventLess(min, last) {
+			break
+		}
+		h[i] = min
+		i = c
+	}
+	h[i] = last
+	return top
 }
-func (h *eventHeap) Pop() any {
-	old := *h
-	n := len(old)
-	ev := old[n-1]
-	old[n-1] = nil
-	ev.index = -1
-	*h = old[:n-1]
-	return ev
-}
+
+// eventBlock is how many events one pool refill allocates: a single
+// backing array keeps pooled events cache-adjacent.
+const eventBlock = 128
 
 // Sim is a discrete-event simulation instance. It is not safe for use from
-// multiple OS threads; all interaction happens from the scheduler goroutine
-// or from process goroutines that the scheduler has handed control to.
+// multiple OS threads; all interaction happens from the goroutine that
+// currently holds the scheduling baton (the Run caller or a process the
+// kernel handed control to).
 type Sim struct {
 	now    Time
 	seq    uint64
 	seed   int64
-	events eventHeap
-	done   chan struct{} // process -> scheduler control handoff
+	events eventQueue
+	pool   []*event // recycled event entries
+	limit  Time     // current Run's time limit (0 = none)
 	rng    *rand.Rand
 	prof   *Profiler
 	fail   any // panic value captured from a process
+
+	// mainWake returns the baton to the Run caller when the queue drains,
+	// the limit is reached, or a process panics.
+	mainWake chan struct{}
 
 	procSeq int
 	live    int // live (spawned, unterminated) processes
@@ -91,10 +154,10 @@ type Sim struct {
 // New returns a simulator with the given deterministic seed.
 func New(seed int64) *Sim {
 	return &Sim{
-		done: make(chan struct{}),
-		seed: seed,
-		rng:  rand.New(rand.NewSource(seed)),
-		prof: NewProfiler(),
+		mainWake: make(chan struct{}),
+		seed:     seed,
+		rng:      rand.New(rand.NewSource(seed)),
+		prof:     NewProfiler(),
 	}
 }
 
@@ -113,41 +176,119 @@ func (s *Sim) Rand() *rand.Rand { return s.rng }
 // Profiler returns the simulation's CPU profiler.
 func (s *Sim) Profiler() *Profiler { return s.prof }
 
+// alloc takes an event from the pool, refilling it in blocks.
+func (s *Sim) alloc() *event {
+	if len(s.pool) == 0 {
+		block := make([]event, eventBlock)
+		for i := range block {
+			s.pool = append(s.pool, &block[i])
+		}
+	}
+	ev := s.pool[len(s.pool)-1]
+	s.pool = s.pool[:len(s.pool)-1]
+	return ev
+}
+
+// recycle returns a popped event to the pool under a new generation, so
+// stale Event handles can no longer cancel it.
+func (s *Sim) recycle(ev *event) {
+	ev.gen++
+	ev.dead = false
+	ev.proc = nil
+	ev.fn = nil
+	s.pool = append(s.pool, ev)
+}
+
 // At schedules fn to run at absolute virtual time t (clamped to now).
-func (s *Sim) At(t Time, fn func()) *Event {
+func (s *Sim) At(t Time, fn func()) Event {
 	if t < s.now {
 		t = s.now
 	}
-	ev := &event{at: t, seq: s.seq, fn: fn}
+	ev := s.alloc()
+	ev.at, ev.seq, ev.fn = t, s.seq, fn
 	s.seq++
-	heap.Push(&s.events, ev)
-	return &Event{ev: ev}
+	s.events.push(ev)
+	return Event{ev: ev, gen: ev.gen}
 }
 
 // After schedules fn to run d from now.
-func (s *Sim) After(d Time, fn func()) *Event { return s.At(s.now+d, fn) }
+func (s *Sim) After(d Time, fn func()) Event { return s.At(s.now+d, fn) }
+
+// wake schedules a process wakeup at absolute time t — the allocation-free
+// fast path behind Sleep, Yield, and every unpark.
+func (s *Sim) wake(t Time, p *Proc) {
+	if t < s.now {
+		t = s.now
+	}
+	ev := s.alloc()
+	ev.at, ev.seq, ev.proc = t, s.seq, p
+	s.seq++
+	s.events.push(ev)
+}
+
+// schedule runs the event loop on the calling goroutine: it pops and
+// executes events until control must transfer to a process goroutine
+// (returning that process), or until the queue drains, the limit is
+// reached, or a process has panicked (returning nil, meaning the baton
+// goes back to the Run caller).
+func (s *Sim) schedule() *Proc {
+	for len(s.events) > 0 {
+		next := s.events[0]
+		if s.limit > 0 && next.at > s.limit {
+			s.now = s.limit
+			return nil
+		}
+		s.events.pop()
+		if next.dead {
+			s.recycle(next)
+			continue
+		}
+		s.now = next.at
+		p, fn := next.proc, next.fn
+		s.recycle(next)
+		if p != nil {
+			if p.ended {
+				continue
+			}
+			return p
+		}
+		fn()
+		if s.fail != nil {
+			return nil
+		}
+	}
+	return nil
+}
+
+// handoff passes the baton: to a process goroutine, or back to the Run
+// caller when next is nil.
+func (s *Sim) handoff(next *Proc) {
+	if next != nil {
+		next.resume <- struct{}{}
+	} else {
+		s.mainWake <- struct{}{}
+	}
+}
 
 // Run executes events until the event queue is empty or the virtual clock
 // would pass limit (limit <= 0 means no limit). It returns the final
 // virtual time. Run panics if any process panicked, preserving the value.
 func (s *Sim) Run(limit Time) Time {
-	for len(s.events) > 0 {
-		next := s.events[0]
-		if limit > 0 && next.at > limit {
-			s.now = limit
+	s.limit = limit
+	for {
+		next := s.schedule()
+		if next == nil {
+			if s.fail != nil {
+				panic(fmt.Sprintf("sim: process panicked at t=%v: %v", s.now, s.fail))
+			}
 			return s.now
 		}
-		heap.Pop(&s.events)
-		if next.dead {
-			continue
-		}
-		s.now = next.at
-		next.fn()
+		next.resume <- struct{}{}
+		<-s.mainWake
 		if s.fail != nil {
 			panic(fmt.Sprintf("sim: process panicked at t=%v: %v", s.now, s.fail))
 		}
 	}
-	return s.now
 }
 
 // Idle reports whether no events remain.
@@ -184,27 +325,41 @@ func (s *Sim) Go(name string, fn func(p *Proc)) *Proc {
 			}
 			p.ended = true
 			s.live--
-			s.done <- struct{}{}
+			var next *Proc
+			if s.fail == nil {
+				// Keep driving the event loop from the dying goroutine;
+				// a panic in a callback here must still reach Run.
+				func() {
+					defer func() {
+						if r := recover(); r != nil {
+							s.fail = r
+						}
+					}()
+					next = s.schedule()
+				}()
+				if s.fail != nil {
+					next = nil
+				}
+			}
+			s.handoff(next)
 		}()
 		<-p.resume
 		fn(p)
 	}()
-	s.At(s.now, func() { s.dispatch(p) })
+	s.wake(s.now, p)
 	return p
 }
 
-// dispatch hands control to p and waits for it to park or terminate.
-func (s *Sim) dispatch(p *Proc) {
-	if p.ended {
+// park yields control until something schedules a wakeup for p. The
+// parking goroutine itself runs the event loop: when p's own wakeup is the
+// next transfer of control — the common case for a process sleeping
+// through its service time — it simply returns, with no channel traffic.
+func (p *Proc) park() {
+	next := p.s.schedule()
+	if next == p {
 		return
 	}
-	p.resume <- struct{}{}
-	<-s.done
-}
-
-// park yields control back to the scheduler until something dispatches p.
-func (p *Proc) park() {
-	p.s.done <- struct{}{}
+	p.s.handoff(next)
 	<-p.resume
 }
 
@@ -214,15 +369,26 @@ func (p *Proc) Sleep(d Time) {
 	if d <= 0 {
 		return
 	}
-	p.s.After(d, func() { p.s.dispatch(p) })
+	p.s.wake(p.s.now+d, p)
 	p.park()
 }
 
 // Yield reschedules the process at the current time, letting every other
 // runnable process scheduled at this instant run first.
 func (p *Proc) Yield() {
-	p.s.After(0, func() { p.s.dispatch(p) })
+	p.s.wake(p.s.now, p)
 	p.park()
+}
+
+// popWaiter removes and returns the oldest waiter, shifting in place so
+// the backing array is reused instead of re-allocated by later appends.
+func popWaiter(ws *[]*Proc) *Proc {
+	old := *ws
+	next := old[0]
+	n := copy(old, old[1:])
+	old[n] = nil
+	*ws = old[:n]
+	return next
 }
 
 // Mutex is a FIFO-fair sleeping mutex. The simulation's "big kernel lock"
@@ -288,11 +454,10 @@ func (m *Mutex) Unlock(p *Proc) {
 		m.because = ""
 		return
 	}
-	next := m.waiters[0]
-	m.waiters = m.waiters[1:]
+	next := popWaiter(&m.waiters)
 	m.holder = next
 	m.lockedAt = m.s.now
-	m.s.After(0, func() { m.s.dispatch(next) })
+	m.s.wake(m.s.now, next)
 }
 
 // Held reports whether the mutex is currently held.
@@ -356,9 +521,8 @@ func (sem *Semaphore) Acquire(p *Proc) {
 // Release returns one unit, waking the oldest waiter if any.
 func (sem *Semaphore) Release() {
 	if len(sem.waiters) > 0 {
-		next := sem.waiters[0]
-		sem.waiters = sem.waiters[1:]
-		sem.s.After(0, func() { sem.s.dispatch(next) })
+		next := popWaiter(&sem.waiters)
+		sem.s.wake(sem.s.now, next)
 		return
 	}
 	sem.free++
@@ -392,9 +556,8 @@ func (q *WaitQueue) Signal() {
 	if len(q.waiters) == 0 {
 		return
 	}
-	next := q.waiters[0]
-	q.waiters = q.waiters[1:]
-	q.s.After(0, func() { q.s.dispatch(next) })
+	next := popWaiter(&q.waiters)
+	q.s.wake(q.s.now, next)
 }
 
 // Broadcast wakes every waiter.
@@ -402,8 +565,7 @@ func (q *WaitQueue) Broadcast() {
 	ws := q.waiters
 	q.waiters = nil
 	for _, p := range ws {
-		p := p
-		q.s.After(0, func() { q.s.dispatch(p) })
+		q.s.wake(q.s.now, p)
 	}
 }
 

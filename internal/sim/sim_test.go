@@ -98,8 +98,8 @@ func TestEventCancel(t *testing.T) {
 	if fired {
 		t.Fatal("canceled event fired")
 	}
-	var nilEv *Event
-	nilEv.Cancel() // nil-safe
+	var zero Event
+	zero.Cancel() // zero-value handle is a no-op
 }
 
 func TestProcSleep(t *testing.T) {

@@ -118,7 +118,7 @@ type Endpoint struct {
 	segs     []sndSeg
 	sndUna   int64
 	sndNxt   int64
-	rtxTimer *sim.Event
+	rtxTimer sim.Event
 	rto      sim.Time
 	srtt     sim.Time
 	rttvar   sim.Time
@@ -230,7 +230,7 @@ func (e *Endpoint) sendSegment(seq int64, n int, isRtx bool) {
 		e.timedAt = e.s.Now()
 		e.timedValid = true
 	}
-	if e.rtxTimer == nil {
+	if e.rtxTimer == (sim.Event{}) {
 		e.armTimer()
 	}
 }
@@ -248,9 +248,9 @@ func (e *Endpoint) armTimer() {
 }
 
 func (e *Endpoint) stopTimer() {
-	if e.rtxTimer != nil {
+	if e.rtxTimer != (sim.Event{}) {
 		e.rtxTimer.Cancel()
-		e.rtxTimer = nil
+		e.rtxTimer = sim.Event{}
 	}
 }
 
@@ -259,7 +259,7 @@ func (e *Endpoint) stopTimer() {
 // re-arms the timer (sendSegment arms whenever none is pending), at the
 // backed-off RTO.
 func (e *Endpoint) onTimeout() {
-	e.rtxTimer = nil
+	e.rtxTimer = sim.Event{}
 	if e.sndUna >= e.sndNxt {
 		return // everything acked while the timer was in flight
 	}

@@ -9,6 +9,7 @@ import (
 	"encoding/binary"
 	"errors"
 	"fmt"
+	"sync"
 )
 
 // Errors returned by the decoder.
@@ -28,6 +29,50 @@ func NewEncoder(capacity int) *Encoder {
 	return &Encoder{buf: make([]byte, 0, capacity)}
 }
 
+// The RPC hot paths recycle encoders and wire buffers instead of
+// allocating one per message: a thousand-client fleet encodes millions
+// of 8 KiB WRITE payloads, and per-RPC allocation is almost entirely GC
+// pressure. Buffer contents never influence behaviour (every byte is
+// written before it is read), so pooling cannot change simulation
+// output; sync.Pool keeps concurrent sweep workers race-free.
+var (
+	encPool sync.Pool
+	bufPool sync.Pool
+)
+
+// AcquireEncoder returns a pooled encoder. Pair with Release once the
+// encoded bytes are no longer referenced by anyone.
+func AcquireEncoder() *Encoder {
+	e, _ := encPool.Get().(*Encoder)
+	if e == nil {
+		e = &Encoder{}
+	}
+	if e.buf == nil {
+		if b, ok := bufPool.Get().([]byte); ok {
+			e.buf = b
+		} else {
+			e.buf = make([]byte, 0, 256)
+		}
+	}
+	return e
+}
+
+// Release returns the encoder and its buffer to the pool. The caller
+// asserts that no slice of the buffer (Bytes, decoded aliases) is still
+// live.
+func (e *Encoder) Release() {
+	if e.buf != nil {
+		bufPool.Put(e.buf[:0])
+		e.buf = nil
+	}
+	encPool.Put(e)
+}
+
+// RecycleBuffer returns a wire payload whose bytes are dead — fully
+// consumed by a decoder whose aliases have been dropped — to the encode
+// buffer pool.
+func RecycleBuffer(b []byte) { bufPool.Put(b[:0]) }
+
 // Bytes returns the encoded buffer (not a copy).
 func (e *Encoder) Bytes() []byte { return e.buf }
 
@@ -36,6 +81,17 @@ func (e *Encoder) Len() int { return len(e.buf) }
 
 // Reset discards the buffer contents, retaining capacity.
 func (e *Encoder) Reset() { e.buf = e.buf[:0] }
+
+// Grow reserves capacity for at least n more bytes, so that encoding a
+// payload whose size is known up front costs one reallocation instead of
+// a doubling series of appends.
+func (e *Encoder) Grow(n int) {
+	if cap(e.buf)-len(e.buf) < n {
+		nb := make([]byte, len(e.buf), len(e.buf)+n)
+		copy(nb, e.buf)
+		e.buf = nb
+	}
+}
 
 // Uint32 encodes a 32-bit unsigned integer.
 func (e *Encoder) Uint32(v uint32) {
@@ -159,6 +215,31 @@ func (d *Decoder) FixedOpaque(n int) ([]byte, error) {
 	copy(out, d.buf[d.off:d.off+n])
 	d.off += padded
 	return out, nil
+}
+
+// OpaqueRef decodes variable-length opaque data like Opaque but returns
+// a subslice of the decoder's buffer instead of a copy. The result is
+// only valid while the underlying buffer is, and must not be mutated.
+// Hot paths (bulk WRITE/READ payloads) use it to avoid copying data the
+// simulation never inspects.
+func (d *Decoder) OpaqueRef() ([]byte, error) {
+	start := d.off
+	n, err := d.Uint32()
+	if err != nil {
+		return nil, err
+	}
+	if n > uint32(d.Remaining()) {
+		d.off = start
+		return nil, ErrBadLength
+	}
+	padded := int(n) + (4-int(n)%4)%4
+	if d.Remaining() < padded {
+		d.off = start
+		return nil, ErrShortBuffer
+	}
+	b := d.buf[d.off : d.off+int(n) : d.off+int(n)]
+	d.off += padded
+	return b, nil
 }
 
 // String decodes an XDR string.
