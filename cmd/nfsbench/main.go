@@ -24,6 +24,8 @@
 //	                   filer vs Linux durability
 //	nfsbench zipf      beyond the paper: Zipfian many-file metadata
 //	                   workload with attr-cache and skew ablations
+//	nfsbench chaos     beyond the paper: crash/reboot and dead-server
+//	                   failure injection via the chaos scenario engine
 //	nfsbench all       everything above, in order
 //
 // Sweeps accept -quick to use a reduced file-size grid.
@@ -95,6 +97,8 @@ func runners() []runner {
 			func() string { return experiments.DBLoad().Render() }},
 		{"zipf", "many-file metadata: Zipfian op mix with attr-cache and skew ablations",
 			func() string { return experiments.ZipfSweep().Render() }},
+		{"chaos", "failure injection: crash/reboot durability on both backends, dead server",
+			func() string { return experiments.ChaosSweep().Render() }},
 	}
 }
 

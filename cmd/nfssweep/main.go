@@ -42,6 +42,7 @@ import (
 	"strings"
 
 	"repro/internal/bonnie"
+	"repro/internal/chaos"
 	"repro/internal/harness"
 )
 
@@ -66,6 +67,7 @@ var (
 	seed    = flag.Int64("seed", 1, "base simulation seed")
 	repeats = flag.Int("repeats", 1, "repeats per cell with seeds seed, seed+1, ...")
 	workers = flag.Int("workers", 0, "worker-pool size (0 = one per CPU); does not change results")
+	scnFile = flag.String("scenario", "", "run a chaos scenario file (YAML or JSON) instead of a grid sweep; see docs/experiments.md")
 	format  = flag.String("format", "table", "output format: csv, json, or table")
 	outDir  = flag.String("out", "", "directory to write results.<format> and summary.<format> (default: stdout only)")
 	full    = flag.Bool("full", false, "run the full write+flush+close sequence instead of the write phase only")
@@ -204,10 +206,39 @@ func renderersFor(format string) renderers {
 	panic("unreachable")
 }
 
+// runScenarioFile executes a chaos scenario file and prints each report.
+// Exit status 1 when any scenario fails an assertion or errors
+// unexpectedly. Output is byte-identical at any -workers value: each
+// scenario is one deterministic simulation, and reports print in file
+// order.
+func runScenarioFile(path string, workers int, quiet bool) {
+	scs, err := chaos.Load(path)
+	if err != nil {
+		fatalf("%v", err)
+	}
+	if !quiet {
+		fmt.Fprintf(os.Stderr, "nfssweep: %d chaos scenarios from %s\n", len(scs), path)
+	}
+	failed := false
+	for _, rep := range chaos.RunAll(scs, workers) {
+		fmt.Print(rep.Render())
+		if rep.Failed {
+			failed = true
+		}
+	}
+	if failed {
+		os.Exit(1)
+	}
+}
+
 func main() {
 	flag.Parse()
 	if flag.NArg() != 0 {
 		fatalf("unexpected arguments %v (axes are flags; see -h)", flag.Args())
+	}
+	if *scnFile != "" {
+		runScenarioFile(*scnFile, *workers, *quiet)
+		return
 	}
 	render := renderersFor(*format)
 	g := buildGrid()

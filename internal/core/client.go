@@ -60,6 +60,11 @@ type Client struct {
 	RemoveRPCs      int64
 	AttrCacheHits   int64
 	AttrCacheMisses int64
+	// Crash-recovery counters: VerfChanges counts observed write-verifier
+	// changes (server reboots); RewrittenBytes counts unstable bytes
+	// re-queued for rewrite because the acking server instance died.
+	VerfChanges    int64
+	RewrittenBytes int64
 }
 
 // Inode is one file's client-side write state (struct inode + nfs_inode).
@@ -76,10 +81,14 @@ type Inode struct {
 	flushWait     *sim.WaitQueue
 
 	// unstable records that some WRITE reply was not FILE_SYNC since the
-	// last COMMIT, so durability requires a COMMIT RPC.
-	unstable bool
-	verf     nfsproto.WriteVerf
-	hasVerf  bool
+	// last COMMIT, so durability requires a COMMIT RPC. unstableSet holds
+	// the byte ranges those UNSTABLE replies acked: if the verifier
+	// changes (server reboot), exactly these ranges must be re-queued and
+	// rewritten (RFC 1813 §3.3.7).
+	unstable    bool
+	unstableSet rangeset.Set
+	verf        nfsproto.WriteVerf
+	hasVerf     bool
 
 	// Read-side state. cached is the resident-page set: pages filled by
 	// READ replies or dirtied by the write path (read-after-write
@@ -412,7 +421,7 @@ func (c *Client) sendOne(p *sim.Proc, ino *Inode, ticket *flushTicket) int {
 	c.RPCsSent++
 	c.PagesSent += int64(pages)
 	c.tr.Call(p, nfsproto.ProcWrite, args.Encode, func(d *xdr.Decoder) {
-		c.writeDone(ino, pages, total, d)
+		c.writeDone(ino, pages, total, start, d)
 		if ticket != nil {
 			ticket.done = true
 			ticket.wq.Broadcast()
@@ -421,8 +430,10 @@ func (c *Client) sendOne(p *sim.Proc, ino *Inode, ticket *flushTicket) int {
 	return pages
 }
 
-// writeDone runs in softirq context when a WRITE reply arrives.
-func (c *Client) writeDone(ino *Inode, pages, bytes int, d *xdr.Decoder) {
+// writeDone runs in softirq context when a WRITE reply arrives. start is
+// the file byte offset of the RPC's coalesced run, recorded so unstable
+// replies can be re-queued byte-exactly if the server later reboots.
+func (c *Client) writeDone(ino *Inode, pages, bytes int, start int64, d *xdr.Decoder) {
 	res, err := nfsproto.DecodeWriteRes(d)
 	if err != nil {
 		panic(fmt.Sprintf("core: bad WRITE reply: %v", err))
@@ -433,14 +444,17 @@ func (c *Client) writeDone(ino *Inode, pages, bytes int, d *xdr.Decoder) {
 	if int(res.Count) != bytes {
 		panic(fmt.Sprintf("core: short WRITE: %d of %d", res.Count, bytes))
 	}
+	requeued := false
 	if ino.hasVerf && res.Verf != ino.verf {
-		// A verifier change means the server rebooted and unstable data
-		// may be lost; servers never reboot in these experiments.
-		panic("core: write verifier changed mid-run")
+		// The server rebooted: every byte acked UNSTABLE under the old
+		// verifier may be gone from the server. Re-queue those ranges for
+		// rewrite before adopting the new verifier.
+		requeued = c.redirtyUnstable(ino) > 0
 	}
 	ino.verf, ino.hasVerf = res.Verf, true
 	if res.Committed == nfsproto.Unstable {
 		ino.unstable = true
+		ino.unstableSet.Add(start, start+int64(bytes))
 	}
 
 	ino.inflightPages -= pages
@@ -451,8 +465,78 @@ func (c *Client) writeDone(ino *Inode, pages, bytes int, d *xdr.Decoder) {
 	if c.mountRequests <= c.cfg.MaxRequestHard {
 		c.hardWait.Broadcast()
 	}
-	if ino.Outstanding() == 0 {
+	if ino.Outstanding() == 0 || requeued {
+		// A requeue refills the request list: flushers parked in
+		// flushWait must wake and see the new work.
 		ino.flushWait.Broadcast()
+	}
+	if requeued {
+		c.flushWork.Signal()
+	}
+}
+
+// redirtyUnstable re-queues every byte range acked UNSTABLE under the old
+// write verifier: the server instance that acked them is gone, so the
+// only copy is the client's page cache (pages stay resident until COMMIT
+// succeeds — that is what makes this recovery possible). Runs in event
+// context: no CPU or BKL charges, no blocking. Returns the bytes
+// re-queued.
+func (c *Client) redirtyUnstable(ino *Inode) int64 {
+	c.VerfChanges++
+	total := ino.unstableSet.Total()
+	if total == 0 {
+		return 0
+	}
+	c.RewrittenBytes += total
+	for _, r := range ino.unstableSet.Ranges() {
+		for off := r.Start; off < r.End; {
+			page := off / pageSize
+			end := (page + 1) * pageSize
+			if end > r.End {
+				end = r.End
+			}
+			c.queueRewrite(ino, page, int(off-page*pageSize), int(end-off))
+			off = end
+		}
+	}
+	ino.unstableSet = rangeset.Set{}
+	ino.unstable = false
+	return total
+}
+
+// queueRewrite re-inserts one page-sized span into the inode's request
+// queue — the kernel re-marking pages dirty from an RPC completion. Any
+// existing request on the page is widened to the union (no flush of
+// "incompatible" requests is possible in event context).
+func (c *Client) queueRewrite(ino *Inode, page int64, offset, count int) {
+	var existing *Request
+	if c.cfg.IndexPolicy == IndexHashTable {
+		existing = ino.hash[page]
+	} else {
+		existing, _ = ino.reqs.Find(page)
+	}
+	if existing != nil {
+		before := existing.Count
+		if offset < existing.Offset {
+			existing.Count += existing.Offset - offset
+			existing.Offset = offset
+		}
+		if end := offset + count; end > existing.Offset+existing.Count {
+			existing.Count = end - existing.Offset
+		}
+		if grown := existing.Count - before; grown > 0 && c.cfg.FlushPolicy == FlushCacheAll {
+			c.cache.ForceDirty(int64(grown))
+		}
+		return
+	}
+	r := &Request{Page: page, Offset: offset, Count: count, CreatedAt: c.s.Now()}
+	if c.cfg.IndexPolicy == IndexHashTable {
+		ino.hash[page] = r
+	}
+	ino.reqs.Insert(r)
+	c.mountRequests++
+	if c.cfg.FlushPolicy == FlushCacheAll {
+		c.cache.ForceDirty(int64(count))
 	}
 }
 
@@ -494,7 +578,10 @@ func (c *Client) writeSyncSpan(p *sim.Proc, ino *Inode, span vfs.PageSpan) {
 }
 
 // commitSync issues a COMMIT for the whole file and waits for the reply.
-func (c *Client) commitSync(p *sim.Proc, ino *Inode) {
+// It returns false when the commit discovered a server reboot (verifier
+// mismatch): the unstable ranges were re-queued for rewrite and the
+// caller must flush and commit again.
+func (c *Client) commitSync(p *sim.Proc, ino *Inode) bool {
 	c.CommitRPCs++
 	args := nfsproto.CommitArgs{File: ino.FH, Offset: 0, Count: 0}
 	d := c.tr.CallSync(p, nfsproto.ProcCommit, args.Encode)
@@ -503,9 +590,14 @@ func (c *Client) commitSync(p *sim.Proc, ino *Inode) {
 		panic(fmt.Sprintf("core: COMMIT failed: %v %v", res, err))
 	}
 	if ino.hasVerf && res.Verf != ino.verf {
-		panic("core: commit verifier mismatch; unstable data lost")
+		ino.verf = res.Verf
+		c.redirtyUnstable(ino)
+		c.flushWork.Signal()
+		return false
 	}
 	ino.unstable = false
+	ino.unstableSet = rangeset.Set{}
+	return true
 }
 
 // flushd is nfs_flushd, the write-behind daemon. Under FlushCacheAll it

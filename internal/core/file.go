@@ -105,11 +105,18 @@ func (f *File) ReadAt(p *sim.Proc, off int64, n int) int {
 }
 
 // Flush implements vfs.File: fsync — push every cached request to the
-// server, then COMMIT if any reply was unstable.
+// server, then COMMIT if any reply was unstable. If a reply or the COMMIT
+// reveals a server reboot, the lost ranges were re-queued and the flush
+// loops until everything is durable under one verifier.
 func (f *File) Flush(p *sim.Proc) {
-	f.c.flushInodeSync(p, f.ino)
-	if f.ino.unstable {
-		f.c.commitSync(p, f.ino)
+	for {
+		f.c.flushInodeSync(p, f.ino)
+		if !f.ino.unstable {
+			return
+		}
+		if f.c.commitSync(p, f.ino) {
+			return
+		}
 	}
 }
 

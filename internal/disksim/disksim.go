@@ -29,6 +29,10 @@ type Disk struct {
 
 	freeAt  sim.Time
 	nextPos int64 // byte position a sequential request would start at
+	// slow is a service-time multiplier on subsequent requests (0 or 1 =
+	// healthy). Chaos disk_degrade events raise it mid-run to model a
+	// failing or rebuilding device.
+	slow float64
 
 	// Statistics.
 	BytesWritten int64
@@ -101,11 +105,24 @@ func (d *Disk) service(off, n int64) sim.Time {
 		cost += d.seek
 		d.Seeks++
 	}
+	if d.slow > 1 {
+		cost = sim.Time(float64(cost) * d.slow)
+	}
 	d.nextPos = off + n
 	d.freeAt = start + cost
 	d.Requests++
 	d.BusyTime += cost
 	return d.freeAt
+}
+
+// SetSlowFactor scales the service time of subsequent requests by f
+// (f >= 1; 1 restores healthy service). Requests already booked keep
+// their original completion times.
+func (d *Disk) SetSlowFactor(f float64) {
+	if f < 1 {
+		panic("disksim: slow factor must be >= 1")
+	}
+	d.slow = f
 }
 
 func (d *Disk) waitFor(p *sim.Proc, t sim.Time) {

@@ -138,6 +138,14 @@ func usec(d time.Duration) float64 { return float64(d) / float64(time.Microsecon
 // Clients > 1 it drives one bonnie writer per client machine in a single
 // simulation, all against the shared server.
 func RunScenario(sc Scenario) Result {
+	return RunScenarioOn(sc, nil)
+}
+
+// RunScenarioOn is RunScenario with a prepare hook: after the test bed is
+// assembled and before the workload starts, prepare may schedule
+// virtual-time events against it (the chaos engine injects faults this
+// way). A nil prepare is RunScenario.
+func RunScenarioOn(sc Scenario, prepare func(*nfssim.Testbed)) Result {
 	clients := sc.Clients
 	if clients < 1 {
 		clients = 1
@@ -167,6 +175,9 @@ func RunScenario(sc Scenario) Result {
 		}
 	}
 	tb := nfssim.NewTestbed(opts)
+	if prepare != nil {
+		prepare(tb)
+	}
 	bcfg := bonnie.Config{
 		FileSize:       int64(sc.FileMB) << 20,
 		Workload:       sc.Workload,

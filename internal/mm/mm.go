@@ -96,6 +96,20 @@ func (c *PageCache) ChargeDirty(p *sim.Proc, n int64) {
 	}
 }
 
+// ForceDirty accounts n bytes as dirty without blocking, even past the
+// budget. Crash recovery uses it from event context — a WRITE or COMMIT
+// reply discovering a changed verifier must re-dirty the lost ranges
+// immediately, and a completion handler cannot park in ChargeDirty.
+func (c *PageCache) ForceDirty(n int64) {
+	if n < 0 {
+		panic("mm: negative charge")
+	}
+	c.dirty += n
+	if u := c.Usage(); u > c.PeakUsage {
+		c.PeakUsage = u
+	}
+}
+
 // CreditDirty returns n dirty bytes that turned out not to be net-new (a
 // pessimistic charge taken before the page commit discovered it was
 // extending or rewriting an existing request) and wakes throttled

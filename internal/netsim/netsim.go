@@ -75,6 +75,9 @@ type host struct {
 	name    string
 	cfg     LinkConfig
 	handler Handler
+	// down marks the host's link administratively down (chaos link_down):
+	// nothing is sent and anything arriving is discarded at the NIC.
+	down bool
 	// txFreeAt / rxFreeAt serialize this host's uplink and downlink.
 	txFreeAt sim.Time
 	rxFreeAt sim.Time
@@ -83,13 +86,15 @@ type host struct {
 	// arrived — including fragments of datagrams later discarded at
 	// reassembly — so FramesSent = FramesRecv + FramesDropped across a
 	// path. BytesReceived counts only fully reassembled datagrams;
-	// LostDatagrams counts the discards.
+	// LostDatagrams counts the discards. DownDrops counts datagrams that
+	// died against a downed link (at either end).
 	BytesSent     int64
 	BytesReceived int64
 	FramesSent    int64
 	FramesRecv    int64
 	FramesDropped int64
 	LostDatagrams int64
+	DownDrops     int64
 }
 
 // LossConfig degrades the network: every IP fragment is independently
@@ -105,45 +110,62 @@ type host struct {
 // pain point), while a TCP-style stream sends MTU-sized segments that
 // each fit in a single fragment and are retransmitted individually.
 type LossConfig struct {
-	// Rate is the per-fragment drop probability, in [0, 1).
+	// Rate is the per-fragment drop probability, in [0, 1]. Rate 1 is a
+	// black hole: every fragment dies, so the link is effectively down
+	// while still charging wire time on the sender's side.
 	Rate float64
 	// DelayJitter is the maximum extra delivery delay per datagram.
 	DelayJitter sim.Time
 }
-
-func (c LossConfig) enabled() bool { return c.Rate > 0 || c.DelayJitter > 0 }
 
 // Network is a star topology around one switch.
 type Network struct {
 	s     *sim.Sim
 	hosts map[string]*host
 	loss  LossConfig
-	lrng  *rand.Rand // loss/jitter stream; nil until SetLoss enables it
+	lrng  *rand.Rand // loss/jitter stream; seeded eagerly at New
 }
 
-// New returns an empty network on the given simulator.
+// New returns an empty network on the given simulator. The loss/jitter
+// random stream is seeded here, unconditionally: draws are only consumed
+// while a LossConfig is active, so a chaos scenario that enables loss
+// mid-run sees exactly the stream a loss-from-start run would have seen,
+// with no lazy-creation point to shift it.
 func New(s *sim.Sim) *Network {
-	return &Network{s: s, hosts: make(map[string]*host)}
+	return &Network{
+		s:     s,
+		hosts: make(map[string]*host),
+		// A fixed odd multiplier decorrelates this stream from sims whose
+		// seeds differ by small deltas (repeat seeds are seed, seed+1, ...).
+		lrng: rand.New(rand.NewSource(s.Seed()*0x9E3779B1 + 0x6C6F7373)),
+	}
 }
 
 // SetLoss installs (or, with a zero config, removes) the network's loss
-// and delay-jitter model. The random stream is seeded from the simulation
-// seed, so loss patterns are deterministic per seed and independent of
-// every other random draw in the simulation.
+// and delay-jitter model; it may be called mid-run (chaos loss_burst /
+// jitter_burst windows). The random stream is seeded from the simulation
+// seed at New, so loss patterns are deterministic per seed and
+// independent of every other random draw in the simulation.
 func (n *Network) SetLoss(cfg LossConfig) {
-	if cfg.Rate < 0 || cfg.Rate >= 1 {
-		panic("netsim: loss rate must be in [0, 1)")
+	if cfg.Rate < 0 || cfg.Rate > 1 {
+		panic("netsim: loss rate must be in [0, 1]")
 	}
 	if cfg.DelayJitter < 0 {
 		panic("netsim: delay jitter must be non-negative")
 	}
 	n.loss = cfg
-	if cfg.enabled() && n.lrng == nil {
-		// A fixed odd multiplier decorrelates this stream from sims whose
-		// seeds differ by small deltas (repeat seeds are seed, seed+1, ...).
-		n.lrng = rand.New(rand.NewSource(n.s.Seed()*0x9E3779B1 + 0x6C6F7373))
-	}
 }
+
+// SetDown marks a host's link administratively down (or back up). While
+// down, datagrams the host sends are dropped at its NIC without touching
+// the wire, and datagrams addressed to it are discarded — including ones
+// already in flight when the link went down.
+func (n *Network) SetDown(name string, down bool) {
+	n.mustHost(name).down = down
+}
+
+// Down reports whether a host's link is administratively down.
+func (n *Network) Down(name string) bool { return n.mustHost(name).down }
 
 // Loss returns the network's current loss model.
 func (n *Network) Loss() LossConfig { return n.loss }
@@ -241,6 +263,21 @@ func (n *Network) Send(dg Datagram) SendResult {
 	frags := FragmentCount(len(dg.Payload), mtu)
 	wire := WireBytes(len(dg.Payload), mtu)
 
+	if src.down || dst.down {
+		// A downed link at either end kills the datagram before it costs
+		// any wire time (the sender's driver drops, or the switch port is
+		// dead). No loss-model draws are consumed: the link state, not
+		// chance, decided.
+		if src.down {
+			src.DownDrops++
+		} else {
+			dst.DownDrops++
+		}
+		// WireBytes is zero: nothing reached the wire, unlike loss-model
+		// drops, which consume wire time for the fragments they carried.
+		return SendResult{Fragments: frags, Dropped: true, DroppedFragments: frags}
+	}
+
 	dropped := 0
 	if n.loss.Rate > 0 {
 		for i := 0; i < frags; i++ {
@@ -284,10 +321,19 @@ func (n *Network) Send(dg Datagram) SendResult {
 	if n.loss.DelayJitter > 0 {
 		deliverAt += sim.Time(n.lrng.Int63n(int64(n.loss.DelayJitter) + 1))
 	}
-	dst.BytesReceived += wire
-	dst.FramesRecv += int64(frags)
 
+	// Receive accounting happens at delivery time: a datagram in flight
+	// when the destination link goes down dies at the dead port instead of
+	// reassembling.
 	n.s.At(deliverAt, func() {
+		if dst.down {
+			dst.FramesDropped += int64(frags)
+			dst.LostDatagrams++
+			dst.DownDrops++
+			return
+		}
+		dst.BytesReceived += wire
+		dst.FramesRecv += int64(frags)
 		if dst.handler != nil {
 			dst.handler(dg)
 		}
@@ -304,13 +350,14 @@ type Stats struct {
 	FramesRecv    int64
 	FramesDropped int64
 	LostDatagrams int64
+	DownDrops     int64
 }
 
 // HostStats returns the traffic counters for a host.
 func (n *Network) HostStats(name string) Stats {
 	h := n.mustHost(name)
 	return Stats{h.BytesSent, h.BytesReceived, h.FramesSent, h.FramesRecv,
-		h.FramesDropped, h.LostDatagrams}
+		h.FramesDropped, h.LostDatagrams, h.DownDrops}
 }
 
 // Totals returns the network-wide sums of every host's counters.
@@ -324,6 +371,7 @@ func (n *Network) Totals() Stats {
 		t.FramesRecv += h.FramesRecv
 		t.FramesDropped += h.FramesDropped
 		t.LostDatagrams += h.LostDatagrams
+		t.DownDrops += h.DownDrops
 	}
 	return t
 }

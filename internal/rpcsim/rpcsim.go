@@ -108,6 +108,13 @@ type Config struct {
 	// MaxRetransmitTimeout caps the exponential backoff (the 2.4 xprt's
 	// to_maxval; 0 means the New default of 60 s).
 	MaxRetransmitTimeout sim.Time
+	// MaxRetries bounds how many times one call is retransmitted before
+	// the transport declares a major timeout and gives up with a
+	// DeadServerError. 0 retries forever — the classic "hard" NFS mount,
+	// and the historical default. Chaos scenarios set a cap so a
+	// permanently-dead server ends the run with an error instead of
+	// wedging it behind a saturated backoff timer.
+	MaxRetries int
 	// LockPolicy selects the send-path BKL discipline.
 	LockPolicy LockPolicy
 	// Transport selects UDP datagrams or the TCP-style stream.
@@ -158,6 +165,31 @@ type Stats struct {
 	// Together they measure slot-table convoying as fleets grow.
 	SlotWaits    int64
 	SlotWaitTime sim.Time
+	// BadReplies counts datagrams that failed reply decoding (truncated
+	// or stale traffic, e.g. around a server restart) and were dropped.
+	BadReplies int64
+	// MajorTimeouts counts calls abandoned after MaxRetries
+	// retransmissions (each one raised a DeadServerError).
+	MajorTimeouts int64
+}
+
+// DeadServerError is the major-timeout give-up: a call exhausted its
+// retransmit budget against an unresponsive server. It is raised as a
+// panic from the retransmit timer (event context — the transport has no
+// caller to return to), so it surfaces out of sim.Run for the scenario
+// runner or test to recover.
+type DeadServerError struct {
+	// Server is the unresponsive remote host.
+	Server string
+	// XID identifies the abandoned call.
+	XID uint32
+	// Retries is how many retransmissions were attempted.
+	Retries int
+}
+
+func (e *DeadServerError) Error() string {
+	return fmt.Sprintf("rpcsim: server %s not responding: xid %d gave up after %d retransmits",
+		e.Server, e.XID, e.Retries)
 }
 
 type pendingCall struct {
@@ -247,6 +279,11 @@ func (t *Transport) Stats() Stats {
 
 // Stream returns the TCP-style endpoint (nil under TransportUDP).
 func (t *Transport) Stream() *streamsim.Endpoint { return t.stream }
+
+// SetMaxRetries adjusts the per-call retransmit cap (0 = retry forever).
+// Chaos scenarios set it after test-bed assembly so a dead server
+// terminates the run with a DeadServerError instead of hanging.
+func (t *Transport) SetMaxRetries(n int) { t.cfg.MaxRetries = n }
 
 // InFlight returns the number of outstanding calls.
 func (t *Transport) InFlight() int { return len(t.pending) }
@@ -345,11 +382,19 @@ func (t *Transport) transmit(p *sim.Proc, pc *pendingCall) {
 // retransmit resends an unanswered call and doubles its timeout,
 // Karn-style, up to MaxRetransmitTimeout (event context; models the RPC
 // timer firing. The resend's CPU cost is not charged — under loss the
-// stall, not the CPU, dominates).
+// stall, not the CPU, dominates). With MaxRetries set, a call that has
+// exhausted its budget is abandoned: the slot is freed and a
+// DeadServerError raised instead of retransmitting forever.
 func (t *Transport) retransmit(xid uint32) {
 	pc, ok := t.pending[xid]
 	if !ok {
 		return
+	}
+	if t.cfg.MaxRetries > 0 && pc.retrans >= t.cfg.MaxRetries {
+		delete(t.pending, xid)
+		t.stats.MajorTimeouts++
+		t.slotWait.Signal()
+		panic(&DeadServerError{Server: t.remote, XID: xid, Retries: pc.retrans})
 	}
 	t.stats.Retransmits++
 	pc.retrans++
@@ -379,7 +424,11 @@ func (t *Transport) softirqLoop(p *sim.Proc) {
 		d := xdr.NewDecoder(payload)
 		hdr, err := nfsproto.DecodeReply(d)
 		if err != nil {
-			panic(fmt.Sprintf("rpcsim: bad reply: %v", err))
+			// A truncated or stale datagram (possible around a server
+			// restart) must not kill the run: count it and drop it.
+			t.stats.BadReplies++
+			xdr.RecycleBuffer(payload)
+			continue
 		}
 		pc, ok := t.pending[hdr.XID]
 		if !ok {

@@ -3,6 +3,7 @@ package server
 import (
 	"repro/internal/disksim"
 	"repro/internal/nfsproto"
+	"repro/internal/rangeset"
 	"repro/internal/sim"
 )
 
@@ -43,10 +44,34 @@ type LinuxServer struct {
 	cleanWait *sim.WaitQueue // COMMIT waiters
 	verf      nfsproto.WriteVerf
 
+	// gen is the lifecycle generation, bumped by Crash; the writeback
+	// process captures it around each disk write so a chunk that was in
+	// flight when the cache was discarded is not retired against the new
+	// instance's accounting.
+	gen int
+	// queue is the FIFO of acked-but-unstable page-cache ranges awaiting
+	// writeback; its byte total always equals dirty. A crash discards it —
+	// that is exactly the data knfsd loses.
+	queue []unstableEntry
+	// stable is the per-file byte coverage confirmed on disk.
+	stable map[nfsproto.FileHandle]*rangeset.Set
+
 	// Throttled counts writes that blocked on the dirty limit.
 	Throttled int64
 	// Flushed counts bytes written back to disk.
 	Flushed int64
+	// Crashes counts Crash calls; Lost counts bytes of acked UNSTABLE data
+	// dropped by crashes (the client must detect the verifier change and
+	// rewrite them).
+	Crashes int64
+	Lost    int64
+}
+
+// unstableEntry is one acked write sitting dirty in the page cache.
+type unstableEntry struct {
+	fh  nfsproto.FileHandle
+	off int64
+	n   int64
 }
 
 // NewLinuxServer creates the backend draining to the given disk and
@@ -63,6 +88,7 @@ func NewLinuxServer(s *sim.Sim, cfg LinuxConfig, disk *disksim.Disk) *LinuxServe
 		dirtyWait: s.NewWaitQueue("knfsd-dirty"),
 		cleanWait: s.NewWaitQueue("knfsd-clean"),
 		verf:      0x11c4411c44,
+		stable:    make(map[nfsproto.FileHandle]*rangeset.Set),
 	}
 	s.Go("kupdate/knfsd", l.writeback)
 	return l
@@ -80,15 +106,64 @@ func (l *LinuxServer) writeback(p *sim.Proc) {
 		if l.dirty < chunk {
 			chunk = l.dirty
 		}
+		gen := l.gen
 		l.disk.Write(p, l.diskOff, chunk)
+		if gen != l.gen {
+			// The server rebooted while this chunk was at the disk; the
+			// crash already discarded the cache it was drawn from.
+			continue
+		}
 		l.diskOff += chunk
 		l.dirty -= chunk
 		l.Flushed += chunk
+		l.markStable(chunk)
 		l.dirtyWait.Broadcast()
 		if l.dirty == 0 {
 			l.cleanWait.Broadcast()
 		}
 	}
+}
+
+// markStable retires n bytes from the front of the unstable FIFO into the
+// per-file stable coverage, splitting the front entry when a writeback
+// chunk ends inside it.
+func (l *LinuxServer) markStable(n int64) {
+	for n > 0 && len(l.queue) > 0 {
+		e := &l.queue[0]
+		take := e.n
+		if take > n {
+			take = n
+		}
+		l.stableSet(e.fh).Add(e.off, e.off+take)
+		e.off += take
+		e.n -= take
+		n -= take
+		if e.n == 0 {
+			l.queue = l.queue[1:]
+		}
+	}
+}
+
+// Crash models a server panic/power cut: the page cache — every acked
+// UNSTABLE write not yet written back — is gone. The client discovers
+// this through the changed write verifier and must rewrite the lost
+// ranges (RFC 1813 §3.3.7).
+func (l *LinuxServer) Crash() {
+	l.gen++
+	l.Crashes++
+	for _, e := range l.queue {
+		l.Lost += e.n
+	}
+	l.queue = nil
+	l.dirty = 0
+	l.dirtyWait.Broadcast()
+	l.cleanWait.Broadcast()
+}
+
+// Restart brings knfsd back with a new write verifier; there is no log to
+// replay.
+func (l *LinuxServer) Restart() {
+	l.verf++
 }
 
 // HandleWrite implements Backend.
@@ -100,6 +175,7 @@ func (l *LinuxServer) HandleWrite(p *sim.Proc, args *nfsproto.WriteArgs) *nfspro
 		l.dirtyWait.Wait(p)
 	}
 	l.dirty += n
+	l.queue = append(l.queue, unstableEntry{fh: args.File, off: int64(args.Offset), n: n})
 	l.drainWork.Signal()
 
 	committed := nfsproto.Unstable
@@ -146,3 +222,28 @@ func (l *LinuxServer) HandleCommit(p *sim.Proc, args *nfsproto.CommitArgs) *nfsp
 
 // Dirty returns the bytes of unstable data held in the page cache.
 func (l *LinuxServer) Dirty() int64 { return l.dirty }
+
+// Disk returns the SCSI disk the writeback process drains to (chaos
+// disk_degrade events slow it mid-run).
+func (l *LinuxServer) Disk() *disksim.Disk { return l.disk }
+
+func (l *LinuxServer) stableSet(fh nfsproto.FileHandle) *rangeset.Set {
+	set, ok := l.stable[fh]
+	if !ok {
+		set = &rangeset.Set{}
+		l.stable[fh] = set
+	}
+	return set
+}
+
+// StableCoverage implements DurabilityTracker: the byte ranges confirmed
+// on the server's disk.
+func (l *LinuxServer) StableCoverage(fh nfsproto.FileHandle) *rangeset.Set {
+	return l.stableSet(fh)
+}
+
+// LostBytes implements DurabilityTracker.
+func (l *LinuxServer) LostBytes() int64 { return l.Lost }
+
+// ReplayedBytes implements DurabilityTracker: knfsd has no NVRAM log.
+func (l *LinuxServer) ReplayedBytes() int64 { return 0 }

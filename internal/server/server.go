@@ -14,7 +14,9 @@
 package server
 
 import (
+	"bytes"
 	"fmt"
+	"sort"
 
 	"repro/internal/netsim"
 	"repro/internal/nfsproto"
@@ -37,6 +39,22 @@ type Backend interface {
 	HandleWrite(p *sim.Proc, args *nfsproto.WriteArgs) *nfsproto.WriteRes
 	// HandleCommit services a COMMIT3 request.
 	HandleCommit(p *sim.Proc, args *nfsproto.CommitArgs) *nfsproto.CommitRes
+}
+
+// CrashRestarter is implemented by backends with a crash/restart
+// lifecycle; Server.Crash/Restart forward to it.
+type CrashRestarter interface {
+	Crash()
+	Restart()
+}
+
+// DurabilityTracker is implemented by backends that can report which byte
+// ranges of each file have reached stable storage. Chaos integrity
+// asserts compare it against the front-end's received coverage.
+type DurabilityTracker interface {
+	StableCoverage(fh nfsproto.FileHandle) *rangeset.Set
+	LostBytes() int64
+	ReplayedBytes() int64
 }
 
 // Config describes the server front-end.
@@ -83,6 +101,12 @@ type Server struct {
 	rxq    []rxItem
 	rxWait *sim.WaitQueue
 
+	// down marks the server crashed; requests are dropped at the NIC. gen
+	// is bumped by Crash so replies computed by the dead instance are
+	// suppressed rather than sent by its successor.
+	down bool
+	gen  int
+
 	// conns holds one stream endpoint per client host (TransportTCP).
 	conns map[string]*streamsim.Endpoint
 
@@ -105,6 +129,11 @@ type Server struct {
 	MaxBusy       int
 	firstWriteAt  sim.Time
 	lastWriteDone sim.Time
+
+	// Crash statistics.
+	Crashes          int64
+	DroppedWhileDown int64 // requests discarded at the NIC or from rxq
+	DroppedReplies   int64 // replies suppressed because their instance died
 }
 
 type rxItem struct {
@@ -137,6 +166,10 @@ func New(s *sim.Sim, net *netsim.Network, link netsim.LinkConfig, cfg Config, ba
 		})
 	} else {
 		net.AddHost(cfg.Host, link, func(dg netsim.Datagram) {
+			if srv.down {
+				srv.DroppedWhileDown++
+				return
+			}
 			srv.rxq = append(srv.rxq, rxItem{
 				from:    dg.From,
 				payload: dg.Payload,
@@ -175,6 +208,53 @@ func (srv *Server) conn(from string) *streamsim.Endpoint {
 
 // Names returns the server's directory state (test accessor).
 func (srv *Server) Names() *Namespace { return srv.ns }
+
+// Crash takes the server down: queued requests vanish, replies to
+// requests already in service are suppressed, and the backend loses (or
+// preserves) its state per its own crash semantics. Front-end statistics
+// and coverage survive — they are simulator-side accounting of what the
+// clients were acked, which is exactly what integrity asserts compare
+// against post-crash stable storage.
+func (srv *Server) Crash() {
+	if srv.down {
+		panic("server: crash while already down")
+	}
+	srv.down = true
+	srv.gen++
+	srv.Crashes++
+	srv.DroppedWhileDown += int64(len(srv.rxq))
+	srv.rxq = nil
+	if cr, ok := srv.backend.(CrashRestarter); ok {
+		cr.Crash()
+	}
+}
+
+// Restart brings a crashed server back into service.
+func (srv *Server) Restart() {
+	if !srv.down {
+		panic("server: restart while up")
+	}
+	srv.down = false
+	if cr, ok := srv.backend.(CrashRestarter); ok {
+		cr.Restart()
+	}
+}
+
+// Down reports whether the server is crashed.
+func (srv *Server) Down() bool { return srv.down }
+
+// CoverageFiles returns the file handles with received write coverage in
+// deterministic (byte-wise handle) order.
+func (srv *Server) CoverageFiles() []nfsproto.FileHandle {
+	fhs := make([]nfsproto.FileHandle, 0, len(srv.coverage))
+	for fh := range srv.coverage {
+		fhs = append(fhs, fh)
+	}
+	sort.Slice(fhs, func(i, j int) bool {
+		return bytes.Compare(fhs[i][:], fhs[j][:]) < 0
+	})
+	return fhs
+}
 
 // Coverage returns the set of byte ranges received for a file handle.
 func (srv *Server) Coverage(fh nfsproto.FileHandle) *rangeset.Set {
@@ -217,7 +297,7 @@ func (srv *Server) worker(p *sim.Proc) {
 		if srv.BusyWorkers > srv.MaxBusy {
 			srv.MaxBusy = srv.BusyWorkers
 		}
-		srv.serve(p, item)
+		srv.serve(p, item, srv.gen)
 		if srv.cfg.Transport == rpcsim.TransportTCP {
 			// TCP requests are fresh record copies from the stream
 			// reassembler; all decoded aliases died with serve. (UDP
@@ -237,7 +317,10 @@ func (srv *Server) metaCPU() sim.Time {
 	return srv.cfg.ServiceCPU / 4
 }
 
-func (srv *Server) serve(p *sim.Proc, item rxItem) {
+// serve handles one request. gen is the server generation that dequeued
+// it: if the server crashes while the request is in service, the computed
+// reply is discarded instead of being sent by the restarted instance.
+func (srv *Server) serve(p *sim.Proc, item rxItem, gen int) {
 	srv.cpu.Use(p, "nfsd_recv", srv.cfg.RecvCPUBase+sim.Time(item.frags)*srv.cfg.RecvCPUPerFragment)
 
 	d := xdr.NewDecoder(item.payload)
@@ -340,6 +423,13 @@ func (srv *Server) serve(p *sim.Proc, item rxItem) {
 		panic(fmt.Sprintf("server %s: unsupported proc %d", srv.cfg.Host, hdr.Proc))
 	}
 
+	if srv.down || gen != srv.gen {
+		// The instance that accepted this request died before its reply
+		// hit the wire; the client will retransmit against the new one.
+		srv.DroppedReplies++
+		reply.Release()
+		return
+	}
 	srv.cpu.Use(p, "nfsd_send", srv.cfg.SendCPU)
 	if srv.cfg.Transport == rpcsim.TransportTCP {
 		// SendRecord copies, so the reply encoder is immediately dead.
