@@ -313,6 +313,24 @@ func BenchmarkZipfSweep(b *testing.B) {
 	}
 }
 
+func BenchmarkCoherenceSweep(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		r := experiments.CoherenceSweep()
+		if strict := r.Cell("strict"); strict != nil {
+			b.ReportMetric(strict.AggMBps, "strict-MB/s")
+			b.ReportMetric(float64(strict.Getattrs), "strict-getattrs")
+		}
+		if ttl := r.Cell("ttl"); ttl != nil {
+			b.ReportMetric(ttl.AggMBps, "ttl-MB/s")
+			b.ReportMetric(float64(ttl.StaleReads), "ttl-stale-reads")
+		}
+		if noac := r.Cell("noac"); noac != nil {
+			b.ReportMetric(noac.AggMBps, "noac-MB/s")
+			b.ReportMetric(float64(noac.StaleReads), "noac-stale-reads")
+		}
+	}
+}
+
 // BenchmarkAblationReadahead sweeps the readahead window cap on a
 // sequential cold-file read against the filer.
 func BenchmarkAblationReadahead(b *testing.B) {

@@ -24,6 +24,8 @@
 //	                   filer vs Linux durability
 //	nfsbench zipf      beyond the paper: Zipfian many-file metadata
 //	                   workload with attr-cache and skew ablations
+//	nfsbench coherence beyond the paper: writers and readers sharing one
+//	                   file under strict/ttl/noac consistency modes
 //	nfsbench chaos     beyond the paper: crash/reboot and dead-server
 //	                   failure injection via the chaos scenario engine
 //	nfsbench all       everything above, in order
@@ -97,7 +99,9 @@ func runners() []runner {
 			func() string { return experiments.DBLoad().Render() }},
 		{"zipf", "many-file metadata: Zipfian op mix with attr-cache and skew ablations",
 			func() string { return experiments.ZipfSweep().Render() }},
-		{"chaos", "failure injection: crash/reboot durability on both backends, dead server",
+		{"coherence", "cache coherence: staleness vs throughput across consistency modes on one shared file",
+			func() string { return experiments.CoherenceSweep().Render() }},
+		{"chaos", "failure injection: crash/reboot durability, shared-file crash, dead server",
 			func() string { return experiments.ChaosSweep().Render() }},
 	}
 }

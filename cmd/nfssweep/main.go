@@ -29,6 +29,10 @@
 //	nfssweep -workload zipf -files 100,1000 -actimeout off,default -sizes 4
 //	    the many-file metadata workload: Zipfian opens/writes/reads/
 //	    stats/removes, with and without the client attribute cache
+//	nfssweep -workload shared -clients 4 -shared 25,50,75 \
+//	    -consistency ttl,strict,noac -sizes 4
+//	    cache coherence: writers and readers on one shared file, the
+//	    staleness-vs-throughput trade-off across consistency modes
 //
 // See docs/experiments.md for the axis semantics and output schema.
 package main
@@ -57,11 +61,14 @@ var (
 	jumbo   = flag.String("jumbo", "off", "jumbo frames: off, on, or both (an axis)")
 	trans   = flag.String("transport", "udp", "comma list of RPC transports: udp, tcp")
 	loss    = flag.String("loss", "0", "comma list of per-fragment drop probabilities, e.g. 0,0.01,0.05")
-	workld  = flag.String("workload", "write", "comma list of workloads: write, rewrite, read, mixed, randread, randwrite, db, zipf")
+	workld  = flag.String("workload", "write", "comma list of workloads: write, rewrite, read, mixed, randread, randwrite, db, zipf, shared")
 	files   = flag.String("files", "", "comma list of zipf file populations, e.g. 100,1000 (default 100)")
 	zipfS   = flag.String("zipf-s", "", "comma list of zipf skew exponents, e.g. 0.8,1.2,uniform (default 1.2)")
 	opMix   = flag.String("opmix", "", "zipf op mix as create/write/read/stat/remove percentages, e.g. 10/30/40/15/5 (not an axis)")
 	acTime  = flag.String("actimeout", "", "comma list of attribute-cache windows: off, default, or durations like 3s,60s")
+	shared  = flag.String("shared", "", "comma list of shared-workload writer percentages, e.g. 25,50,75 (default 50)")
+	readLag = flag.Duration("readlag", 0, "shared-workload pause between reader passes (e.g. 5ms; not an axis)")
+	consist = flag.String("consistency", "", "comma list of cache-consistency modes: ttl, strict, noac")
 	fsyncEv = flag.Int("fsync-every", 0, "flush (group commit) every N chunks during the I/O phase; 0 = never (db defaults to 32; not an axis)")
 	jitter  = flag.Duration("netjitter", 0, "max extra random delivery delay per datagram (e.g. 200us; not an axis)")
 	seed    = flag.Int64("seed", 1, "base simulation seed")
@@ -163,6 +170,20 @@ func buildGrid() harness.Grid {
 	if *acTime != "" {
 		if g.AcTimeouts, err = harness.ParseAcTimeouts(*acTime); err != nil {
 			fatalf("-actimeout: %v", err)
+		}
+	}
+	if *shared != "" {
+		if g.Sharings, err = harness.ParseSharings(*shared); err != nil {
+			fatalf("-shared: %v", err)
+		}
+	}
+	if *readLag < 0 {
+		fatalf("-readlag must be non-negative")
+	}
+	g.ReadLag = *readLag
+	if *consist != "" {
+		if g.Consistencies, err = harness.ParseConsistencies(*consist); err != nil {
+			fatalf("-consistency: %v", err)
 		}
 	}
 	if *fsyncEv < 0 {

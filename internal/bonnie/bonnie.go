@@ -74,6 +74,14 @@ const (
 	// on NFS) and the client's attribute cache instead of streaming one
 	// big file.
 	WorkloadZipf
+	// WorkloadShared is the cache-coherence workload: every worker opens
+	// the same named file. Writers (SharedWriterPct of the workers, the
+	// first of them priming the file front to back) rewrite it in place
+	// with periodic flushes; readers loop open/read-pass/close over it,
+	// pausing SharedReadLag between passes. Whether a reader's pass sees
+	// the writers' updates is exactly the close-to-open consistency
+	// question the client's Consistency mode answers.
+	WorkloadShared
 )
 
 func (w Workload) String() string {
@@ -92,6 +100,8 @@ func (w Workload) String() string {
 		return "db"
 	case WorkloadZipf:
 		return "zipf"
+	case WorkloadShared:
+		return "shared"
 	default:
 		return "write"
 	}
@@ -116,20 +126,48 @@ func ParseWorkload(name string) (Workload, error) {
 		return WorkloadDB, nil
 	case "zipf":
 		return WorkloadZipf, nil
+	case "shared":
+		return WorkloadShared, nil
 	}
-	return 0, fmt.Errorf("bonnie: unknown workload %q (have write, rewrite, read, mixed, randread, randwrite, db, zipf)", name)
+	return 0, fmt.Errorf("bonnie: unknown workload %q (have write, rewrite, read, mixed, randread, randwrite, db, zipf, shared)", name)
 }
 
 // NeedsExisting reports whether the workload opens a pre-populated file
 // (the read workloads' cold target, or the random writers' preallocated
-// table). The zipf workload creates its own files by name.
-func (w Workload) NeedsExisting() bool { return w != WorkloadWrite && w != WorkloadZipf }
+// table). The zipf and shared workloads create their own files by name.
+func (w Workload) NeedsExisting() bool {
+	return w != WorkloadWrite && w != WorkloadZipf && w != WorkloadShared
+}
 
 // Random reports whether the workload visits chunks in a seeded random
 // permutation instead of front to back.
 func (w Workload) Random() bool {
 	return w == WorkloadRandRead || w == WorkloadRandWrite || w == WorkloadDB
 }
+
+// DefaultSharedWriterPct is the shared workload's writer share when
+// Config.SharedWriterPct is unset: half the workers write, half read.
+const DefaultSharedWriterPct = 50
+
+// DefaultSharedFsyncEvery is the shared workload's write-side flush
+// cadence when Config.FsyncEvery is unset: without it a writer's
+// updates sit in its cache until close and readers on other machines
+// have nothing to be coherent about.
+const DefaultSharedFsyncEvery = 8
+
+// sharedFileName is the one file every shared-workload worker targets.
+const sharedFileName = "shared0"
+
+// sharedPasses sizes the shared file at 1/sharedPasses of each worker's
+// byte budget (at least one chunk), so a writer rewrites it about
+// sharedPasses times and a reader covers it in about sharedPasses
+// open/read/close passes — enough reopens for the consistency modes to
+// diverge measurably.
+const sharedPasses = 8
+
+// sharedPollInterval paces a reader that got ahead of the priming
+// writer (the file is still empty): sleep, reopen, retry.
+const sharedPollInterval = sim.Time(10 * time.Millisecond)
 
 // DefaultZipfFiles is the zipf workload's file population when
 // Config.FileCount is unset.
@@ -219,6 +257,20 @@ type Config struct {
 	// Mix is the zipf workload's op mix (zero value means DefaultOpMix).
 	// Ignored by the single-file workloads.
 	Mix OpMix
+
+	// SharedWriterPct is the shared workload's writer share of the
+	// workers, in percent (default DefaultSharedWriterPct). Writers are
+	// spread evenly across the worker indices; a run always has at least
+	// one writer, so the shared file exists. Ignored by other workloads.
+	SharedWriterPct int
+	// SharedReadLag is how long a shared-workload reader pauses between
+	// read passes — the consumer's polling cadence, and the window in
+	// which its cached pages go stale. 0 means back-to-back passes.
+	SharedReadLag sim.Time
+
+	// workers is the concurrent worker count, set by the runners so the
+	// shared workload can place its writers; not a caller knob.
+	workers int
 }
 
 // Result is one benchmark run's measurements.
@@ -311,9 +363,9 @@ func openFiles(open vfs.OpenSet, cfg Config) ioFiles {
 		return ioFiles{main: open.Existing(cfg.FileSize)}
 	case WorkloadMixed:
 		return ioFiles{main: open.Existing(cfg.FileSize / 2), aux: open.Fresh()}
-	case WorkloadZipf:
+	case WorkloadZipf, WorkloadShared:
 		if open.Names == nil {
-			panic("bonnie: zipf workload needs a Names opener (a target with a namespace)")
+			panic(fmt.Sprintf("bonnie: %s workload needs a Names opener (a target with a namespace)", cfg.Workload))
 		}
 		return ioFiles{names: open.Names}
 	default:
@@ -440,6 +492,135 @@ func runZipf(p *sim.Proc, s *sim.Sim, worker int, names vfs.Namespace, cfg Confi
 	res.FileSize = moved
 }
 
+// sharedIsWriter reports whether worker w of n is a shared-workload
+// writer under pct. Writers are the indices where the floor of the
+// cumulative writer share advances, which spreads them evenly across
+// the worker range (pct=50 makes the odd indices write). When rounding
+// assigns no writer at all — few workers, low pct — worker 0 writes,
+// so the shared file always has a producer.
+func sharedIsWriter(w, n, pct int) bool {
+	if n*pct/100 == 0 {
+		return w == 0
+	}
+	return (w+1)*pct/100 > w*pct/100
+}
+
+// sharedPrimer is the lowest writer index: the worker that creates the
+// shared file and fills it front to back, establishing the size the
+// readers' passes cover.
+func sharedPrimer(n, pct int) int {
+	for w := 0; w < n; w++ {
+		if sharedIsWriter(w, n, pct) {
+			return w
+		}
+	}
+	return 0
+}
+
+// sharedSpanChunks is the shared file's size in whole chunks: each
+// worker's chunk budget divided by sharedPasses, at least one.
+func sharedSpanChunks(cfg Config) int {
+	n := chunkCount(cfg) / sharedPasses
+	if n < 1 {
+		n = 1
+	}
+	return n
+}
+
+// runShared performs the cache-coherence workload: every worker targets
+// the one shared file, a span of sharedSpanChunks whole chunks. The
+// primer fills it front to back and keeps rewriting; other writers
+// rewrite it in place too, wrapping, each from a worker-staggered start
+// chunk so they don't march in lockstep; all flush on the maybeFsync
+// cadence so their updates become server-visible mid-run. Readers wait
+// for the primer to finish the first fill (the priming barrier), then
+// loop open / full pass / close with SharedReadLag between passes until
+// their byte budget is read — whether a pass sees the writers' updates
+// or superseded cached pages is the consistency mode's call, and the
+// client counts the latter as stale reads. Every worker's budget is
+// FileSize bytes; the bytes actually moved replace res.FileSize so
+// throughput reflects real data motion.
+func runShared(p *sim.Proc, s *sim.Sim, worker int, names vfs.Namespace, cfg Config, res *Result, maybeFsync func(call int, f vfs.File)) {
+	n := cfg.workers
+	if n < 1 {
+		n = 1
+	}
+	if !sharedIsWriter(worker, n, cfg.SharedWriterPct) {
+		runSharedReader(p, s, names, cfg, res)
+		return
+	}
+	chunks := chunkCount(cfg)
+	span := sharedSpanChunks(cfg)
+	start := 0
+	if worker != sharedPrimer(n, cfg.SharedWriterPct) {
+		start = (worker * 7) % span
+	}
+	f := names.OpenByName(p, sharedFileName)
+	var moved int64
+	for k := 0; k < chunks; k++ {
+		idx := (start + k) % span
+		off := int64(idx) * int64(cfg.ChunkSize)
+		t0 := s.Now()
+		f.WriteAt(p, off, cfg.ChunkSize)
+		res.Trace.Add(s.Now() - t0)
+		res.Calls++
+		moved += int64(cfg.ChunkSize)
+		maybeFsync(k+1, f)
+	}
+	f.Close(p)
+	res.FileSize = moved
+}
+
+// runSharedReader is the consumer half of the shared workload. The
+// priming barrier polls stat() until the file reports its full span —
+// the explicit attribute query refreshes the cached entry once it ages
+// out, which is the only escape for a client whose opens never
+// revalidate. Then each pass reopens the file (the close-to-open
+// revalidation point), reads the span front to back, closes, and waits
+// out the lag. A pass that reads nothing — a cached size-zero attribute
+// entry still masking the fill — backs off one poll interval so virtual
+// time always advances.
+func runSharedReader(p *sim.Proc, s *sim.Sim, names vfs.Namespace, cfg Config, res *Result) {
+	span := int64(sharedSpanChunks(cfg)) * int64(cfg.ChunkSize)
+	for {
+		if size, ok := names.Stat(p, sharedFileName); ok && size >= span {
+			break
+		}
+		p.Sleep(sharedPollInterval)
+	}
+	var moved int64
+	for moved < cfg.FileSize {
+		f := names.OpenByName(p, sharedFileName)
+		var pos int64
+		for pos < span && moved < cfg.FileSize {
+			nb := chunkFor(cfg, span-pos)
+			if rem := cfg.FileSize - moved; int64(nb) > rem {
+				nb = int(rem)
+			}
+			t0 := s.Now()
+			got := f.ReadAt(p, pos, nb)
+			res.Trace.Add(s.Now() - t0)
+			res.Calls++
+			pos += int64(got)
+			moved += int64(got)
+			if got < nb {
+				break
+			}
+		}
+		f.Close(p)
+		if moved >= cfg.FileSize {
+			break
+		}
+		if pos == 0 {
+			p.Sleep(sharedPollInterval)
+			names.Stat(p, sharedFileName)
+		} else if cfg.SharedReadLag > 0 {
+			p.Sleep(cfg.SharedReadLag)
+		}
+	}
+	res.FileSize = moved
+}
+
 // chunkCount is how many chunk-sized calls cover FileSize (the final
 // chunk may be partial).
 func chunkCount(cfg Config) int {
@@ -460,6 +641,20 @@ func normalize(cfg Config) Config {
 	}
 	if cfg.Workload == WorkloadDB && cfg.FsyncEvery == 0 {
 		cfg.FsyncEvery = DefaultDBFsyncEvery
+	}
+	if cfg.Workload == WorkloadShared {
+		if cfg.FsyncEvery == 0 {
+			cfg.FsyncEvery = DefaultSharedFsyncEvery
+		}
+		if cfg.SharedWriterPct == 0 {
+			cfg.SharedWriterPct = DefaultSharedWriterPct
+		}
+		if cfg.SharedWriterPct < 1 || cfg.SharedWriterPct > 100 {
+			panic(fmt.Sprintf("bonnie: SharedWriterPct %d outside [1, 100]", cfg.SharedWriterPct))
+		}
+		if cfg.SharedReadLag < 0 {
+			panic("bonnie: SharedReadLag must be non-negative")
+		}
 	}
 	if cfg.Workload == WorkloadZipf {
 		if cfg.FileCount == 0 {
@@ -508,6 +703,8 @@ func runIO(p *sim.Proc, s *sim.Sim, worker int, fs ioFiles, cfg Config, res *Res
 	switch cfg.Workload {
 	case WorkloadZipf:
 		runZipf(p, s, worker, fs.names, cfg, res)
+	case WorkloadShared:
+		runShared(p, s, worker, fs.names, cfg, res, maybeFsync)
 	case WorkloadRandRead:
 		for _, idx := range chunkPerm(s, worker, chunkCount(cfg)) {
 			off := int64(idx) * int64(cfg.ChunkSize)
@@ -604,8 +801,9 @@ func finishPhases(p *sim.Proc, s *sim.Sim, fs ioFiles, cfg Config, res *Result, 
 		return
 	}
 	if fs.main == nil {
-		// The zipf workload closes every file per op; there is nothing
-		// left to flush, so the later phases coincide with the I/O phase.
+		// The zipf and shared workloads open and close their files inside
+		// the I/O phase; there is nothing left to flush, so the later
+		// phases coincide with the I/O phase.
 		res.FlushElapsed = res.WriteElapsed
 		res.CloseElapsed = res.WriteElapsed
 		return
@@ -634,6 +832,7 @@ func RunConcurrentWorkload(s *sim.Sim, target string, open func(worker int) vfs.
 		panic("bonnie: need at least one writer")
 	}
 	cfg = normalize(cfg)
+	cfg.workers = n
 	out := &ConcurrentResult{PerWriter: make([]*Result, n)}
 	finished := 0
 	start := s.Now()
@@ -681,6 +880,7 @@ func RunWorkload(s *sim.Sim, target string, open vfs.OpenSet, cfg Config) *Resul
 		panic("bonnie: FileSize must be positive")
 	}
 	cfg = normalize(cfg)
+	cfg.workers = 1
 	res := &Result{
 		Target:    target,
 		Workload:  cfg.Workload,

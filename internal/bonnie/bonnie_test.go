@@ -488,3 +488,146 @@ func TestRunConcurrentBadArgs(t *testing.T) {
 	}()
 	RunConcurrent(sim.New(1), "x", nil, 0, Config{FileSize: 1})
 }
+
+// fakeNames is a deterministic vfs.Namespace over one flat directory of
+// fakeFiles: OpenByName hands every caller the same file object, so the
+// shared workload's workers genuinely collide on it.
+type fakeNames struct {
+	s        *sim.Sim
+	perWrite sim.Time
+	perRead  sim.Time
+	files    map[string]*fakeFile
+}
+
+func (n *fakeNames) OpenByName(p *sim.Proc, name string) vfs.File {
+	if n.files == nil {
+		n.files = make(map[string]*fakeFile)
+	}
+	f, ok := n.files[name]
+	if !ok {
+		f = &fakeFile{s: n.s, perWrite: n.perWrite, perRead: n.perRead}
+		n.files[name] = f
+	}
+	return f
+}
+func (n *fakeNames) Stat(p *sim.Proc, name string) (int64, bool) {
+	f, ok := n.files[name]
+	if !ok {
+		return 0, false
+	}
+	return f.size, true
+}
+func (n *fakeNames) Remove(p *sim.Proc, name string) bool {
+	_, ok := n.files[name]
+	delete(n.files, name)
+	return ok
+}
+
+func TestSharedWriterPlacement(t *testing.T) {
+	cases := []struct {
+		n, pct  int
+		writers []int
+	}{
+		{1, 50, []int{0}}, // rounding yields no writer; worker 0 steps in
+		{2, 50, []int{1}}, // odd indices write at 50%
+		{4, 50, []int{1, 3}},
+		{4, 25, []int{3}},
+		{4, 100, []int{0, 1, 2, 3}},
+		{3, 10, []int{0}}, // 3*10/100 = 0 writers; worker 0 steps in
+	}
+	for _, c := range cases {
+		var got []int
+		for w := 0; w < c.n; w++ {
+			if sharedIsWriter(w, c.n, c.pct) {
+				got = append(got, w)
+			}
+		}
+		if !reflect.DeepEqual(got, c.writers) {
+			t.Errorf("writers(n=%d, pct=%d) = %v, want %v", c.n, c.pct, got, c.writers)
+		}
+		if p := sharedPrimer(c.n, c.pct); p != c.writers[0] {
+			t.Errorf("primer(n=%d, pct=%d) = %d, want %d", c.n, c.pct, p, c.writers[0])
+		}
+	}
+}
+
+// TestSharedWorkload drives four workers (two writers, two readers under
+// the default 50% split) at one shared fakeFile and checks the collision
+// actually happens: one file, writer bytes cover it front to back,
+// readers consume their full budget, flushes follow the cadence.
+func TestSharedWorkload(t *testing.T) {
+	s := sim.New(1)
+	names := &fakeNames{s: s, perWrite: 100 * time.Microsecond, perRead: 10 * time.Microsecond}
+	const size = 1 << 20
+	res := RunConcurrentWorkload(s, "shared",
+		func(int) vfs.OpenSet { return vfs.OpenSet{Names: names} },
+		4, Config{FileSize: size, Workload: WorkloadShared})
+	if len(names.files) != 1 {
+		t.Fatalf("%d files created, want 1 (everyone shares)", len(names.files))
+	}
+	f := names.files[sharedFileName]
+	span := int64(sharedSpanChunks(Config{FileSize: size, ChunkSize: DefaultChunk})) * DefaultChunk
+	if f.size != span {
+		t.Fatalf("shared file size = %d, want the %d-byte span (budget/%d)", f.size, span, sharedPasses)
+	}
+	// Two writers x 128 chunks each, all offsets within the file.
+	if f.rewrites != 2*128 {
+		t.Fatalf("chunk writes = %d, want 256", f.rewrites)
+	}
+	for _, off := range f.writeOffsets {
+		if off < 0 || off >= span {
+			t.Fatalf("write offset %d outside the span [0, %d)", off, span)
+		}
+	}
+	// Default cadence: flush every DefaultSharedFsyncEvery chunk writes.
+	wantFlushes := 2 * (128 / DefaultSharedFsyncEvery)
+	if f.flushes != wantFlushes {
+		t.Fatalf("flushes = %d, want %d", f.flushes, wantFlushes)
+	}
+	if res.TotalBytes != 4*size {
+		t.Fatalf("total bytes = %d, want %d (every worker moves its full budget)", res.TotalBytes, 4*size)
+	}
+	for i, w := range res.PerWriter {
+		if w.FileSize != size {
+			t.Errorf("worker %d moved %d bytes, want %d", i, w.FileSize, size)
+		}
+	}
+}
+
+// TestSharedSingleWorkerIsWriter pins the degenerate run: one worker
+// must still produce the file (reader-only runs would hang polling).
+func TestSharedSingleWorkerIsWriter(t *testing.T) {
+	s := sim.New(1)
+	names := &fakeNames{s: s, perWrite: 100 * time.Microsecond}
+	res := RunWorkload(s, "shared1", vfs.OpenSet{Names: names},
+		Config{FileSize: 1 << 18, Workload: WorkloadShared})
+	span := int64(sharedSpanChunks(Config{FileSize: 1 << 18, ChunkSize: DefaultChunk})) * DefaultChunk
+	if f := names.files[sharedFileName]; f == nil || f.size != span {
+		t.Fatalf("single worker did not prime the shared file to its %d-byte span: %+v", span, f)
+	}
+	if res.FileSize != 1<<18 {
+		t.Fatalf("moved %d bytes, want %d", res.FileSize, 1<<18)
+	}
+}
+
+// TestSharedReaderLagPacing checks SharedReadLag inserts virtual time
+// between reader passes: with a lag the run takes strictly longer than
+// without, and both complete.
+func TestSharedReaderLagPacing(t *testing.T) {
+	elapsed := func(lag sim.Time) sim.Time {
+		s := sim.New(1)
+		// Slow writes: the file primes slowly, so the reader needs several
+		// partial passes — the inter-pass gap where the lag applies.
+		names := &fakeNames{s: s, perWrite: time.Millisecond, perRead: 10 * time.Microsecond}
+		res := RunConcurrentWorkload(s, "shared",
+			func(int) vfs.OpenSet { return vfs.OpenSet{Names: names} },
+			2, Config{FileSize: 1 << 19, Workload: WorkloadShared, SharedReadLag: lag})
+		// Worker 0 is the reader (worker 1 writes at the default 50%
+		// split); its I/O phase is where the lag accumulates.
+		return res.PerWriter[0].WriteElapsed
+	}
+	without, with := elapsed(0), elapsed(50*time.Millisecond)
+	if with <= without {
+		t.Fatalf("lagged run (%v) not slower than back-to-back run (%v)", with, without)
+	}
+}

@@ -230,6 +230,33 @@ scenarios:
     fleet:
       server: filer
 `, "events"},
+		{"stale_max takes max_stale not bytes", `
+scenarios:
+  - name: x
+    fleet:
+      server: filer
+    events:
+      - action: assert_stale_max
+        bytes: 100
+`, "does not take"},
+		{"negative max_stale", `
+scenarios:
+  - name: x
+    fleet:
+      server: filer
+    events:
+      - action: assert_stale_max
+        max_stale: -1
+`, "non-negative"},
+		{"bad consistency mode", `
+scenarios:
+  - name: x
+    fleet:
+      server: filer
+      consistency: eventual
+    events:
+      - action: assert_completes
+`, "consistency"},
 	}
 	for _, c := range cases {
 		t.Run(c.name, func(t *testing.T) {
@@ -289,6 +316,25 @@ func TestExampleScenarios(t *testing.T) {
 	}
 	if rep := Run(flap[0]); rep.Failed {
 		t.Fatalf("flap scenario failed:\n%s", rep.Render())
+	}
+
+	shared, err := Load(filepath.Join(dir, "sharedcrash.yaml"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	srep := Run(shared[0])
+	if srep.Failed {
+		t.Fatalf("shared-crash scenario failed:\n%s", srep.Render())
+	}
+	// The coherence story: the crash must not cost acked bytes or run
+	// any change counter backwards, and the ttl readers do serve some
+	// cached (stale) reads — that is what the assert bounds.
+	if srep.LostBytes != 0 || srep.ChangeRegressions != 0 {
+		t.Fatalf("shared-crash: lost=%d change_regressions=%d, want 0/0",
+			srep.LostBytes, srep.ChangeRegressions)
+	}
+	if srep.StaleReads == 0 {
+		t.Fatalf("shared-crash: no stale reads served; the stale_max assert is vacuous\n%s", srep.Render())
 	}
 }
 

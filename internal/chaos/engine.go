@@ -9,6 +9,7 @@ import (
 
 	nfssim "repro"
 	"repro/internal/bonnie"
+	"repro/internal/core"
 	"repro/internal/harness"
 	"repro/internal/rpcsim"
 	"repro/internal/server"
@@ -45,6 +46,14 @@ type Report struct {
 	MajorTimeouts  int64
 	BadReplies     int64
 	Retransmits    int64
+
+	// Coherence accounting for shared-file scenarios: cached reads served
+	// under a stale open, page-cache invalidations, and client-observed
+	// change-attribute regressions (which a crash/restart must keep at
+	// zero — the counter never runs backwards).
+	StaleReads        int64
+	Invalidations     int64
+	ChangeRegressions int64
 }
 
 // Run executes one scenario: build the fleet, schedule the timed events
@@ -55,17 +64,19 @@ func Run(sc *Scenario) *Report {
 	config, _ := harness.ConfigByName(sc.Fleet.Config)
 	transport, _ := rpcsim.ParseTransport(sc.Fleet.Transport)
 	workload, _ := bonnie.ParseWorkload(sc.Fleet.Workload)
+	consistency, _ := core.ParseConsistency(sc.Fleet.Consistency)
 	hsc := harness.Scenario{
-		Server:    serverKind,
-		Config:    config,
-		FileMB:    sc.Fleet.FileMB,
-		WSize:     sc.Fleet.WSize,
-		Clients:   sc.Fleet.Clients,
-		Transport: transport,
-		Loss:      sc.Fleet.Loss,
-		Workload:  workload,
-		Seed:      sc.Fleet.Seed,
-		TimeLimit: sc.Fleet.TimeLimit,
+		Server:      serverKind,
+		Config:      config,
+		FileMB:      sc.Fleet.FileMB,
+		WSize:       sc.Fleet.WSize,
+		Clients:     sc.Fleet.Clients,
+		Transport:   transport,
+		Loss:        sc.Fleet.Loss,
+		Workload:    workload,
+		Consistency: consistency,
+		Seed:        sc.Fleet.Seed,
+		TimeLimit:   sc.Fleet.TimeLimit,
 	}
 
 	// Timed events fire in At order; same-time events keep file order.
@@ -195,6 +206,9 @@ func (r *Report) gather(tb *nfssim.Testbed) {
 		if m.Client != nil {
 			r.RewrittenBytes += m.Client.RewrittenBytes
 			r.VerfChanges += m.Client.VerfChanges
+			r.StaleReads += m.Client.StaleReads
+			r.Invalidations += m.Client.Invalidations
+			r.ChangeRegressions += m.Client.ChangeRegressions
 		}
 		if m.Transport != nil {
 			st := m.Transport.Stats()
@@ -247,6 +261,10 @@ func (r *Report) evaluate(tb *nfssim.Testbed, runErr error) {
 		case "assert_replayed_min":
 			a.Pass = r.ReplayedBytes >= ev.Bytes
 			a.Detail = fmt.Sprintf("replayed=%d min=%d", r.ReplayedBytes, ev.Bytes)
+		case "assert_stale_max":
+			a.Pass = r.StaleReads <= ev.MaxStale && r.ChangeRegressions == 0
+			a.Detail = fmt.Sprintf("stale=%d max=%d change_regressions=%d",
+				r.StaleReads, ev.MaxStale, r.ChangeRegressions)
 		}
 		if !a.Pass {
 			r.Failed = true
@@ -318,6 +336,10 @@ func (r *Report) Render() string {
 	fmt.Fprintf(&b, "  recovery: crashes=%d lost=%d replayed=%d rewritten=%d verf_changes=%d major_timeouts=%d bad_replies=%d\n",
 		r.Crashes, r.LostBytes, r.ReplayedBytes, r.RewrittenBytes,
 		r.VerfChanges, r.MajorTimeouts, r.BadReplies)
+	if r.StaleReads != 0 || r.Invalidations != 0 || r.ChangeRegressions != 0 {
+		fmt.Fprintf(&b, "  coherence: stale_reads=%d invalidations=%d change_regressions=%d\n",
+			r.StaleReads, r.Invalidations, r.ChangeRegressions)
+	}
 	for _, a := range r.Asserts {
 		verdict := "PASS"
 		if !a.Pass {

@@ -17,6 +17,7 @@ import (
 
 	nfssim "repro"
 	"repro/internal/bonnie"
+	"repro/internal/core"
 	"repro/internal/harness"
 	"repro/internal/rpcsim"
 	"repro/internal/server"
@@ -37,6 +38,10 @@ type Fleet struct {
 	WSize int `json:"wsize,omitempty"`
 	// Workload is the bonnie workload name (default "write").
 	Workload string `json:"workload,omitempty"`
+	// Consistency is the client consistency mode: "ttl" (default),
+	// "strict", or "noac". It matters for the shared workload, where it
+	// sets how eagerly readers revalidate against foreign writes.
+	Consistency string `json:"consistency,omitempty"`
 	// Transport is "udp" (default) or "tcp". Crash events require UDP:
 	// stream connection state across a server reboot is not modeled.
 	Transport string `json:"transport,omitempty"`
@@ -75,6 +80,11 @@ type Event struct {
 	// Bytes is the threshold for the byte-count asserts
 	// (assert_lost_min/max, assert_rewritten_min, assert_replayed_min).
 	Bytes int64 `json:"bytes,omitempty"`
+	// MaxStale is assert_stale_max's ceiling on stale reads served
+	// across the fleet. The assert also requires that no client ever saw
+	// the server's change attribute run backwards — the monotonicity a
+	// crash/restart must preserve.
+	MaxStale int64 `json:"max_stale,omitempty"`
 }
 
 // Scenario is one parsed chaos scenario.
@@ -103,6 +113,7 @@ var actionSpec = map[string][]string{
 	"assert_lost_max":      {"bytes"},
 	"assert_rewritten_min": {"bytes"},
 	"assert_replayed_min":  {"bytes"},
+	"assert_stale_max":     {"max_stale"},
 }
 
 // IsAssert reports whether the event is an end-of-run assertion rather
@@ -172,6 +183,9 @@ func (sc *Scenario) EncodeJSON() ([]byte, error) {
 		if ev.Bytes != 0 {
 			m["bytes"] = ev.Bytes
 		}
+		if ev.MaxStale != 0 {
+			m["max_stale"] = ev.MaxStale
+		}
 		events = append(events, m)
 	}
 	fleet := map[string]any{"server": sc.Fleet.Server}
@@ -189,6 +203,9 @@ func (sc *Scenario) EncodeJSON() ([]byte, error) {
 	}
 	if sc.Fleet.Workload != "" {
 		fleet["workload"] = sc.Fleet.Workload
+	}
+	if sc.Fleet.Consistency != "" {
+		fleet["consistency"] = sc.Fleet.Consistency
 	}
 	if sc.Fleet.Transport != "" {
 		fleet["transport"] = sc.Fleet.Transport
@@ -333,6 +350,8 @@ func decodeFleet(m map[string]any) (Fleet, error) {
 			f.WSize, err = asInt(val)
 		case "workload":
 			f.Workload, err = asString(val)
+		case "consistency":
+			f.Consistency, err = asString(val)
 		case "transport":
 			f.Transport, err = asString(val)
 		case "loss":
@@ -380,6 +399,10 @@ func decodeEvent(m map[string]any) (Event, error) {
 			var n int64
 			n, err = asInt64(val)
 			ev.Bytes = n
+		case "max_stale":
+			var n int64
+			n, err = asInt64(val)
+			ev.MaxStale = n
 		default:
 			return ev, fmt.Errorf("unknown event key %q", key)
 		}
@@ -448,6 +471,9 @@ func (sc *Scenario) validate() error {
 	}
 	if _, err := bonnie.ParseWorkload(f.Workload); err != nil {
 		return fmt.Errorf("fleet.workload: %w", err)
+	}
+	if _, ok := core.ParseConsistency(f.Consistency); !ok {
+		return fmt.Errorf("fleet.consistency: unknown mode %q (want ttl, strict, or noac)", f.Consistency)
 	}
 	if f.Transport == "" {
 		f.Transport = "udp"
@@ -525,6 +551,10 @@ func (sc *Scenario) validate() error {
 		case "assert_lost_max":
 			if ev.Bytes < 0 {
 				return fmt.Errorf("assert_lost_max needs non-negative bytes")
+			}
+		case "assert_stale_max":
+			if ev.MaxStale < 0 {
+				return fmt.Errorf("assert_stale_max needs non-negative max_stale")
 			}
 		}
 	}

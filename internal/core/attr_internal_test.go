@@ -1,0 +1,41 @@
+package core
+
+import (
+	"testing"
+
+	"repro/internal/nfsproto"
+	"repro/internal/sim"
+)
+
+// TestRefreshKeyedOnChange is the regression test for the adaptive
+// attribute-timeout bug: two writes landing in the same virtual tick
+// leave mtime identical, so aging keyed on mtime would read the second
+// write as "file unchanged" and double the trust window right after a
+// modification. Aging must key on the change attribute instead.
+func TestRefreshKeyedOnChange(t *testing.T) {
+	s := sim.New(1)
+	c := &Client{s: s, cfg: Config{AcRegMin: DefaultAcRegMin, AcRegMax: DefaultAcRegMax}}
+	e := &attrEntry{attrs: nfsproto.FileAttrs{MTime: 100, Change: 1}, timeout: c.cfg.AcRegMin}
+
+	// Second write in the same tick: same mtime, bumped change. The
+	// window must reset to acregmin, not double.
+	e.refresh(c, nfsproto.FileAttrs{MTime: 100, Change: 2})
+	if e.timeout != c.cfg.AcRegMin {
+		t.Fatalf("timeout = %d after a same-tick change; want acregmin %d (mtime-keyed aging doubles here)",
+			e.timeout, c.cfg.AcRegMin)
+	}
+
+	// Genuinely unchanged file: the window doubles toward acregmax.
+	e.refresh(c, nfsproto.FileAttrs{MTime: 100, Change: 2})
+	if e.timeout != 2*c.cfg.AcRegMin {
+		t.Fatalf("timeout = %d after an unchanged revalidation, want %d", e.timeout, 2*c.cfg.AcRegMin)
+	}
+
+	// And clamps at acregmax.
+	for i := 0; i < 20; i++ {
+		e.refresh(c, nfsproto.FileAttrs{MTime: 100, Change: 2})
+	}
+	if e.timeout != c.cfg.AcRegMax {
+		t.Fatalf("timeout = %d after many unchanged revalidations, want acregmax %d", e.timeout, c.cfg.AcRegMax)
+	}
+}

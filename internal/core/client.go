@@ -32,6 +32,20 @@ type Client struct {
 	rootFH    nfsproto.FileHandle
 	attrCache map[string]*attrEntry
 
+	// namedInodes keeps one persistent inode per namespace name, the
+	// moral equivalent of the kernel's inode cache: the last close takes
+	// a named file out of flushd's scan table but keeps its resident
+	// pages and change-attribute state, so a reopen starts warm. Keyed by
+	// name rather than handle so REMOVE + re-CREATE (which mints a new
+	// handle) naturally misses the dead inode. Lazily allocated.
+	namedInodes map[string]*Inode
+
+	// changeProbe, when set, reads a file's current server-side change
+	// counter without an RPC — omniscient ground truth the harness wires
+	// in so stale reads can be counted exactly. Never used to make
+	// client decisions; only to judge them.
+	changeProbe func(nfsproto.FileHandle) (uint64, bool)
+
 	// mountRequests counts outstanding (queued + in-flight) page requests
 	// across the mount — the quantity MAX_REQUEST_HARD bounds.
 	mountRequests int
@@ -65,6 +79,18 @@ type Client struct {
 	// re-queued for rewrite because the acking server instance died.
 	VerfChanges    int64
 	RewrittenBytes int64
+	// Coherence counters. StaleReads counts page-cache hits served while
+	// the open had skipped revalidation and the server ground truth
+	// (changeProbe) already held a newer change attribute — reads a
+	// strict client would have refetched. Invalidations counts cached
+	// page drops triggered by an observed foreign write (wcc pre-op or
+	// revalidation change mismatch). ChangeRegressions counts replies
+	// whose change attribute ran backwards from what this client had
+	// already seen (out-of-order replies; a server losing state would
+	// also show up here).
+	StaleReads        int64
+	Invalidations     int64
+	ChangeRegressions int64
 }
 
 // Inode is one file's client-side write state (struct inode + nfs_inode).
@@ -72,6 +98,22 @@ type Inode struct {
 	c    *Client
 	FH   nfsproto.FileHandle
 	size int64
+
+	// name is the namespace name for inodes opened through OpenByName
+	// ("" for anonymous Open inodes); refs counts the open File handles
+	// sharing the inode.
+	name string
+	refs int
+
+	// changeSeen is the newest server change attribute this client has
+	// observed for the file (via GETATTR, LOOKUP, CREATE or wcc_data);
+	// hasChange gates the first observation. staleOpen marks the current
+	// open as trusting cached pages the server has already superseded —
+	// set at open time when revalidation was skipped while the ground
+	// truth probe held a newer counter, cleared by any revalidation.
+	changeSeen uint64
+	hasChange  bool
+	staleOpen  bool
 
 	// reqs is the sorted pending-request list; hash is the fix-2 index.
 	reqs reqList
@@ -156,6 +198,13 @@ func NewClient(s *sim.Sim, cpu *sim.CPUPool, bkl *sim.Mutex, cache *mm.PageCache
 // Config returns the client's configuration.
 func (c *Client) Config() Config { return c.cfg }
 
+// SetChangeProbe installs the server-side ground-truth probe used to
+// classify cache hits as stale (see StaleReads). The probe must be
+// cheap and side-effect free; it is consulted only at open time.
+func (c *Client) SetChangeProbe(probe func(nfsproto.FileHandle) (uint64, bool)) {
+	c.changeProbe = probe
+}
+
 // Transport returns the client's RPC transport.
 func (c *Client) Transport() *rpcsim.Transport { return c.tr }
 
@@ -207,10 +256,22 @@ func (c *Client) releaseInode(ino *Inode) {
 	if ino.Outstanding() != 0 {
 		panic("core: releasing an inode with outstanding requests")
 	}
-	// Ordered removal: flushd services inodes in table order, so a
-	// swap-with-last delete would perturb the deterministic schedule.
-	// The vacated tail slot is nil'd so the backing array does not keep
-	// the shifted last inode reachable twice.
+	c.removeFromTable(ino)
+	// Drop the resident-page set and the fix-2 index even if the File
+	// object lingers in caller hands (reads/writes after close panic
+	// anyway). pendingReads and readWait stay: trailing readahead RPCs
+	// the reader never waited for may still be in flight, and their
+	// readDone completions must land harmlessly.
+	ino.cached = rangeset.Set{}
+	ino.hash = nil
+}
+
+// removeFromTable takes an inode out of the flushd scan table. Ordered
+// removal: flushd services inodes in table order, so a swap-with-last
+// delete would perturb the deterministic schedule. The vacated tail
+// slot is nil'd so the backing array does not keep the shifted last
+// inode reachable twice.
+func (c *Client) removeFromTable(ino *Inode) {
 	for i, other := range c.inodes {
 		if other == ino {
 			last := len(c.inodes) - 1
@@ -220,13 +281,102 @@ func (c *Client) releaseInode(ino *Inode) {
 			break
 		}
 	}
-	// Drop the resident-page set and the fix-2 index even if the File
-	// object lingers in caller hands (reads/writes after close panic
-	// anyway). pendingReads and readWait stay: trailing readahead RPCs
-	// the reader never waited for may still be in flight, and their
-	// readDone completions must land harmlessly.
-	ino.cached = rangeset.Set{}
-	ino.hash = nil
+}
+
+// closeInode is the last-close bookkeeping. Anonymous inodes (Open)
+// are fully released: pages dropped, index freed. Named inodes
+// (OpenByName) behave like the kernel's inode cache instead: the final
+// close removes the file from flushd's scan table but keeps its
+// resident pages, fix-2 index and change-attribute state for the next
+// open of the same name — which is what makes cross-client staleness
+// observable at all. A named inode whose name no longer resolves to it
+// (unlinked, possibly re-created, while open) is released like an
+// anonymous one.
+func (c *Client) closeInode(ino *Inode) {
+	if ino.refs > 1 {
+		ino.refs--
+		return
+	}
+	ino.refs = 0
+	if ino.name != "" && c.namedInodes[ino.name] == ino {
+		if ino.Outstanding() != 0 {
+			panic("core: closing an inode with outstanding requests")
+		}
+		c.removeFromTable(ino)
+		return
+	}
+	c.releaseInode(ino)
+}
+
+// namedInode returns the persistent inode behind a namespace name,
+// reviving the cached one when the handle still matches and minting a
+// fresh inode otherwise (first open, or the name was unlinked and
+// re-created so the old pages describe a dead handle). The returned
+// inode is referenced and present in the flushd scan table.
+func (c *Client) namedInode(name string, fh nfsproto.FileHandle) *Inode {
+	if c.namedInodes == nil {
+		c.namedInodes = make(map[string]*Inode)
+	}
+	if ino, ok := c.namedInodes[name]; ok && ino.FH == fh {
+		if ino.refs == 0 {
+			c.inodes = append(c.inodes, ino)
+		}
+		ino.refs++
+		return ino
+	}
+	ino := &Inode{
+		c:         c,
+		FH:        fh,
+		name:      name,
+		refs:      1,
+		flushWait: c.s.NewWaitQueue("nfs-inode-flush"),
+	}
+	if c.cfg.IndexPolicy == IndexHashTable {
+		ino.hash = make(map[int64]*Request)
+	}
+	c.namedInodes[name] = ino
+	c.inodes = append(c.inodes, ino)
+	return ino
+}
+
+// invalidateInode drops an inode's cached pages in response to an
+// observed foreign write, keeping only the pages that back
+// UNSTABLE-acked byte ranges — a verifier change may yet force those
+// exact bytes to be rewritten from the page cache, so discarding them
+// would break crash recovery — plus the span in [keepStart, keepEnd)
+// that the triggering reply itself just wrote. Safe in event context.
+func (c *Client) invalidateInode(ino *Inode, keepStart, keepEnd int64) {
+	c.Invalidations++
+	var kept rangeset.Set
+	addPages := func(s, e int64) {
+		if e > s {
+			kept.Add(s/pageSize, (e+pageSize-1)/pageSize)
+		}
+	}
+	for _, r := range ino.unstableSet.Ranges() {
+		addPages(r.Start, r.End)
+	}
+	addPages(keepStart, keepEnd)
+	ino.cached = kept
+}
+
+// noteChange folds a server-reported change attribute (from GETATTR or
+// LOOKUP revalidation) into the inode. A counter newer than anything
+// this client has seen means a foreign writer touched the file: cached
+// pages are invalidated before the counter is adopted. An older one is
+// counted as a regression and not adopted.
+func (c *Client) noteChange(ino *Inode, attrs nfsproto.FileAttrs) {
+	if ino.hasChange && attrs.Change < ino.changeSeen {
+		c.ChangeRegressions++
+		return
+	}
+	if ino.hasChange && attrs.Change > ino.changeSeen {
+		c.invalidateInode(ino, 0, 0)
+	}
+	ino.changeSeen, ino.hasChange = attrs.Change, true
+	if s := int64(attrs.Size); s > ino.size {
+		ino.size = s
+	}
 }
 
 // Outstanding returns an inode's queued plus in-flight page requests —
@@ -455,6 +605,27 @@ func (c *Client) writeDone(ino *Inode, pages, bytes int, start int64, d *xdr.Dec
 	if res.Committed == nfsproto.Unstable {
 		ino.unstable = true
 		ino.unstableSet.Add(start, start+int64(bytes))
+	}
+
+	// Weak cache consistency: the reply's pre-op change attribute tells
+	// us what the file looked like just before our write landed. The
+	// comparison is only meaningful when this reply is the client's sole
+	// outstanding write — with several WRITEs in flight the server
+	// interleaves them, and each one's pre-op legitimately reflects its
+	// siblings, not a foreign writer. In the gated case a pre-op newer
+	// than everything we have seen can only be someone else's write:
+	// drop cached pages (except what durability still needs). The
+	// post-op arm is adopted as a high-water mark either way.
+	if res.Wcc.HavePre && ino.hasChange && ino.inflightPages == pages && ino.reqs.Empty() {
+		switch {
+		case res.Wcc.Pre.Change > ino.changeSeen:
+			c.invalidateInode(ino, start, start+int64(bytes))
+		case res.Wcc.Pre.Change < ino.changeSeen:
+			c.ChangeRegressions++
+		}
+	}
+	if res.Wcc.HavePost && (!ino.hasChange || res.Wcc.Post.Change > ino.changeSeen) {
+		ino.changeSeen, ino.hasChange = res.Wcc.Post.Change, true
 	}
 
 	ino.inflightPages -= pages

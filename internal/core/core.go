@@ -94,6 +94,50 @@ const (
 	ReadaheadOff = -1
 )
 
+// ConsistencyMode selects how aggressively the client revalidates cached
+// data against the server on open (close-to-open consistency).
+type ConsistencyMode int
+
+const (
+	// ConsistencyTTL is the Linux default: cached attributes are trusted
+	// for the adaptive acregmin..acregmax window and opens revalidate only
+	// once the window expires. Staleness is bounded by the window.
+	ConsistencyTTL ConsistencyMode = iota
+	// ConsistencyStrict revalidates with GETATTR on every open, so a
+	// reader can never consume pages a foreign writer has already
+	// replaced — at the cost of one RPC per open.
+	ConsistencyStrict
+	// ConsistencyNoac never revalidates on open: cached pages and
+	// attributes are trusted until this client itself writes. Staleness
+	// is unbounded. Note the inversion versus mount -o noac, which
+	// disables the cache (our AcOff) — here "noac" means no attribute
+	// *checking*, the other extreme.
+	ConsistencyNoac
+)
+
+func (m ConsistencyMode) String() string {
+	switch m {
+	case ConsistencyStrict:
+		return "strict"
+	case ConsistencyNoac:
+		return "noac"
+	}
+	return "ttl"
+}
+
+// ParseConsistency maps the CLI spelling to a mode.
+func ParseConsistency(s string) (ConsistencyMode, bool) {
+	switch s {
+	case "ttl", "":
+		return ConsistencyTTL, true
+	case "strict":
+		return ConsistencyStrict, true
+	case "noac":
+		return ConsistencyNoac, true
+	}
+	return ConsistencyTTL, false
+}
+
 // Attribute-cache timeouts (virtual time), matching the Linux mount
 // defaults acregmin=3s, acregmax=60s. A cached attribute result is
 // trusted for an adaptive window that starts at the minimum and doubles
@@ -181,6 +225,10 @@ type Config struct {
 	// name-based open, stat and lookup revalidates at the server.
 	AcRegMin sim.Time
 	AcRegMax sim.Time
+
+	// Consistency selects the open-time revalidation discipline (see
+	// ConsistencyMode). The zero value is the Linux ttl default.
+	Consistency ConsistencyMode
 
 	// FlushdWatermarkPages is how many dirty pages accumulate before the
 	// write-behind daemon starts sending (FlushCacheAll).

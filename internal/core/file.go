@@ -120,16 +120,17 @@ func (f *File) Flush(p *sim.Proc) {
 	}
 }
 
-// Close implements vfs.File: flush and commit, then release the inode —
-// the last close drops the page-cache pages and takes the file out of
-// flushd's scan set, as in the kernel.
+// Close implements vfs.File: flush and commit, then drop this handle's
+// reference — the last close takes the file out of flushd's scan set.
+// Anonymous inodes also release their pages; named inodes keep them for
+// the next open, like the kernel's inode cache (see closeInode).
 func (f *File) Close(p *sim.Proc) {
 	if f.closed {
 		return
 	}
 	f.Flush(p)
 	f.closed = true
-	f.c.releaseInode(f.ino)
+	f.c.closeInode(f.ino)
 }
 
 // Size implements vfs.File.

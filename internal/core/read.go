@@ -65,6 +65,12 @@ func (c *Client) readPage(p *sim.Proc, ino *Inode, page int64) {
 	c.cpu.Use(p, "nfs_readpage", c.cfg.Costs.ReadPageBase)
 	hit := ino.resident(page)
 	c.cache.NoteRead(hit)
+	if hit && ino.staleOpen {
+		// Served from cache during an open that skipped revalidation
+		// while the server already held newer data: a strict client
+		// would have refetched this page.
+		c.StaleReads++
+	}
 	ahead := ino.ra.Access(page)
 	c.bkl.Unlock(p)
 	if hit {

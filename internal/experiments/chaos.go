@@ -50,6 +50,26 @@ scenarios:
         bytes: 1
       - action: assert_rewritten_min
         bytes: 1
+  - name: shared-crash
+    description: filer reboots mid-shared-write; change counters survive, staleness bounded
+    fleet:
+      server: filer
+      config: enhanced
+      clients: 4
+      file_mb: 2
+      workload: shared
+      seed: 1
+    events:
+      - at: 40ms
+        action: server_crash
+      - at: 120ms
+        action: server_restart
+      - action: assert_completes
+      - action: assert_no_data_loss
+      - action: assert_lost_max
+        bytes: 0
+      - action: assert_stale_max
+        max_stale: 1024
   - name: dead-server
     description: permanent crash; bounded retry turns a hang into an error
     fleet:

@@ -627,6 +627,80 @@ func TestZipfSweepShape(t *testing.T) {
 	}
 }
 
+func TestCoherenceSweepShape(t *testing.T) {
+	r := CoherenceSweep()
+	if len(r.Rows) != 3 { // strict, ttl, noac
+		t.Fatalf("rows = %d, want 3", len(r.Rows))
+	}
+	strict, ttl, noac := r.Cell("strict"), r.Cell("ttl"), r.Cell("noac")
+	if strict == nil || ttl == nil || noac == nil {
+		t.Fatalf("missing mode cells: %+v", r.Rows)
+	}
+	// Every mode moves real data and the writers bump the server's
+	// change attribute; the write mix is identical across modes, so the
+	// bump counts must match exactly.
+	for _, row := range []*CoherenceRow{strict, ttl, noac} {
+		if row.AggMBps <= 0 || row.ChangeBumps == 0 {
+			t.Fatalf("hollow cell %+v", row)
+		}
+	}
+	if strict.ChangeBumps != ttl.ChangeBumps || ttl.ChangeBumps != noac.ChangeBumps {
+		t.Fatalf("change bumps differ across modes: strict %d, ttl %d, noac %d",
+			strict.ChangeBumps, ttl.ChangeBumps, noac.ChangeBumps)
+	}
+	// The acceptance criteria. Strict revalidates every open, so no
+	// read is ever served off a stale cache — and it pays for that in
+	// GETATTR traffic the ttl window saves.
+	if strict.StaleReads != 0 {
+		t.Fatalf("strict mode served %d stale reads, want 0", strict.StaleReads)
+	}
+	if strict.Getattrs <= ttl.Getattrs {
+		t.Fatalf("strict spent %d GETATTRs, not above ttl's %d", strict.Getattrs, ttl.Getattrs)
+	}
+	// The ttl window bounds staleness strictly below noac's unbounded
+	// trust, without giving up strict's throughput.
+	if noac.StaleReads <= ttl.StaleReads {
+		t.Fatalf("noac served %d stale reads, not above ttl's %d", noac.StaleReads, ttl.StaleReads)
+	}
+	if ttl.AggMBps < strict.AggMBps {
+		t.Fatalf("ttl %.2f MBps below strict %.2f", ttl.AggMBps, strict.AggMBps)
+	}
+	// ttl is the middle of the trade-off, not a degenerate endpoint: it
+	// does serve some stale reads (else it collapsed into strict) and
+	// strict's revalidations do find foreign changes to invalidate.
+	if ttl.StaleReads == 0 {
+		t.Fatalf("ttl mode served no stale reads; window degenerated to strict")
+	}
+	if strict.Invalidations == 0 {
+		t.Fatalf("strict revalidations never invalidated a cache")
+	}
+	out := r.Render()
+	for _, want := range []string{"Cache coherence", "strict close-to-open:", "ttl window:"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("render missing %q:\n%s", want, out)
+		}
+	}
+	if strings.Contains(out, "false") {
+		t.Fatalf("render reports a violated comparison:\n%s", out)
+	}
+}
+
+// TestCoherenceSweepDeterminism pins the whole rendered coherence table
+// byte-identical across harness worker counts and reruns — the same
+// guarantee the golden CSVs give the write sweeps, for the experiment
+// whose workload has the most scheduling freedom (writers and readers
+// racing on one file).
+func TestCoherenceSweepDeterminism(t *testing.T) {
+	defer func(w int) { Workers = w }(Workers)
+	Workers = 1
+	first := CoherenceSweep().Render()
+	Workers = 8
+	second := CoherenceSweep().Render()
+	if first != second {
+		t.Fatalf("coherence sweep differs between -workers 1 and 8:\n--- workers=1\n%s\n--- workers=8\n%s", first, second)
+	}
+}
+
 func TestFleetShape(t *testing.T) {
 	// Reduced fleet sizes keep the test fast; the 1000-client row runs
 	// in CI's smoke step and in BenchmarkFleet1000.

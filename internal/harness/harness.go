@@ -113,8 +113,19 @@ type Scenario struct {
 	// defaults; core.AcOff (or any negative value) disables the cache
 	// (mount -o noac).
 	AcTimeout sim.Time
-	Seed      int64
-	Repeat    int // repeat index; Seed already includes the offset
+	// SharedWriterPct is the shared workload's writer share of the
+	// per-run workers (0 means bonnie.DefaultSharedWriterPct; ignored by
+	// other workloads).
+	SharedWriterPct int
+	// SharedReadLag is the shared workload's pause between reader passes
+	// (0 means back-to-back; ignored by other workloads).
+	SharedReadLag sim.Time
+	// Consistency is the client's cache-consistency mode (default
+	// core.ConsistencyTTL, the adaptive attribute-cache behavior every
+	// pre-existing scenario ran under).
+	Consistency core.ConsistencyMode
+	Seed        int64
+	Repeat      int // repeat index; Seed already includes the offset
 
 	// SkipFlushClose stops each run after the write phase (the Figure
 	// 1/7 memory-write comparison). When false the run flushes and
@@ -128,11 +139,11 @@ type Scenario struct {
 // repeat — for grouping repeated runs. The cache limit appears in exact
 // bytes: keying on truncated megabytes used to fold two cache limits
 // differing by less than 1 MiB into one aggregation cell. The transport,
-// loss, jitter, workload, file-count, Zipf-skew, op-mix, and
-// attribute-cache axes appear only at non-default values, so sweeps over
-// the pre-existing axes keep byte-identical keys (and hence output) to
-// the tree before those axes existed — pinned by the golden-CSV tests in
-// harness_test.go.
+// loss, jitter, workload, file-count, Zipf-skew, op-mix, attribute-cache,
+// sharing, read-lag, and consistency axes appear only at non-default
+// values, so sweeps over the pre-existing axes keep byte-identical keys
+// (and hence output) to the tree before those axes existed — pinned by
+// the golden-CSV tests in harness_test.go.
 func (sc Scenario) Key() string {
 	clients := sc.Clients
 	if clients < 1 {
@@ -178,6 +189,15 @@ func (sc Scenario) Key() string {
 			key += fmt.Sprintf("/ac%v", sc.AcTimeout)
 		}
 	}
+	if sc.SharedWriterPct != 0 && sc.SharedWriterPct != bonnie.DefaultSharedWriterPct {
+		key += fmt.Sprintf("/sw%d", sc.SharedWriterPct)
+	}
+	if sc.SharedReadLag > 0 {
+		key += fmt.Sprintf("/rl%v", sc.SharedReadLag)
+	}
+	if sc.Consistency != core.ConsistencyTTL {
+		key += "/" + sc.Consistency.String()
+	}
 	return key
 }
 
@@ -203,7 +223,13 @@ type Grid struct {
 	FileCounts  []int                  // default: 0 (bonnie's DefaultZipfFiles)
 	ZipfSs      []float64              // default: 0 (bonnie's DefaultZipfS)
 	AcTimeouts  []sim.Time             // default: 0 (client's adaptive defaults)
-	Seeds       []int64                // default: 1
+	// Sharings is the shared workload's writer-percentage axis (default:
+	// 0, bonnie's DefaultSharedWriterPct; ignored by other workloads).
+	Sharings []int
+	// Consistencies is the client cache-consistency mode axis (default:
+	// core.ConsistencyTTL).
+	Consistencies []core.ConsistencyMode
+	Seeds         []int64 // default: 1
 
 	// NetJitter applies the same max delivery jitter to every scenario
 	// (a scalar, not an axis).
@@ -216,6 +242,10 @@ type Grid struct {
 	// Mix applies the same zipf op mix to every scenario (a scalar knob,
 	// not an axis; see Scenario.Mix).
 	Mix bonnie.OpMix
+
+	// ReadLag applies the same shared-workload reader lag to every
+	// scenario (a scalar knob, not an axis; see Scenario.SharedReadLag).
+	ReadLag sim.Time
 
 	// Repeats re-runs every cell Repeats times, offsetting each base
 	// seed per repeat by the span of the Seeds list (max-min+1, so a
@@ -238,10 +268,10 @@ func orInts(xs []int, def int) []int {
 
 // Expand returns the cross-product of all axes in a fixed nesting order
 // (config, server, file size, wsize, CPUs, clients, cache limit, jumbo,
-// transport, loss, workload, file count, Zipf skew, ac timeout, seed,
-// repeat — innermost last), with every Scenario field resolved to its
-// concrete value. The order is deterministic: the same Grid always
-// expands to the same slice.
+// transport, loss, workload, file count, Zipf skew, ac timeout, sharing,
+// consistency, seed, repeat — innermost last), with every Scenario field
+// resolved to its concrete value. The order is deterministic: the same
+// Grid always expands to the same slice.
 func (g Grid) Expand() []Scenario {
 	servers := g.Servers
 	if len(servers) == 0 {
@@ -282,6 +312,11 @@ func (g Grid) Expand() []Scenario {
 	acTimeouts := g.AcTimeouts
 	if len(acTimeouts) == 0 {
 		acTimeouts = []sim.Time{0}
+	}
+	sharings := orInts(g.Sharings, 0)
+	consistencies := g.Consistencies
+	if len(consistencies) == 0 {
+		consistencies = []core.ConsistencyMode{core.ConsistencyTTL}
 	}
 	seeds := g.Seeds
 	if len(seeds) == 0 {
@@ -324,31 +359,38 @@ func (g Grid) Expand() []Scenario {
 												for _, fc := range fileCounts {
 													for _, zs := range zipfSs {
 														for _, ac := range acTimeouts {
-															for _, seed := range seeds {
-																for rep := 0; rep < repeats; rep++ {
-																	out = append(out, Scenario{
-																		Server:         srv,
-																		Config:         cfg,
-																		FileMB:         mb,
-																		WSize:          ws,
-																		ClientCPUs:     ncpu,
-																		Clients:        ncli,
-																		CacheLimit:     cache,
-																		Jumbo:          jumbo,
-																		Transport:      tr,
-																		Loss:           loss,
-																		NetJitter:      g.NetJitter,
-																		Workload:       wl,
-																		FsyncEvery:     g.FsyncEvery,
-																		FileCount:      fc,
-																		ZipfS:          zs,
-																		Mix:            g.Mix,
-																		AcTimeout:      ac,
-																		Seed:           seed + int64(rep)*span,
-																		Repeat:         rep,
-																		SkipFlushClose: g.SkipFlushClose,
-																		TimeLimit:      timeLimit,
-																	})
+															for _, sw := range sharings {
+																for _, cons := range consistencies {
+																	for _, seed := range seeds {
+																		for rep := 0; rep < repeats; rep++ {
+																			out = append(out, Scenario{
+																				Server:          srv,
+																				Config:          cfg,
+																				FileMB:          mb,
+																				WSize:           ws,
+																				ClientCPUs:      ncpu,
+																				Clients:         ncli,
+																				CacheLimit:      cache,
+																				Jumbo:           jumbo,
+																				Transport:       tr,
+																				Loss:            loss,
+																				NetJitter:       g.NetJitter,
+																				Workload:        wl,
+																				FsyncEvery:      g.FsyncEvery,
+																				FileCount:       fc,
+																				ZipfS:           zs,
+																				Mix:             g.Mix,
+																				AcTimeout:       ac,
+																				SharedWriterPct: sw,
+																				SharedReadLag:   g.ReadLag,
+																				Consistency:     cons,
+																				Seed:            seed + int64(rep)*span,
+																				Repeat:          rep,
+																				SkipFlushClose:  g.SkipFlushClose,
+																				TimeLimit:       timeLimit,
+																			})
+																		}
+																	}
 																}
 															}
 														}
@@ -533,6 +575,40 @@ func ParseAcTimeouts(spec string) ([]sim.Time, error) {
 			return nil, fmt.Errorf("harness: bad attribute-cache timeout %q (want a duration, \"off\", or \"default\")", f)
 		}
 		out = append(out, d)
+	}
+	return out, nil
+}
+
+// ParseSharings parses a comma list of shared-workload writer
+// percentages ("25,50,75"); "default" (or 0) keeps bonnie's
+// DefaultSharedWriterPct.
+func ParseSharings(spec string) ([]int, error) {
+	var out []int
+	for _, f := range strings.Split(spec, ",") {
+		f = strings.TrimSpace(f)
+		if f == "default" || f == "0" {
+			out = append(out, 0)
+			continue
+		}
+		n, err := strconv.Atoi(f)
+		if err != nil || n < 1 || n > 100 {
+			return nil, fmt.Errorf("harness: bad writer percentage %q (want 1-100 or \"default\")", f)
+		}
+		out = append(out, n)
+	}
+	return out, nil
+}
+
+// ParseConsistencies parses a comma list of cache-consistency modes
+// ("ttl,strict,noac").
+func ParseConsistencies(spec string) ([]core.ConsistencyMode, error) {
+	var out []core.ConsistencyMode
+	for _, f := range strings.Split(spec, ",") {
+		m, ok := core.ParseConsistency(strings.TrimSpace(f))
+		if !ok {
+			return nil, fmt.Errorf("harness: unknown consistency mode %q (have ttl, strict, noac)", f)
+		}
+		out = append(out, m)
 	}
 	return out, nil
 }

@@ -386,10 +386,11 @@ func TestMultiClientFairnessFields(t *testing.T) {
 }
 
 // Golden regression: with the loss model disabled and the default UDP
-// transport, the sweep engine must reproduce the pre-loss-model CSV byte
-// for byte — adding the transport layer cannot perturb lossless runs.
-// testdata/golden_loss0.csv was captured from the tree before the
-// loss/TCP change with:
+// transport, the sweep engine must reproduce the golden CSV byte for
+// byte at any worker count. testdata/golden_loss0.csv was re-captured
+// after the weak-cache-consistency change (fattr3 grew the change
+// attribute and WRITE3 replies carry wcc_data, which shifts every wire
+// timing) with:
 //
 //	nfssweep -servers filer,linux -configs stock,enhanced -sizes 25 \
 //	    -clients 1,2 -format csv -quiet
@@ -497,12 +498,11 @@ func TestLossyResultsReportRepairTraffic(t *testing.T) {
 }
 
 // Golden regression: a pure-write sweep (the default Workload) must
-// reproduce the pre-read-path CSV byte for byte, at any worker count —
-// adding READ/readahead machinery cannot perturb write-only runs.
-// testdata/golden_write_only.csv was captured from the tree before the
-// read-path change by running this exact grid (full write+flush+close
-// runs, 12 scenarios over filer/linux/local x stock/enhanced x 1,2
-// clients at 10 MB).
+// reproduce the golden CSV byte for byte, at any worker count.
+// testdata/golden_write_only.csv was re-captured after the
+// weak-cache-consistency change (WRITE3 replies grew wcc_data) by
+// running this exact grid (full write+flush+close runs, 12 scenarios
+// over filer/linux/local x stock/enhanced x 1,2 clients at 10 MB).
 func TestWriteOnlySweepMatchesPreReadPathGolden(t *testing.T) {
 	if testing.Short() {
 		t.Skip("runs twelve full 10 MB sims twice")

@@ -106,6 +106,20 @@ type Result struct {
 	MinClientMBps float64 `json:"min_client_mbps"`
 	MaxClientMBps float64 `json:"max_client_mbps"`
 
+	// Cache-coherence results (JSON only; the CSV schema is frozen). The
+	// consistency mode, writer percentage, and read lag also appear in
+	// Name at non-default values. StaleReads counts page-cache hits
+	// served during opens that skipped revalidation while the server's
+	// change counter had already moved on; Invalidations counts cached
+	// inodes dropped on change mismatch (WCC pre-op or open-time
+	// revalidation); ChangeBumps is the server's total change-attribute
+	// increments — the ground-truth write traffic the clients' counters
+	// are judged against.
+	Consistency   string `json:"consistency"`
+	StaleReads    int64  `json:"stale_reads"`
+	Invalidations int64  `json:"invalidations"`
+	ChangeBumps   int64  `json:"change_bumps"`
+
 	// Slot-table convoying (JSON only; the CSV schema is frozen).
 	// SlotWaits counts RPCs across all client machines that found their
 	// transport's slot table full and queued; SlotWaitUs is the total
@@ -161,7 +175,11 @@ func RunScenarioOn(sc Scenario, prepare func(*nfssim.Testbed)) Result {
 		Transport:  sc.Transport,
 		Loss:       sc.Loss,
 		NetJitter:  sc.NetJitter,
+		// The shared workload is only meaningful when every machine
+		// mounts the same export.
+		SharedNamespace: sc.Workload == bonnie.WorkloadShared,
 	}
+	opts.Client.Consistency = sc.Consistency
 	if sc.WSize != 0 {
 		opts.Client.WSize = sc.WSize
 	}
@@ -179,14 +197,16 @@ func RunScenarioOn(sc Scenario, prepare func(*nfssim.Testbed)) Result {
 		prepare(tb)
 	}
 	bcfg := bonnie.Config{
-		FileSize:       int64(sc.FileMB) << 20,
-		Workload:       sc.Workload,
-		FsyncEvery:     sc.FsyncEvery,
-		FileCount:      sc.FileCount,
-		ZipfS:          sc.ZipfS,
-		Mix:            sc.Mix,
-		TimeLimit:      sc.TimeLimit,
-		SkipFlushClose: sc.SkipFlushClose,
+		FileSize:        int64(sc.FileMB) << 20,
+		Workload:        sc.Workload,
+		FsyncEvery:      sc.FsyncEvery,
+		FileCount:       sc.FileCount,
+		ZipfS:           sc.ZipfS,
+		Mix:             sc.Mix,
+		SharedWriterPct: sc.SharedWriterPct,
+		SharedReadLag:   sc.SharedReadLag,
+		TimeLimit:       sc.TimeLimit,
+		SkipFlushClose:  sc.SkipFlushClose,
 	}
 
 	out := Result{
@@ -204,9 +224,10 @@ func RunScenarioOn(sc Scenario, prepare func(*nfssim.Testbed)) Result {
 		Clients:    clients,
 		CacheBytes: sc.CacheLimit,
 
-		Transport: sc.Transport.String(),
-		Loss:      sc.Loss,
-		Workload:  sc.Workload.String(),
+		Transport:   sc.Transport.String(),
+		Loss:        sc.Loss,
+		Workload:    sc.Workload.String(),
+		Consistency: sc.Consistency.String(),
 
 		Scenario: sc,
 	}
@@ -277,6 +298,8 @@ func RunScenarioOn(sc Scenario, prepare func(*nfssim.Testbed)) Result {
 			out.RemoveRPCs += m.Client.RemoveRPCs
 			out.AttrCacheHits += m.Client.AttrCacheHits
 			out.AttrCacheMisses += m.Client.AttrCacheMisses
+			out.StaleReads += m.Client.StaleReads
+			out.Invalidations += m.Client.Invalidations
 		}
 		out.ReadHits += m.Cache.ReadHits
 		out.ReadMisses += m.Cache.ReadMisses
@@ -294,6 +317,7 @@ func RunScenarioOn(sc Scenario, prepare func(*nfssim.Testbed)) Result {
 	out.LostFrames = tb.Net.Totals().FramesDropped
 	if tb.Server != nil {
 		out.ServerNetMBps = tb.Server.NetworkThroughputMBps()
+		out.ChangeBumps = tb.Server.Names().ChangeBumps
 	}
 	return out
 }

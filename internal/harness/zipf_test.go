@@ -172,7 +172,9 @@ func TestZipfDeterministicAcrossWorkers(t *testing.T) {
 }
 
 // testdata/golden_zipf.csv pins the zipf workload's op stream: the file
-// was captured with
+// was re-captured after the weak-cache-consistency change (LOOKUP,
+// GETATTR and CREATE replies carry the 92-byte fattr3 with the change
+// attribute, shifting every metadata wire timing) with
 //
 //	nfssweep -workload zipf -sizes 4 -clients 1,2 -actimeout off,default \
 //	    -format csv -quiet

@@ -11,8 +11,11 @@ import (
 )
 
 type Scenario struct {
-	Loss float64
-	Size int
+	Loss      float64
+	Size      int
+	WriterPct int
+	ReadLag   int64 // duration-shaped: integer nanoseconds
+	Mode      string
 }
 
 func (sc Scenario) Key() string {
@@ -22,6 +25,11 @@ func (sc Scenario) Key() string {
 	key += fmt.Sprintf("/p%.3f", sc.Loss)                   // explicit precision: clean
 	key += fmt.Sprintf("/q%.4g", sc.Loss)                   // explicit precision: clean
 	key += "/x" + strconv.FormatFloat(sc.Loss, 'g', -1, 64) // explicit encoding: clean
+	// The sharing axis segments (/sw<pct>, /rl<lag>, /<mode>): ints,
+	// integer durations and plain strings are exact encodings — clean.
+	key += fmt.Sprintf("/sw%d", sc.WriterPct)
+	key += fmt.Sprintf("/rl%v", sc.ReadLag)
+	key += "/" + sc.Mode
 	return key
 }
 

@@ -148,19 +148,21 @@ func FuzzDecodeCall(f *testing.F) {
 
 func FuzzDecodeReply(f *testing.F) {
 	fh := MakeFileHandle(3, 77)
-	attrs := FileAttrs{Size: 1 << 20, FileID: 42, MTime: 987654321}
+	attrs := FileAttrs{Size: 1 << 20, FileID: 42, MTime: 987654321, Change: 17}
+	wcc := WccData{HavePre: true, Pre: WccAttr{Size: 1 << 19, MTime: 123456789, Change: 16}, HavePost: true, Post: attrs}
 	seeds := []struct {
 		proc uint32
 		body encoder
 	}{
 		{ProcWrite, &WriteRes{Status: NFS3OK, Count: 5, Committed: FileSync, Verf: 0xdead}},
+		{ProcWrite, &WriteRes{Status: NFS3OK, Wcc: wcc, Count: 5, Committed: FileSync, Verf: 0xdead}},
 		{ProcWrite, &WriteRes{Status: NFS3ErrJukebox}},
 		{ProcRead, &ReadRes{Status: NFS3OK, Count: 5, EOF: true, Data: []byte("hello")}},
 		{ProcCommit, &CommitRes{Status: NFS3OK, Verf: 0xbeef}},
 		{ProcGetattr, &GetattrRes{Status: NFS3OK, Attrs: attrs}},
 		{ProcLookup, &LookupRes{Status: NFS3ErrNoEnt}},
-		{ProcCreate, &CreateRes{Status: NFS3OK, File: fh, Attrs: attrs}},
-		{ProcRemove, &RemoveRes{Status: NFS3OK}},
+		{ProcCreate, &CreateRes{Status: NFS3OK, File: fh, Attrs: attrs, Wcc: wcc}},
+		{ProcRemove, &RemoveRes{Status: NFS3OK, Wcc: wcc}},
 	}
 	for i, s := range seeds {
 		e := xdr.NewEncoder(256)

@@ -2,8 +2,8 @@
 // the namespace half of the protocol. The paper's benchmark is one big
 // file per writer, but a real client spends much of its RPC budget on
 // this tail — LOOKUP and GETATTR against many small files — so the
-// simulation carries the real XDR encodings here too: a full 84-byte
-// fattr3 on every attribute-bearing reply, wcc_data arms on the
+// simulation carries the real XDR encodings here too: a full fattr3 on
+// every attribute-bearing reply, wcc_data arms on the
 // directory-modifying procedures, and an sattr3 in CREATE, exactly as
 // the 2.4 client put them on the wire.
 
@@ -51,18 +51,34 @@ func HandleFSID(fh FileHandle) uint64 {
 	return fsid
 }
 
-// FileAttrs is the subset of fattr3 the simulation models: size, file id
-// and modification time. Encode/Decode carry the full 84-byte fattr3 so
-// reply sizes on the wire are faithful; the unmodeled fields encode as a
-// regular file owned by root.
+// HandleFileID extracts the file id a handle was minted with.
+func HandleFileID(fh FileHandle) uint64 {
+	var id uint64
+	for i := 0; i < 8; i++ {
+		id |= uint64(fh[8+i]) << (8 * i)
+	}
+	return id
+}
+
+// FileAttrs is the subset of fattr3 the simulation models: size, file
+// id, modification time and the change counter. Encode/Decode carry the
+// full fattr3 wire form so reply sizes on the wire are faithful; the
+// unmodeled fields encode as a regular file owned by root.
 type FileAttrs struct {
 	Size   uint64
 	FileID uint64
 	// MTime is the modification time in nanoseconds of virtual time.
 	MTime uint64
+	// Change is the server's per-file change counter, bumped under the
+	// per-file lock on every mutation from any client. NFSv3 has no
+	// change attribute (clients synthesize one from ctime); the
+	// simulation carries NFSv4's monotonic counter explicitly so
+	// same-tick writes stay distinguishable.
+	Change uint64
 }
 
-// Encode appends the full fattr3 wire form (84 bytes).
+// Encode appends the fattr3 wire form: the 84 RFC bytes plus one hyper
+// for the change counter (92 bytes).
 func (a *FileAttrs) Encode(e *xdr.Encoder) {
 	e.Uint32(1)    // type NF3REG
 	e.Uint32(0644) // mode
@@ -75,6 +91,7 @@ func (a *FileAttrs) Encode(e *xdr.Encoder) {
 	e.Uint32(0)      // rdev minor
 	e.Uint64(0)      // fsid
 	e.Uint64(a.FileID)
+	e.Uint64(a.Change)
 	encodeTime(e, a.MTime) // atime (mirrors mtime)
 	encodeTime(e, a.MTime) // mtime
 	encodeTime(e, a.MTime) // ctime
@@ -108,7 +125,8 @@ func DecodeFileAttrs(d *xdr.Decoder) (FileAttrs, error) {
 	_, e9 := d.Uint32()  // rdev minor
 	_, e10 := d.Uint64() // fsid
 	fileid, e11 := d.Uint64()
-	if err := xdr.Check(e1, e2, e3, e4, e5, e6, e7, e8, e9, e10, e11); err != nil {
+	change, e12 := d.Uint64()
+	if err := xdr.Check(e1, e2, e3, e4, e5, e6, e7, e8, e9, e10, e11, e12); err != nil {
 		return a, err
 	}
 	if _, err := decodeTime(d); err != nil { // atime
@@ -124,7 +142,94 @@ func DecodeFileAttrs(d *xdr.Decoder) (FileAttrs, error) {
 	a.Size = size
 	a.FileID = fileid
 	a.MTime = mtime
+	a.Change = change
 	return a, nil
+}
+
+// WccAttr is the pre-op attribute subset of wcc_data (RFC 1813 §2.6
+// wcc_attr): size and mtime sampled under the per-file lock immediately
+// before the mutation, with the change counter riding in the ctime slot
+// (same wire weight: one nfstime3 = one hyper).
+type WccAttr struct {
+	Size   uint64
+	MTime  uint64
+	Change uint64
+}
+
+// Encode appends the wcc_attr wire form (24 bytes).
+func (w *WccAttr) Encode(e *xdr.Encoder) {
+	e.Uint64(w.Size)
+	encodeTime(e, w.MTime)
+	e.Uint64(w.Change) // ctime slot carries the change counter
+}
+
+// DecodeWccAttr decodes a wcc_attr.
+func DecodeWccAttr(d *xdr.Decoder) (WccAttr, error) {
+	var w WccAttr
+	size, err := d.Uint64()
+	if err != nil {
+		return w, err
+	}
+	mtime, err := decodeTime(d)
+	if err != nil {
+		return w, err
+	}
+	change, err := d.Uint64()
+	if err != nil {
+		return w, err
+	}
+	w.Size, w.MTime, w.Change = size, mtime, change
+	return w, nil
+}
+
+// WccData is the weak-cache-consistency payload on mutating replies:
+// optional pre-op size/mtime/change plus optional post-op fattr3. The
+// client compares the pre-op values against its cache to decide whether
+// anyone else touched the file, then adopts the post-op attributes
+// without a separate GETATTR.
+type WccData struct {
+	HavePre  bool
+	Pre      WccAttr
+	HavePost bool
+	Post     FileAttrs
+}
+
+// Encode appends the wcc_data wire form.
+func (w *WccData) Encode(e *xdr.Encoder) {
+	e.Bool(w.HavePre)
+	if w.HavePre {
+		w.Pre.Encode(e)
+	}
+	e.Bool(w.HavePost)
+	if w.HavePost {
+		w.Post.Encode(e)
+	}
+}
+
+// DecodeWccData decodes a wcc_data.
+func DecodeWccData(d *xdr.Decoder) (WccData, error) {
+	var w WccData
+	havePre, err := d.Bool()
+	if err != nil {
+		return w, err
+	}
+	if havePre {
+		w.HavePre = true
+		if w.Pre, err = DecodeWccAttr(d); err != nil {
+			return w, err
+		}
+	}
+	havePost, err := d.Bool()
+	if err != nil {
+		return w, err
+	}
+	if havePost {
+		w.HavePost = true
+		if w.Post, err = DecodeFileAttrs(d); err != nil {
+			return w, err
+		}
+	}
+	return w, nil
 }
 
 func decodeFH(d *xdr.Decoder) (FileHandle, error) {
@@ -355,12 +460,13 @@ func skipSattr(d *xdr.Decoder) error {
 }
 
 // CreateRes is CREATE3res: on success the post-op handle and attributes
-// of the new file (always present from our servers); directory wcc_data
-// is elided as "not present" on both arms.
+// of the new file (always present from our servers), plus the directory
+// wcc_data on both arms.
 type CreateRes struct {
 	Status Status
 	File   FileHandle
 	Attrs  FileAttrs
+	Wcc    WccData
 }
 
 // Encode appends the XDR form of the result.
@@ -372,8 +478,7 @@ func (r *CreateRes) Encode(e *xdr.Encoder) {
 		e.Bool(true) // post-op attributes present
 		r.Attrs.Encode(e)
 	}
-	e.Bool(false) // wcc_data.before not present
-	e.Bool(false) // wcc_data.after not present
+	r.Wcc.Encode(e)
 }
 
 // DecodeCreateRes decodes CREATE3res.
@@ -405,10 +510,8 @@ func DecodeCreateRes(d *xdr.Decoder) (*CreateRes, error) {
 			}
 		}
 	}
-	if _, err := d.Bool(); err != nil { // wcc_data.before arm
-		return nil, err
-	}
-	if _, err := d.Bool(); err != nil { // wcc_data.after arm
+	r.Wcc, err = DecodeWccData(d)
+	if err != nil {
 		return nil, err
 	}
 	return r, nil
@@ -439,17 +542,17 @@ func DecodeRemoveArgs(d *xdr.Decoder) (*RemoveArgs, error) {
 	return &RemoveArgs{Dir: fh, Name: name}, nil
 }
 
-// RemoveRes is REMOVE3res: status plus directory wcc_data, elided as
-// "not present".
+// RemoveRes is REMOVE3res: status plus directory wcc_data carrying the
+// removed file's last pre-op attributes.
 type RemoveRes struct {
 	Status Status
+	Wcc    WccData
 }
 
 // Encode appends the XDR form of the result.
 func (r *RemoveRes) Encode(e *xdr.Encoder) {
 	e.Uint32(uint32(r.Status))
-	e.Bool(false) // wcc_data.before not present
-	e.Bool(false) // wcc_data.after not present
+	r.Wcc.Encode(e)
 }
 
 // DecodeRemoveRes decodes REMOVE3res.
@@ -458,11 +561,11 @@ func DecodeRemoveRes(d *xdr.Decoder) (*RemoveRes, error) {
 	if err != nil {
 		return nil, err
 	}
-	if _, err := d.Bool(); err != nil {
-		return nil, err
+	r := &RemoveRes{Status: Status(st)}
+	var err2 error
+	r.Wcc, err2 = DecodeWccData(d)
+	if err2 != nil {
+		return nil, err2
 	}
-	if _, err := d.Bool(); err != nil {
-		return nil, err
-	}
-	return &RemoveRes{Status: Status(st)}, nil
+	return r, nil
 }

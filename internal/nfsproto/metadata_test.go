@@ -23,7 +23,13 @@ type codecCase struct {
 func codecCases() []codecCase {
 	fh := MakeFileHandle(3, 77)
 	dir := RootHandle(3)
-	attrs := FileAttrs{Size: 1 << 20, FileID: 42, MTime: 987654321}
+	attrs := FileAttrs{Size: 1 << 20, FileID: 42, MTime: 987654321, Change: 17}
+	wcc := WccData{
+		HavePre:  true,
+		Pre:      WccAttr{Size: 1 << 19, MTime: 123456789, Change: 16},
+		HavePost: true,
+		Post:     attrs,
+	}
 	data := bytes.Repeat([]byte{0xa5}, 1000)
 	return []codecCase{
 		{"getattr-args",
@@ -146,6 +152,30 @@ func codecCases() []codecCase {
 				}
 				return got.Status, nil
 			}},
+		{"remove-res-wcc",
+			func(e *xdr.Encoder) { (&RemoveRes{Status: NFS3OK, Wcc: wcc}).Encode(e) },
+			func(d *xdr.Decoder) (Status, error) {
+				got, err := DecodeRemoveRes(d)
+				if err != nil {
+					return 0, err
+				}
+				if got.Status == NFS3OK && got.Wcc != wcc {
+					return 0, fmt.Errorf("wcc %+v", got.Wcc)
+				}
+				return got.Status, nil
+			}},
+		{"create-res-wcc",
+			func(e *xdr.Encoder) { (&CreateRes{Status: NFS3OK, File: fh, Attrs: attrs, Wcc: wcc}).Encode(e) },
+			func(d *xdr.Decoder) (Status, error) {
+				got, err := DecodeCreateRes(d)
+				if err != nil {
+					return 0, err
+				}
+				if got.Status == NFS3OK && (got.File != fh || got.Attrs != attrs || got.Wcc != wcc) {
+					return 0, fmt.Errorf("got %+v", got)
+				}
+				return got.Status, nil
+			}},
 		{"write-args",
 			func(e *xdr.Encoder) {
 				(&WriteArgs{File: fh, Offset: 8192, Count: 1000, Stable: Unstable, Data: data}).Encode(e)
@@ -171,6 +201,37 @@ func codecCases() []codecCase {
 				}
 				if got.Status == NFS3OK && (got.Count != 1000 || got.Verf != 0xbeef) {
 					return 0, fmt.Errorf("got %+v", got)
+				}
+				return got.Status, nil
+			}},
+		{"write-res-wcc",
+			func(e *xdr.Encoder) {
+				(&WriteRes{Status: NFS3OK, Wcc: wcc, Count: 1000, Committed: FileSync, Verf: 0xbeef}).Encode(e)
+			},
+			func(d *xdr.Decoder) (Status, error) {
+				got, err := DecodeWriteRes(d)
+				if err != nil {
+					return 0, err
+				}
+				if got.Status == NFS3OK && (got.Count != 1000 || got.Wcc != wcc) {
+					return 0, fmt.Errorf("got %+v", got)
+				}
+				return got.Status, nil
+			}},
+		{"write-res-wcc-pre-only",
+			// A crashed-and-restarted server can supply pre-op attrs while
+			// the post-op arm is absent; the optional arms must decode
+			// independently.
+			func(e *xdr.Encoder) {
+				(&WriteRes{Status: NFS3ErrIO, Wcc: WccData{HavePre: true, Pre: wcc.Pre}}).Encode(e)
+			},
+			func(d *xdr.Decoder) (Status, error) {
+				got, err := DecodeWriteRes(d)
+				if err != nil {
+					return 0, err
+				}
+				if got.Wcc.HavePre != true || got.Wcc.HavePost || got.Wcc.Pre != wcc.Pre {
+					return 0, fmt.Errorf("wcc %+v", got.Wcc)
 				}
 				return got.Status, nil
 			}},
@@ -290,18 +351,34 @@ func TestCodecGarbage(t *testing.T) {
 	}
 }
 
-// TestFileAttrsFullFattr3 pins the fattr3 wire size: 21 XDR words (type,
-// mode, nlink, uid, gid, size, used, rdev, fsid, fileid, three times),
-// so simulated GETATTR replies carry the real protocol's byte weight.
+// TestFileAttrsFullFattr3 pins the fattr3 wire size: the RFC's 21 XDR
+// words (type, mode, nlink, uid, gid, size, used, rdev, fsid, fileid,
+// three times) plus one hyper for the change counter = 92 bytes, so
+// simulated GETATTR replies carry the real protocol's byte weight.
 func TestFileAttrsFullFattr3(t *testing.T) {
 	e := xdr.NewEncoder(128)
-	a := FileAttrs{Size: 5, FileID: 6, MTime: 7}
+	a := FileAttrs{Size: 5, FileID: 6, MTime: 7, Change: 8}
 	a.Encode(e)
-	if got, want := len(e.Bytes()), 84; got != want {
+	if got, want := len(e.Bytes()), 92; got != want {
 		t.Fatalf("fattr3 encodes to %d bytes, want %d", got, want)
 	}
 	got, err := DecodeFileAttrs(xdr.NewDecoder(e.Bytes()))
 	if err != nil || got != a {
+		t.Fatalf("round trip: %+v err %v", got, err)
+	}
+}
+
+// TestWccAttrWire pins wcc_attr at 24 bytes: size hyper, mtime nfstime3,
+// and the change counter riding the ctime slot.
+func TestWccAttrWire(t *testing.T) {
+	e := xdr.NewEncoder(64)
+	w := WccAttr{Size: 9, MTime: 3e9 + 14, Change: 21}
+	w.Encode(e)
+	if got, want := len(e.Bytes()), 24; got != want {
+		t.Fatalf("wcc_attr encodes to %d bytes, want %d", got, want)
+	}
+	got, err := DecodeWccAttr(xdr.NewDecoder(e.Bytes()))
+	if err != nil || got != w {
 		t.Fatalf("round trip: %+v err %v", got, err)
 	}
 }

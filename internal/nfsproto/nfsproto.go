@@ -303,10 +303,13 @@ func DecodeWriteArgs(d *xdr.Decoder) (*WriteArgs, error) {
 	return &a, nil
 }
 
-// WriteRes is WRITE3res (success arm; wcc attributes elided as "not
-// present", which is a legal and common server choice).
+// WriteRes is WRITE3res with the file's wcc_data: pre-op size/mtime/
+// change sampled under the per-file lock before the mutation, post-op
+// fattr3 after it. The weak-cache-consistency payload is what lets a
+// client detect concurrent writers without an extra GETATTR.
 type WriteRes struct {
 	Status    Status
+	Wcc       WccData
 	Count     uint32
 	Committed StableHow
 	Verf      WriteVerf
@@ -315,8 +318,7 @@ type WriteRes struct {
 // Encode appends the XDR form of the result.
 func (r *WriteRes) Encode(e *xdr.Encoder) {
 	e.Uint32(uint32(r.Status))
-	e.Bool(false) // wcc_data.before not present
-	e.Bool(false) // wcc_data.after not present
+	r.Wcc.Encode(e)
 	if r.Status == NFS3OK {
 		e.Uint32(r.Count)
 		e.Uint32(uint32(r.Committed))
@@ -330,13 +332,11 @@ func DecodeWriteRes(d *xdr.Decoder) (*WriteRes, error) {
 	if err != nil {
 		return nil, err
 	}
-	if _, err := d.Bool(); err != nil {
+	wcc, err := DecodeWccData(d)
+	if err != nil {
 		return nil, err
 	}
-	if _, err := d.Bool(); err != nil {
-		return nil, err
-	}
-	r := &WriteRes{Status: Status(st)}
+	r := &WriteRes{Status: Status(st), Wcc: wcc}
 	if r.Status != NFS3OK {
 		return r, nil
 	}

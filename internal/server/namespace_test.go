@@ -1,0 +1,157 @@
+package server
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/nfsproto"
+	"repro/internal/sim"
+)
+
+// TestApplyWriteWccChain pins the per-file mutation contract: every
+// accepted write bumps the change counter by exactly one, each wcc
+// pre-op equals the previous write's post-op (no interleaving inside
+// the locked capture), and size is a high-water mark.
+func TestApplyWriteWccChain(t *testing.T) {
+	s := sim.New(1)
+	ns := NewNamespace(s)
+	fh := nfsproto.MakeFileHandle(1, 7)
+
+	w1 := ns.ApplyWrite(fh, 8192)
+	if !w1.HavePre || !w1.HavePost {
+		t.Fatalf("wcc arms missing: %+v", w1)
+	}
+	if w1.Pre.Change != 0 || w1.Post.Change != 1 {
+		t.Fatalf("first write change pre=%d post=%d, want 0/1", w1.Pre.Change, w1.Post.Change)
+	}
+	if w1.Post.Size != 8192 {
+		t.Fatalf("post size %d, want 8192", w1.Post.Size)
+	}
+	w2 := ns.ApplyWrite(fh, 4096) // shorter write: size must not shrink
+	if w2.Pre != (nfsproto.WccAttr{Size: w1.Post.Size, MTime: w1.Post.MTime, Change: w1.Post.Change}) {
+		t.Fatalf("second write pre %+v does not chain from first post %+v", w2.Pre, w1.Post)
+	}
+	if w2.Post.Size != 8192 || w2.Post.Change != 2 {
+		t.Fatalf("post after short write: %+v", w2.Post)
+	}
+	if ns.ChangeBumps != 2 {
+		t.Fatalf("ChangeBumps = %d, want 2", ns.ChangeBumps)
+	}
+	if c, ok := ns.Change(fh); !ok || c != 2 {
+		t.Fatalf("Change(fh) = %d,%v", c, ok)
+	}
+}
+
+// TestSharedFileChangeAcrossClients pins that writes from different
+// clients against one handle serialize on the same per-file state: the
+// change counter counts all writers, not per-client.
+func TestSharedFileChangeAcrossClients(t *testing.T) {
+	s := sim.New(1)
+	ns := NewNamespace(s)
+	fh := nfsproto.MakeFileHandle(1, 9)
+	for i := 0; i < 3; i++ { // client A
+		ns.ApplyWrite(fh, uint64(8192*(i+1)))
+	}
+	for i := 0; i < 2; i++ { // client B, same handle
+		ns.ApplyWrite(fh, uint64(4096*(i+1)))
+	}
+	if c, _ := ns.Change(fh); c != 5 {
+		t.Fatalf("change after 3+2 writes = %d, want 5", c)
+	}
+}
+
+// TestDirectoryWccOnCreateRemove pins the directory's own inode state:
+// CREATE and REMOVE mutate it (entry count as size, change bumped),
+// UNCHECKED re-create of an existing name does not.
+func TestDirectoryWccOnCreateRemove(t *testing.T) {
+	s := sim.New(1)
+	ns := NewNamespace(s)
+	dir := nfsproto.RootHandle(4)
+
+	_, w1 := ns.Create(dir, "a")
+	if w1.Pre.Change != 0 || w1.Post.Change != 1 || w1.Post.Size != 1 {
+		t.Fatalf("create wcc: %+v", w1)
+	}
+	_, w2 := ns.Create(dir, "a") // UNCHECKED hit: no mutation
+	if w2.Pre.Change != 1 || w2.Post.Change != 1 {
+		t.Fatalf("re-create wcc should be a snapshot: %+v", w2)
+	}
+	st, w3 := ns.Remove(dir, "a")
+	if st != nfsproto.NFS3OK || w3.Post.Change != 2 || w3.Post.Size != 0 {
+		t.Fatalf("remove: st=%v wcc=%+v", st, w3)
+	}
+	if st, _ := ns.Remove(dir, "a"); st != nfsproto.NFS3ErrNoEnt {
+		t.Fatalf("double remove st=%v", st)
+	}
+}
+
+// TestChangeSurvivesCrashRestart drives WRITEs over the wire against the
+// filer, crashes it mid-life, restarts it, writes again, and requires
+// the change attribute to continue monotonically — the NVRAM replay
+// restores attribute state, so a rebooted server must never hand out a
+// counter the fleet has already seen.
+func TestChangeSurvivesCrashRestart(t *testing.T) {
+	r, _ := newRig(t, "filer")
+	fh := nfsproto.MakeFileHandle(1, 3)
+
+	var before, after *nfsproto.WriteRes
+	r.s.Go("w", func(p *sim.Proc) {
+		write := func() *nfsproto.WriteRes {
+			args := nfsproto.WriteArgs{File: fh, Offset: 0, Count: 8192, Stable: nfsproto.Unstable, Data: make([]byte, 8192)}
+			d := r.tr.CallSync(p, nfsproto.ProcWrite, args.Encode)
+			res, err := nfsproto.DecodeWriteRes(d)
+			if err != nil {
+				t.Errorf("decode: %v", err)
+			}
+			return res
+		}
+		before = write()
+		r.srv.Crash()
+		r.srv.Restart()
+		after = write()
+	})
+	r.s.Run(time.Minute)
+
+	if before == nil || before.Status != nfsproto.NFS3OK || !before.Wcc.HavePost {
+		t.Fatalf("pre-crash write: %+v", before)
+	}
+	if after == nil || after.Status != nfsproto.NFS3OK {
+		t.Fatalf("post-restart write: %+v", after)
+	}
+	if after.Wcc.Pre.Change != before.Wcc.Post.Change {
+		t.Fatalf("change regressed across restart: pre-crash post=%d, post-restart pre=%d",
+			before.Wcc.Post.Change, after.Wcc.Pre.Change)
+	}
+	if after.Wcc.Post.Change <= before.Wcc.Post.Change {
+		t.Fatalf("change not monotonic across restart: %d then %d",
+			before.Wcc.Post.Change, after.Wcc.Post.Change)
+	}
+}
+
+// TestWriteReplyCarriesWccOnWire pins that the encoded WRITE3 reply a
+// client decodes carries both wcc arms with the post-op size covering
+// the write.
+func TestWriteReplyCarriesWccOnWire(t *testing.T) {
+	r, _ := newRig(t, "linux")
+	fh := nfsproto.MakeFileHandle(1, 5)
+	var res *nfsproto.WriteRes
+	r.s.Go("w", func(p *sim.Proc) {
+		args := nfsproto.WriteArgs{File: fh, Offset: 8192, Count: 8192, Stable: nfsproto.Unstable, Data: make([]byte, 8192)}
+		d := r.tr.CallSync(p, nfsproto.ProcWrite, args.Encode)
+		var err error
+		res, err = nfsproto.DecodeWriteRes(d)
+		if err != nil {
+			t.Errorf("decode: %v", err)
+		}
+	})
+	r.s.Run(time.Minute)
+	if res == nil || res.Status != nfsproto.NFS3OK {
+		t.Fatalf("write failed: %+v", res)
+	}
+	if !res.Wcc.HavePre || !res.Wcc.HavePost {
+		t.Fatalf("wcc arms missing on the wire: %+v", res.Wcc)
+	}
+	if res.Wcc.Post.Size != 16384 || res.Wcc.Post.Change == 0 {
+		t.Fatalf("post-op attrs: %+v", res.Wcc.Post)
+	}
+}

@@ -363,7 +363,7 @@ func (srv *Server) serve(p *sim.Proc, item rxItem, gen int) {
 			srv.Writes++
 			srv.BytesWritten += int64(res.Count)
 			srv.Coverage(args.File).Add(int64(args.Offset), int64(args.Offset)+int64(res.Count))
-			srv.ns.NoteWrite(args.File, args.Offset+uint64(res.Count))
+			res.Wcc = srv.ns.ApplyWrite(args.File, args.Offset+uint64(res.Count))
 			srv.lastWriteDone = srv.s.Now()
 		}
 		res.Encode(reply)
@@ -375,8 +375,8 @@ func (srv *Server) serve(p *sim.Proc, item rxItem, gen int) {
 		srv.cpu.Use(p, "nfsd_lookup", srv.metaCPU())
 		srv.Lookups++
 		res := nfsproto.LookupRes{Status: nfsproto.NFS3ErrNoEnt}
-		if ent, st := srv.ns.Lookup(args.Dir, args.Name); st == nfsproto.NFS3OK {
-			res = nfsproto.LookupRes{Status: st, File: ent.fh, Attrs: ent.attrs}
+		if ino, st := srv.ns.Lookup(args.Dir, args.Name); st == nfsproto.NFS3OK {
+			res = nfsproto.LookupRes{Status: st, File: ino.fh, Attrs: ino.Attrs()}
 		}
 		res.Encode(reply)
 	case nfsproto.ProcGetattr:
@@ -396,8 +396,8 @@ func (srv *Server) serve(p *sim.Proc, item rxItem, gen int) {
 		}
 		srv.cpu.Use(p, "nfsd_create", srv.metaCPU())
 		srv.Creates++
-		ent := srv.ns.Create(args.Dir, args.Name)
-		res := nfsproto.CreateRes{Status: nfsproto.NFS3OK, File: ent.fh, Attrs: ent.attrs}
+		ino, wcc := srv.ns.Create(args.Dir, args.Name)
+		res := nfsproto.CreateRes{Status: nfsproto.NFS3OK, File: ino.fh, Attrs: ino.Attrs(), Wcc: wcc}
 		res.Encode(reply)
 	case nfsproto.ProcRemove:
 		args, err := nfsproto.DecodeRemoveArgs(d)
@@ -406,7 +406,8 @@ func (srv *Server) serve(p *sim.Proc, item rxItem, gen int) {
 		}
 		srv.cpu.Use(p, "nfsd_remove", srv.metaCPU())
 		srv.Removes++
-		res := nfsproto.RemoveRes{Status: srv.ns.Remove(args.Dir, args.Name)}
+		st, wcc := srv.ns.Remove(args.Dir, args.Name)
+		res := nfsproto.RemoveRes{Status: st, Wcc: wcc}
 		res.Encode(reply)
 	case nfsproto.ProcCommit:
 		args, err := nfsproto.DecodeCommitArgs(d)

@@ -81,6 +81,12 @@ type Options struct {
 	// ClientCPUs is the per-machine processor count (default 2, the
 	// paper's dual P-III; set 1 for the uniprocessor ablation).
 	ClientCPUs int
+	// SharedNamespace mounts every client machine on the same export
+	// (identical FSID) so that names resolve to the same server-side
+	// files — the shared-file coherence workloads' topology. Off by
+	// default: each machine gets its own export and handles never
+	// collide.
+	SharedNamespace bool
 	// CacheLimit overrides each machine's page-cache budget (default
 	// mm.DefaultDirtyLimit).
 	CacheLimit int64
@@ -305,8 +311,14 @@ func NewTestbed(opts Options) *Testbed {
 		if ccfg.FSID == 0 {
 			ccfg.FSID = 1
 		}
-		ccfg.FSID += uint64(m.Index) // distinct per machine; see core.Config.FSID
+		if !opts.SharedNamespace {
+			ccfg.FSID += uint64(m.Index) // distinct per machine; see core.Config.FSID
+		}
 		m.Client = core.NewClient(s, m.CPU, m.BKL, m.Cache, m.Transport, ccfg)
+		// Wire the omniscient staleness probe: the harness judges cache
+		// hits against the server's ground-truth change counter. Clients
+		// never use it to decide anything.
+		m.Client.SetChangeProbe(tb.Server.Names().Change)
 	}
 	tb.alias()
 	return tb
